@@ -1,0 +1,247 @@
+package wasn
+
+// Benchmark harness: one benchmark per paper artifact (Figs. 5, 6, 7,
+// each under the IA and FA deployment models), plus the ablation and
+// construction-cost benches called out in DESIGN.md. Each figure bench
+// runs a reduced sweep per iteration (full 100-network sweeps live in
+// cmd/wasnsim) and reports the paper's metric for the densest
+// configuration through testing.B metrics, so `go test -bench=.` both
+// exercises the full pipeline and prints the reproduced quantities.
+
+import (
+	"testing"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/expt"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// benchSweep is the reduced sweep used inside benchmarks.
+func benchSweep(b *testing.B, model topo.DeployModel, metric expt.Metric, algs []expt.AlgID) {
+	b.Helper()
+	cfg := expt.DefaultConfig(model, 2, 5)
+	cfg.NodeCounts = []int{400, 600, 800}
+	if algs != nil {
+		cfg.Algorithms = algs
+	}
+	var last *expt.Sweep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep, err := expt.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sweep
+	}
+	b.StopTimer()
+	for _, alg := range cfg.Algorithms {
+		if v, ok := last.Value(800, alg, metric); ok {
+			b.ReportMetric(v, string(alg)+"@800")
+		}
+	}
+}
+
+// Fig. 5: maximum hop count.
+
+func BenchmarkFig5MaxHopsIA(b *testing.B) {
+	benchSweep(b, topo.ModelIA, expt.MetricMaxHops, nil)
+}
+
+func BenchmarkFig5MaxHopsFA(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricMaxHops, nil)
+}
+
+// Fig. 6: average hop count.
+
+func BenchmarkFig6AvgHopsIA(b *testing.B) {
+	benchSweep(b, topo.ModelIA, expt.MetricAvgHops, nil)
+}
+
+func BenchmarkFig6AvgHopsFA(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricAvgHops, nil)
+}
+
+// Fig. 7: average routing path length.
+
+func BenchmarkFig7PathLenIA(b *testing.B) {
+	benchSweep(b, topo.ModelIA, expt.MetricAvgLength, nil)
+}
+
+func BenchmarkFig7PathLenFA(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricAvgLength, nil)
+}
+
+// Ablations (DESIGN.md §3): SLGF2 design choices isolated.
+
+func BenchmarkAblationHandRule(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricAvgHops,
+		[]expt.AlgID{expt.AlgSLGF2, expt.AlgSLGF2RightHand})
+}
+
+func BenchmarkAblationShapeInfo(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricAvgHops,
+		[]expt.AlgID{expt.AlgSLGF2, expt.AlgSLGF2NoShape})
+}
+
+func BenchmarkAblationBackupPath(b *testing.B) {
+	benchSweep(b, topo.ModelFA, expt.MetricAvgHops,
+		[]expt.AlgID{expt.AlgSLGF2, expt.AlgSLGF2NoBackup})
+}
+
+func BenchmarkAblationEdgeRule(b *testing.B) {
+	for _, rule := range []safety.EdgeRule{
+		safety.ConvexHullEdge{},
+		safety.BorderMarginEdge{Margin: 20},
+		safety.DefaultEdgeRule(),
+	} {
+		b.Run(rule.Name(), func(b *testing.B) {
+			cfg := expt.DefaultConfig(topo.ModelFA, 2, 5)
+			cfg.NodeCounts = []int{600}
+			cfg.Algorithms = []expt.AlgID{expt.AlgSLGF2}
+			cfg.EdgeRule = rule
+			var last *expt.Sweep
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sweep, err := expt.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sweep
+			}
+			b.StopTimer()
+			if v, ok := last.Value(600, expt.AlgSLGF2, expt.MetricAvgHops); ok {
+				b.ReportMetric(v, "avgHops@600")
+			}
+		})
+	}
+}
+
+// Construction cost: safety information vs BOUNDHOLE boundary info.
+
+func BenchmarkConstructionCost(b *testing.B) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelFA, 600, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("safety-sync", func(b *testing.B) {
+		var m *safety.Model
+		for i := 0; i < b.N; i++ {
+			m = safety.Build(dep.Net)
+		}
+		b.ReportMetric(float64(m.Cost.Rounds), "rounds")
+		b.ReportMetric(float64(m.Cost.Messages), "messages")
+	})
+	b.Run("safety-async", func(b *testing.B) {
+		var m *safety.Model
+		for i := 0; i < b.N; i++ {
+			m = safety.BuildAsync(dep.Net, uint64(i))
+		}
+		b.ReportMetric(float64(m.Cost.Messages), "messages")
+	})
+	b.Run("boundhole", func(b *testing.B) {
+		var bs *bound.Boundaries
+		for i := 0; i < b.N; i++ {
+			bs = bound.FindHoles(dep.Net)
+		}
+		b.ReportMetric(float64(bs.MessageCount), "messages")
+		b.ReportMetric(float64(len(bs.Holes)), "holes")
+	})
+	b.Run("gabriel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			planar.Build(dep.Net, planar.GabrielGraph)
+		}
+	})
+}
+
+// Micro benches: one route per algorithm on a fixed 600-node FA network.
+
+func BenchmarkRoutePerAlgorithm(b *testing.B) {
+	dep, err := Deploy(FA, 600, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, _ := topo.Components(dep.Net)
+	var pairs [][2]NodeID
+	for s := 0; s < dep.Net.N() && len(pairs) < 32; s += 11 {
+		d := (s*17 + 300) % dep.Net.N()
+		if s != d && labels[s] >= 0 && labels[s] == labels[d] {
+			pairs = append(pairs, [2]NodeID{NodeID(s), NodeID(d)})
+		}
+	}
+	if len(pairs) == 0 {
+		b.Fatal("no connected pairs")
+	}
+	for _, alg := range sim.Algorithms() {
+		b.Run(string(alg), func(b *testing.B) {
+			hops := 0
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				res := sim.Route(alg, p[0], p[1])
+				hops += res.Hops()
+			}
+			b.ReportMetric(float64(hops)/float64(b.N), "hops/route")
+		})
+	}
+}
+
+// Substrate micro benches.
+
+func BenchmarkDeploy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Deploy(FA, 800, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSafetyRelabelIncremental(b *testing.B) {
+	dep, err := Deploy(FA, 600, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Fresh model and victim per iteration.
+		m := safety.Build(dep.Net)
+		victim := NodeID((i * 37) % dep.Net.N())
+		b.StartTimer()
+		dep.Net.SetAlive(victim, false)
+		m.OnNodeFailure(victim)
+		b.StopTimer()
+		dep.Net.SetAlive(victim, true)
+	}
+}
+
+var benchSink core.Result
+
+func BenchmarkSingleRouteSLGF2(b *testing.B) {
+	dep, err := Deploy(FA, 600, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, _ := topo.Components(dep.Net)
+	src, dst := NodeID(-1), NodeID(-1)
+	for s := 0; s < dep.Net.N(); s++ {
+		d := dep.Net.N() - 1 - s
+		if s != d && labels[s] >= 0 && labels[s] == labels[d] {
+			src, dst = NodeID(s), NodeID(d)
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = sim.Route(SLGF2, src, dst)
+	}
+}

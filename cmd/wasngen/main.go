@@ -1,0 +1,116 @@
+// Command wasngen generates random WASN deployments, prints their
+// statistics (degree, connectivity, safety labeling, holes), and saves or
+// loads them as JSON for reuse across tools.
+//
+// Usage:
+//
+//	wasngen -model fa -n 600 -seed 7 -o net.json
+//	wasngen -i net.json -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wasngen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wasngen", flag.ContinueOnError)
+	var (
+		model   = fs.String("model", "ia", "deployment model: ia or fa")
+		n       = fs.Int("n", 600, "node count")
+		seed    = fs.Uint64("seed", 1, "deployment seed")
+		outPath = fs.String("o", "", "write the network as JSON to this path")
+		inPath  = fs.String("i", "", "load a network from this JSON path instead of generating")
+		stats   = fs.Bool("stats", true, "print network statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var net *topo.Network
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err = topo.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	default:
+		m, err := topo.ParseDeployModel(*model)
+		if err != nil {
+			return err
+		}
+		dep, err := topo.Deploy(topo.DefaultDeployConfig(m, *n, *seed))
+		if err != nil {
+			return err
+		}
+		net = dep.Net
+	}
+
+	if *stats {
+		printStats(out, net)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := net.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "written: %s\n", *outPath)
+	}
+	return nil
+}
+
+func printStats(out io.Writer, net *topo.Network) {
+	_, comps := topo.Components(net)
+	fmt.Fprintf(out, "nodes: %d  edges: %d  avg degree: %.2f  components: %d\n",
+		net.N(), net.EdgeCount(), net.AvgDegree(), comps)
+
+	m := safety.Build(net)
+	unsafeCount := [geom.NumZones]int{}
+	allUnsafe := 0
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		for _, z := range geom.AllZones {
+			if m.Unsafe(u, z) {
+				unsafeCount[z-1]++
+			}
+		}
+		if m.AllUnsafe(u) {
+			allUnsafe++
+		}
+	}
+	fmt.Fprintf(out, "safety: rounds=%d messages=%d unsafe-per-type=%v tuple(0,0,0,0)=%d\n",
+		m.Cost.Rounds, m.Cost.Messages, unsafeCount, allUnsafe)
+
+	b := bound.FindHoles(net)
+	largest := 0
+	for _, h := range b.Holes {
+		if h.Len() > largest {
+			largest = h.Len()
+		}
+	}
+	fmt.Fprintf(out, "boundhole: holes=%d largest-boundary=%d messages=%d\n",
+		len(b.Holes), largest, b.MessageCount)
+}

@@ -1,0 +1,111 @@
+// Command wasnsim regenerates the paper's evaluation figures as text (or
+// CSV) tables: Fig. 5 (maximum hops), Fig. 6 (average hops) and Fig. 7
+// (average path length) for the GF, LGF, SLGF and SLGF2 routings under
+// the IA and FA deployment models.
+//
+// Usage:
+//
+//	wasnsim -figure all -model both -networks 100 -pairs 20
+//	wasnsim -figure 6 -model fa -csv
+//	wasnsim -figure all -model ia -extra   # adds GPSR + ideal references
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/straightpath/wasn/internal/expt"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wasnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("wasnsim", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "all", "figure to regenerate: 5, 6, 7, or all")
+		model    = fs.String("model", "both", "deployment model: ia, fa, or both")
+		networks = fs.Int("networks", 100, "random networks per node count (paper: 100)")
+		pairs    = fs.Int("pairs", 20, "routed source-destination pairs per network")
+		seed     = fs.Uint64("seed", 1, "base seed for the sweep")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = NumCPU)")
+		extra    = fs.Bool("extra", false, "also run GPSR and the ideal references")
+		ablation = fs.Bool("ablation", false, "also run the SLGF2 ablation variants")
+		asCSV    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	metricsWanted, err := figuresFor(*figure)
+	if err != nil {
+		return err
+	}
+	models, err := modelsFor(*model)
+	if err != nil {
+		return err
+	}
+
+	for _, m := range models {
+		cfg := expt.DefaultConfig(m, *networks, *pairs)
+		cfg.BaseSeed = *seed
+		cfg.Workers = *workers
+		if *extra {
+			cfg.Algorithms = append(cfg.Algorithms,
+				expt.AlgGPSR, expt.AlgIdealHops, expt.AlgIdealLen)
+		}
+		if *ablation {
+			cfg.Algorithms = append(cfg.Algorithms,
+				expt.AlgSLGF2NoShape, expt.AlgSLGF2RightHand, expt.AlgSLGF2NoBackup)
+		}
+		sweep, err := expt.Run(cfg)
+		if err != nil {
+			return err
+		}
+		for _, metric := range metricsWanted {
+			tbl := sweep.Table(metric)
+			if *asCSV {
+				fmt.Fprintf(out, "# %s\n%s\n", tbl.Title, tbl.CSV())
+			} else {
+				fmt.Fprintf(out, "%s\n", tbl.Text())
+			}
+		}
+		fmt.Fprintf(out, "(%s sweep finished in %s)\n\n", m, sweep.Elapsed.Round(1e7))
+	}
+	return nil
+}
+
+func figuresFor(flagValue string) ([]expt.Metric, error) {
+	switch strings.ToLower(flagValue) {
+	case "5":
+		return []expt.Metric{expt.MetricMaxHops}, nil
+	case "6":
+		return []expt.Metric{expt.MetricAvgHops}, nil
+	case "7":
+		return []expt.Metric{expt.MetricAvgLength}, nil
+	case "all":
+		return []expt.Metric{expt.MetricMaxHops, expt.MetricAvgHops, expt.MetricAvgLength, expt.MetricDelivery}, nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q (want 5, 6, 7 or all)", flagValue)
+	}
+}
+
+func modelsFor(flagValue string) ([]topo.DeployModel, error) {
+	switch strings.ToLower(flagValue) {
+	case "both":
+		return []topo.DeployModel{topo.ModelIA, topo.ModelFA}, nil
+	default:
+		m, err := topo.ParseDeployModel(flagValue)
+		if err != nil {
+			return nil, err
+		}
+		return []topo.DeployModel{m}, nil
+	}
+}

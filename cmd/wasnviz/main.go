@@ -1,0 +1,128 @@
+// Command wasnviz renders a deployment — holes, unsafe-area estimates,
+// and one route per algorithm — as an SVG document, reproducing the style
+// of the paper's Figs. 1-4 for visual verification.
+//
+// Usage:
+//
+//	wasnviz -model fa -n 600 -seed 7 -src 12 -dst 480 -o route.svg
+//	wasnviz -model fa -n 600 -seed 7 -o net.svg          # random pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/svgplot"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "wasnviz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wasnviz", flag.ContinueOnError)
+	var (
+		model   = fs.String("model", "fa", "deployment model: ia or fa")
+		n       = fs.Int("n", 600, "node count")
+		seed    = fs.Uint64("seed", 7, "deployment seed")
+		src     = fs.Int("src", -1, "source node id (-1 = random connected pair)")
+		dst     = fs.Int("dst", -1, "destination node id")
+		outPath = fs.String("o", "wasn.svg", "output SVG path")
+		edges   = fs.Bool("edges", false, "draw every radio link")
+		width   = fs.Float64("width", 900, "image width in pixels")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := topo.ParseDeployModel(*model)
+	if err != nil {
+		return err
+	}
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(m, *n, *seed))
+	if err != nil {
+		return err
+	}
+	net := dep.Net
+
+	s, d, err := pickPair(net, *src, *dst, *seed)
+	if err != nil {
+		return err
+	}
+
+	sm := safety.Build(net)
+	b := bound.FindHoles(net)
+	g := planar.Build(net, planar.GabrielGraph)
+	routers := []struct {
+		r     core.Router
+		color string
+	}{
+		{r: core.NewLGF(net), color: "#b77"},
+		{r: core.NewGF(net, b), color: "#7a7"},
+		{r: core.NewSLGF(net, sm), color: "#77c"},
+		{r: core.NewSLGF2(net, sm), color: "#06c"},
+		{r: core.NewGPSR(net, g), color: "#b5b"},
+	}
+
+	canvas := svgplot.New(net.Field, *width)
+	canvas.Holes(dep.Forbidden)
+	canvas.Network(net, *edges)
+	canvas.UnsafeAreas(sm)
+	for _, rt := range routers {
+		res := rt.r.Route(s, d)
+		if !res.Delivered {
+			fmt.Fprintf(os.Stderr, "note: %s failed (%v)\n", rt.r.Name(), res.Reason)
+			continue
+		}
+		canvas.Route(net, res.Path, rt.color)
+		fmt.Printf("%-6s hops=%-4d length=%.1f m\n", rt.r.Name(), res.Hops(), res.Length)
+	}
+	canvas.Label(net.Pos(s), fmt.Sprintf("s=%d", s))
+	canvas.Label(net.Pos(d), fmt.Sprintf("d=%d", d))
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := canvas.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("written: %s (pair %d -> %d)\n", *outPath, s, d)
+	return nil
+}
+
+func pickPair(net *topo.Network, src, dst int, seed uint64) (topo.NodeID, topo.NodeID, error) {
+	if src >= 0 && dst >= 0 {
+		if src >= net.N() || dst >= net.N() {
+			return 0, 0, fmt.Errorf("node ids out of range [0, %d)", net.N())
+		}
+		return topo.NodeID(src), topo.NodeID(dst), nil
+	}
+	labels, _ := topo.Components(net)
+	rng := rand.New(rand.NewPCG(seed, seed^0x51cc))
+	for tries := 0; tries < 10_000; tries++ {
+		s := topo.NodeID(rng.IntN(net.N()))
+		d := topo.NodeID(rng.IntN(net.N()))
+		// Prefer pairs at least half the field apart so routes are
+		// interesting to look at.
+		if s == d || labels[s] < 0 || labels[s] != labels[d] {
+			continue
+		}
+		if net.Dist(s, d) < net.Field.Width()/2 {
+			continue
+		}
+		return s, d, nil
+	}
+	return 0, 0, fmt.Errorf("no suitable connected pair found")
+}

@@ -1,0 +1,80 @@
+// Dynamic: local minima are not only deployment holes — node failures
+// create them at runtime (§1 lists failures, jamming, power exhaustion).
+// This example streams packets while nodes on the active path randomly
+// fail, repairs the safety information incrementally after each failure,
+// and shows SLGF2 re-routing around the growing hole.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	wasn "github.com/straightpath/wasn"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func main() {
+	dep, err := wasn.Deploy(wasn.IA, 700, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := dep.Net
+	m := safety.Build(net)
+	router := core.NewSLGF2(net, m)
+
+	labels, _ := topo.Components(net)
+	var src, dst wasn.NodeID = -1, -1
+	for s := 0; s < net.N() && src < 0; s++ {
+		for d := net.N() - 1; d > s; d-- {
+			if labels[s] >= 0 && labels[s] == labels[d] && net.Dist(topo.NodeID(s), topo.NodeID(d)) > 150 {
+				src, dst = wasn.NodeID(s), wasn.NodeID(d)
+				break
+			}
+		}
+	}
+	if src < 0 {
+		log.Fatal("no suitable pair")
+	}
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	fmt.Printf("routing %d -> %d under failures\n\n", src, dst)
+	fmt.Printf("%5s %6s %10s %9s %s\n", "round", "hops", "length(m)", "relabel", "failed nodes")
+
+	for round := 1; round <= 8; round++ {
+		res := router.Route(src, dst)
+		if !res.Delivered {
+			fmt.Printf("%5d  undeliverable (%v) — the failure hole severed the pair\n",
+				round, res.Reason)
+			break
+		}
+
+		// Fail 1-2 random relays of the path just used (not the
+		// endpoints), as if forwarding drained them.
+		var failed []topo.NodeID
+		relays := res.Path[1 : len(res.Path)-1]
+		for len(failed) < 2 && len(relays) > 0 {
+			v := relays[rng.IntN(len(relays))]
+			if v != src && v != dst && net.Alive(v) {
+				net.SetAlive(v, false)
+				failed = append(failed, v)
+			}
+			if len(failed) >= len(relays) {
+				break
+			}
+		}
+		// Incremental repair of the safety information (worklist from
+		// the failure neighborhood; equivalent to a full rebuild).
+		before := m.Cost.Messages
+		m.OnNodeFailure(failed...)
+		repair := m.Cost.Messages - before
+
+		fmt.Printf("%5d %6d %10.1f %9d %v\n",
+			round, res.Hops(), res.Length, repair, failed)
+	}
+
+	alive := len(net.AliveIDs())
+	fmt.Printf("\n%d of %d nodes still alive\n", alive, net.N())
+}

@@ -1,0 +1,97 @@
+// Holes: build a deployment with one large forbidden area between the
+// source and the destination — the local-minimum scenario of the paper's
+// Fig. 1 — and compare how far each algorithm detours around it. Writes
+// holes.svg with every route overlaid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/svgplot"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func main() {
+	// One big rectangular hole in the middle of the field: every route
+	// from the west side to the east side must go around it.
+	cfg := topo.DefaultDeployConfig(topo.ModelFA, 650, 2024)
+	cfg.Forbidden = topo.ForbiddenConfig{
+		Count:        1,
+		MinSize:      80,
+		MaxSize:      80,
+		DiscFraction: 0, // one 80x80 rectangle
+		Margin:       60,
+	}
+	dep, err := topo.Deploy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := dep.Net
+	hole := dep.Forbidden[0].BBox()
+	fmt.Printf("hole at %v\n", hole)
+
+	// Source due west of the hole center, destination due east: the
+	// straight line crosses the hole.
+	src := nearest(net, geom.Pt(hole.Min.X-40, hole.Center().Y))
+	dst := nearest(net, geom.Pt(hole.Max.X+40, hole.Center().Y))
+	direct := net.Dist(src, dst)
+	fmt.Printf("pair %d -> %d, straight line %.1f m (through the hole)\n\n", src, dst, direct)
+
+	m := safety.Build(net)
+	b := bound.FindHoles(net)
+	routers := []struct {
+		r     core.Router
+		color string
+	}{
+		{r: core.NewGF(net, b), color: "#7a7"},
+		{r: core.NewLGF(net), color: "#b77"},
+		{r: core.NewSLGF(net, m), color: "#77c"},
+		{r: core.NewSLGF2(net, m), color: "#06c"},
+		{r: core.NewIdeal(net, core.IdealMinLength), color: "#999"},
+	}
+
+	canvas := svgplot.New(net.Field, 900)
+	canvas.Holes(dep.Forbidden)
+	canvas.Network(net, false)
+	canvas.UnsafeAreas(m)
+
+	fmt.Printf("%-14s %6s %10s %9s\n", "algorithm", "hops", "length(m)", "stretch")
+	for _, rt := range routers {
+		res := rt.r.Route(src, dst)
+		if !res.Delivered {
+			fmt.Printf("%-14s FAILED (%v)\n", rt.r.Name(), res.Reason)
+			continue
+		}
+		fmt.Printf("%-14s %6d %10.1f %9.2f\n",
+			rt.r.Name(), res.Hops(), res.Length, res.Length/direct)
+		canvas.Route(net, res.Path, rt.color)
+	}
+
+	f, err := os.Create("holes.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := canvas.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote holes.svg (orange dashes: estimated unsafe areas E_i)")
+}
+
+// nearest returns the node closest to p.
+func nearest(net *topo.Network, p geom.Point) topo.NodeID {
+	best := topo.NodeID(0)
+	bestD := geom.Dist2(net.Pos(0), p)
+	for i := 1; i < net.N(); i++ {
+		if d := geom.Dist2(net.Pos(topo.NodeID(i)), p); d < bestD {
+			best, bestD = topo.NodeID(i), d
+		}
+	}
+	return best
+}

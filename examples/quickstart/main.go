@@ -1,0 +1,68 @@
+// Quickstart: deploy a random sensor network with the paper's
+// parameters, build the safety information model, and route one packet
+// with SLGF2, printing the path and its phase breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wasn "github.com/straightpath/wasn"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+	"github.com/straightpath/wasn/internal/trace"
+)
+
+func main() {
+	// 500 nodes, 200x200 m field, 20 m radio range, forbidden-area
+	// deployment: the FA model of the paper's §5.
+	dep, err := wasn.Deploy(wasn.FA, 500, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := wasn.NewSim(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := sim.Net()
+	fmt.Printf("deployed %d nodes, %d links, average degree %.1f\n",
+		net.N(), net.EdgeCount(), net.AvgDegree())
+
+	// Pick a connected pair far apart.
+	labels, _ := topo.Components(net)
+	var src, dst wasn.NodeID = -1, -1
+	for s := 0; s < net.N() && src < 0; s++ {
+		for d := net.N() - 1; d > s; d-- {
+			if labels[s] >= 0 && labels[s] == labels[d] && net.Dist(topo.NodeID(s), topo.NodeID(d)) > 150 {
+				src, dst = wasn.NodeID(s), wasn.NodeID(d)
+				break
+			}
+		}
+	}
+	if src < 0 {
+		log.Fatal("no suitable pair found")
+	}
+	fmt.Printf("routing %v -> %v (straight-line distance %.1f m)\n\n",
+		net.Pos(src), net.Pos(dst), net.Dist(src, dst))
+
+	for _, alg := range []wasn.Algorithm{wasn.LGF, wasn.SLGF, wasn.SLGF2, wasn.IdealHop} {
+		res := sim.Route(alg, src, dst)
+		if !res.Delivered {
+			fmt.Printf("%-10s FAILED (%v)\n", alg, res.Reason)
+			continue
+		}
+		fmt.Printf("%-10s %3d hops  %6.1f m  greedy=%d backup=%d perimeter=%d\n",
+			alg, res.Hops(), res.Length,
+			res.PhaseHops[core.PhaseGreedy],
+			res.PhaseHops[core.PhaseBackup],
+			res.PhaseHops[core.PhasePerimeter])
+	}
+
+	fmt.Println("\nSLGF2 hop-by-hop:")
+	res := sim.Route(wasn.SLGF2, src, dst)
+	fmt.Println(trace.FromResult(src, dst, res).Dump(12))
+
+	// The safety tuples the routing consulted.
+	fmt.Printf("source tuple %s, destination tuple %s\n",
+		sim.Safety.Tuple(src), sim.Safety.Tuple(dst))
+}

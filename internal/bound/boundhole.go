@@ -1,0 +1,205 @@
+package bound
+
+import (
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Hole is the closed boundary of one routing hole: a cycle of nodes.
+type Hole struct {
+	ID int
+	// Cycle lists the boundary nodes in traversal order; the last node
+	// connects back to the first.
+	Cycle []topo.NodeID
+	// BBox bounds the boundary nodes.
+	BBox geom.Rect
+}
+
+// Len returns the number of boundary nodes.
+func (h *Hole) Len() int { return len(h.Cycle) }
+
+// indexOf returns the position of u on the cycle, or -1.
+func (h *Hole) indexOf(u topo.NodeID) int {
+	for i, v := range h.Cycle {
+		if v == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// Boundaries is the output of BOUNDHOLE on a network: every hole found
+// plus a node→holes index, the "boundary information" that §5 constructs
+// for GF routing.
+type Boundaries struct {
+	Holes []*Hole
+	// byNode maps each boundary node to the holes it belongs to.
+	byNode map[topo.NodeID][]*Hole
+	// MessageCount estimates construction traffic: one message per
+	// traversal step, the cost model used when comparing against the
+	// safety-information construction.
+	MessageCount int
+}
+
+// HolesAt returns the holes whose boundary contains u (nil if none).
+func (b *Boundaries) HolesAt(u topo.NodeID) []*Hole { return b.byNode[u] }
+
+// OnBoundary reports whether u lies on any hole boundary.
+func (b *Boundaries) OnBoundary(u topo.NodeID) bool { return len(b.byNode[u]) > 0 }
+
+// maxBoundarySteps caps one traversal; BOUNDHOLE boundaries cannot visit a
+// directed edge twice, so 4|V| is far beyond any legitimate cycle and only
+// trips on pathological float geometry.
+func maxBoundarySteps(net *topo.Network) int { return 4 * net.N() }
+
+// FindHoles runs the TENT rule and then BOUNDHOLE from every stuck
+// direction, deduplicating holes that share boundary edges.
+//
+// Simplification vs. the original protocol: the original refines the
+// boundary when a newly added edge crosses an earlier one; this
+// implementation instead cuts the cycle at the first revisited directed
+// edge, which yields the same closed boundary on the unit-disk graphs used
+// here (the refinement only matters under lossy/asymmetric links).
+func FindHoles(net *topo.Network) *Boundaries {
+	_, stuck := StuckNodes(net)
+	b := &Boundaries{byNode: make(map[topo.NodeID][]*Hole)}
+	seenEdge := make(map[[2]topo.NodeID]bool) // directed boundary edges already claimed
+
+	// Boundaries longer than this are walk artifacts, not hole rims: a
+	// genuine hole boundary cannot involve more than a fraction of the
+	// network. They would only mislead detours, so they are dropped.
+	maxLen := net.N() / 4
+	if maxLen < 16 {
+		maxLen = 16
+	}
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		res, ok := stuck[u]
+		if !ok {
+			continue
+		}
+		for _, iv := range res.Intervals {
+			cycle := traceBoundary(net, u, iv)
+			if len(cycle) < 3 || len(cycle) > maxLen {
+				continue
+			}
+			b.MessageCount += len(cycle)
+			if claimed(seenEdge, cycle) {
+				continue
+			}
+			hole := &Hole{ID: len(b.Holes), Cycle: cycle, BBox: cycleBBox(net, cycle)}
+			b.Holes = append(b.Holes, hole)
+			for _, v := range cycle {
+				b.byNode[v] = append(b.byNode[v], hole)
+			}
+			claim(seenEdge, cycle)
+		}
+	}
+	return b
+}
+
+// claimed reports whether any directed edge of the cycle is already part
+// of a recorded hole (meaning this traversal found the same hole again
+// from a different stuck node).
+func claimed(seen map[[2]topo.NodeID]bool, cycle []topo.NodeID) bool {
+	for i := 0; i < len(cycle); i++ {
+		j := (i + 1) % len(cycle)
+		if seen[[2]topo.NodeID{cycle[i], cycle[j]}] {
+			return true
+		}
+	}
+	return false
+}
+
+func claim(seen map[[2]topo.NodeID]bool, cycle []topo.NodeID) {
+	for i := 0; i < len(cycle); i++ {
+		j := (i + 1) % len(cycle)
+		seen[[2]topo.NodeID{cycle[i], cycle[j]}] = true
+	}
+}
+
+func cycleBBox(net *topo.Network, cycle []topo.NodeID) geom.Rect {
+	bb := geom.FromCorners(net.Pos(cycle[0]), net.Pos(cycle[0]))
+	for _, v := range cycle[1:] {
+		bb = bb.Union(geom.FromCorners(net.Pos(v), net.Pos(v)))
+	}
+	return bb
+}
+
+// traceBoundary walks the hole boundary starting at stuck node t0, heading
+// into the stuck angular gap and sweeping clockwise (keeping the hole on
+// the left), until the walk returns to t0. Returns nil when no closed
+// boundary forms: the original protocol's edge-crossing refinement is
+// approximated by aborting on any repeated directed edge — a repeat means
+// the walk fell into a sub-cycle that can never close at t0.
+func traceBoundary(net *topo.Network, t0 topo.NodeID, iv StuckInterval) []topo.NodeID {
+	// First hop: sweep CW from the middle of the stuck gap; the first
+	// neighbor hit is the gap's boundary node.
+	first := sweepCW(net, t0, iv.MidDirection(), topo.NoNode)
+	if first == topo.NoNode {
+		return nil
+	}
+	cycle := []topo.NodeID{t0}
+	walked := map[[2]topo.NodeID]bool{{t0, first}: true}
+	prev, cur := t0, first
+	budget := maxBoundarySteps(net)
+	for step := 0; step < budget; step++ {
+		if cur == t0 {
+			return cycle
+		}
+		cycle = append(cycle, cur)
+		// Sweep CW from the back-edge direction: the next boundary edge
+		// is the first neighbor encountered rotating clockwise from
+		// cur→prev, excluding an immediate bounce unless forced.
+		from := geom.Angle(net.Pos(cur), net.Pos(prev))
+		next := sweepCW(net, cur, from, prev)
+		if next == topo.NoNode {
+			next = prev // dead end: bounce back
+		}
+		edge := [2]topo.NodeID{cur, next}
+		if walked[edge] {
+			return nil // sub-cycle: the walk cannot close at t0
+		}
+		walked[edge] = true
+		prev, cur = cur, next
+	}
+	return nil
+}
+
+// sweepCW returns the neighbor of u whose direction is first reached when
+// rotating clockwise from the angle `from`, skipping `exclude` (pass
+// topo.NoNode to allow all neighbors).
+func sweepCW(net *topo.Network, u topo.NodeID, from float64, exclude topo.NodeID) topo.NodeID {
+	up := net.Pos(u)
+	best := topo.NoNode
+	bestDelta := geom.TwoPi + 1
+	for _, v := range net.Neighbors(u) {
+		if v == exclude {
+			continue
+		}
+		delta := geom.CWDelta(from, geom.Angle(up, net.Pos(v)))
+		if delta < 1e-12 {
+			delta = geom.TwoPi
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = v
+		}
+	}
+	return best
+}
+
+// FollowBoundary returns the boundary successor of u on hole h moving in
+// the given direction (+1 = cycle order, -1 = reverse). ok is false when u
+// is not on the boundary.
+func FollowBoundary(h *Hole, u topo.NodeID, dir int) (topo.NodeID, bool) {
+	i := h.indexOf(u)
+	if i < 0 || len(h.Cycle) == 0 {
+		return topo.NoNode, false
+	}
+	n := len(h.Cycle)
+	if dir >= 0 {
+		return h.Cycle[(i+1)%n], true
+	}
+	return h.Cycle[(i-1+n)%n], true
+}

@@ -1,0 +1,182 @@
+// Package bound implements the hole-boundary machinery of Fang, Gao and
+// Guibas, "Locating and Bypassing Routing Holes in Sensor Networks"
+// (INFOCOM 2004) — the paper's reference [5]. The experimental section of
+// the reproduced paper constructs this "boundary information ... for GF
+// routings" before measuring routing performance, so the GF baseline here
+// consults these boundaries when it hits a local minimum.
+//
+// Two pieces: the TENT rule, a local geometric test marking nodes that can
+// be stuck (local minima of greedy forwarding) in some direction, and
+// BOUNDHOLE, a traversal that walks the closed boundary of the hole
+// adjoining each stuck direction.
+package bound
+
+import (
+	"sort"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// StuckInterval is an angular interval of directions (CCW from Lo to Hi,
+// radians from the +X axis) in which the node is a potential local minimum
+// of greedy forwarding.
+type StuckInterval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether direction theta falls inside the interval.
+func (s StuckInterval) Contains(theta float64) bool {
+	return geom.InCCWInterval(theta, s.Lo, s.Hi)
+}
+
+// TentResult records the stuck analysis of one node.
+type TentResult struct {
+	Node topo.NodeID
+	// Intervals are the stuck direction ranges; empty means the node can
+	// never be a greedy local minimum.
+	Intervals []StuckInterval
+}
+
+// Stuck reports whether the node has any stuck direction.
+func (t TentResult) Stuck() bool { return len(t.Intervals) > 0 }
+
+// StuckToward reports whether routing greedily toward target can get stuck
+// at this node, i.e. whether the direction of target lies in a stuck
+// interval.
+func (t TentResult) StuckToward(from, target geom.Point) bool {
+	theta := geom.Angle(from, target)
+	for _, iv := range t.Intervals {
+		if iv.Contains(theta) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tent applies the TENT rule at node u: order the alive neighbors by
+// angle; for each angularly adjacent pair (v1, v2), the directions between
+// them are stuck iff the circumcenter of (u, v1, v2) falls outside u's
+// transmission disk (at exactly 120° spread with both neighbors at full
+// range the circumcenter sits on the disk boundary, which is the paper's
+// 120° rule). Nodes with zero or one neighbor are stuck in all (or the
+// complement) directions.
+func Tent(net *topo.Network, u topo.NodeID) TentResult {
+	res := TentResult{Node: u}
+	up := net.Pos(u)
+
+	// Collect one representative neighbor per distinct direction. When
+	// several neighbors share a direction the nearest one dominates the
+	// TENT test (its bisector half-plane covers the others'), so keep it.
+	type dirNbr struct {
+		angle float64
+		node  topo.NodeID
+		dist2 float64
+	}
+	var dirs []dirNbr
+	for _, v := range net.Neighbors(u) {
+		a := geom.Angle(up, net.Pos(v))
+		d2 := geom.Dist2(up, net.Pos(v))
+		merged := false
+		for i := range dirs {
+			if sameAngle(dirs[i].angle, a) {
+				if d2 < dirs[i].dist2 {
+					dirs[i] = dirNbr{angle: a, node: v, dist2: d2}
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dirs = append(dirs, dirNbr{angle: a, node: v, dist2: d2})
+		}
+	}
+
+	switch len(dirs) {
+	case 0:
+		res.Intervals = []StuckInterval{{Lo: 0, Hi: geom.TwoPi - 1e-9}}
+		return res
+	case 1:
+		// Only the exact direction of the sole neighbor line is safe.
+		a := dirs[0].angle
+		res.Intervals = []StuckInterval{{Lo: geom.NormAngle(a + 1e-6), Hi: geom.NormAngle(a - 1e-6)}}
+		return res
+	}
+
+	sort.Slice(dirs, func(a, b int) bool { return dirs[a].angle < dirs[b].angle })
+	for i := range dirs {
+		d1 := dirs[i]
+		d2 := dirs[(i+1)%len(dirs)]
+		if geom.CCWDelta(d1.angle, d2.angle) < 1e-9 {
+			continue // no directions strictly between
+		}
+		if stuckBetween(net, up, d1.node, d2.node) {
+			res.Intervals = append(res.Intervals, StuckInterval{Lo: d1.angle, Hi: d2.angle})
+		}
+	}
+	return res
+}
+
+// sameAngle absorbs float noise when comparing neighbor directions.
+func sameAngle(a, b float64) bool {
+	return geom.CCWDelta(a, b) < 1e-9 || geom.CWDelta(a, b) < 1e-9
+}
+
+func stuckBetween(net *topo.Network, up geom.Point, v1, v2 topo.NodeID) bool {
+	p1, p2 := net.Pos(v1), net.Pos(v2)
+	c, ok := geom.PerpBisectorIntersection(up, p1, p2)
+	if !ok {
+		// u, v1, v2 collinear: the bisectors are parallel, no point is
+		// simultaneously farther from u than both; treat as stuck (the
+		// gap spans at least a half-plane).
+		return true
+	}
+	return geom.Dist(up, c) > net.Radius+1e-9
+}
+
+// StuckNodes runs the TENT rule on every alive node and returns the
+// results of the stuck ones, index by node in the second return.
+func StuckNodes(net *topo.Network) ([]TentResult, map[topo.NodeID]TentResult) {
+	var list []TentResult
+	byNode := make(map[topo.NodeID]TentResult)
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		if !net.Alive(u) {
+			continue
+		}
+		if r := Tent(net, u); r.Stuck() {
+			list = append(list, r)
+			byNode[u] = r
+		}
+	}
+	return list, byNode
+}
+
+// MidDirection returns the middle direction of the interval, useful for
+// seeding a boundary walk into the hole.
+func (s StuckInterval) MidDirection() float64 {
+	return geom.NormAngle(s.Lo + geom.CCWDelta(s.Lo, s.Hi)/2)
+}
+
+// Width returns the angular width of the interval.
+func (s StuckInterval) Width() float64 { return geom.CCWDelta(s.Lo, s.Hi) }
+
+// mergeIntervals is exposed for tests: overlapping CCW intervals merge.
+func mergeIntervals(ivs []StuckInterval) []StuckInterval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
+	out := []StuckInterval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if geom.InCCWInterval(iv.Lo, last.Lo, last.Hi) {
+			if !geom.InCCWInterval(iv.Hi, last.Lo, last.Hi) {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

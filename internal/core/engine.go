@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// state is the per-packet routing state shared by all algorithms.
+type state struct {
+	net    *topo.Network
+	src    topo.NodeID
+	dst    topo.NodeID
+	dstPos geom.Point
+
+	cur  topo.NodeID
+	prev topo.NodeID
+
+	// tried[u] records the successors already attempted from u by
+	// detour sweeps, the paper's "untried node" bookkeeping. Allocated
+	// lazily: greedy-only routes never touch it.
+	tried map[topo.NodeID]map[topo.NodeID]bool
+
+	// hand is the committed hand rule (HandNone until a detour starts).
+	hand Hand
+
+	// phase reports which phase selected the most recent hop.
+	phase Phase
+
+	// perimeterActive marks a persistent perimeter phase: it holds until
+	// the packet reaches a node closer to the destination than the stuck
+	// node that started it (§1: "...until it reaches a node that is
+	// closer to the destination than that stuck node").
+	perimeterActive bool
+
+	// backupActive marks a persistent backup-path phase (SLGF2): safe
+	// forwarding resumes only with a candidate strictly closer to the
+	// destination than backupDist, which stops oscillation between the
+	// unsafe area's rim and its interior. backupBudget bounds the phase
+	// to a multiple of the unsafe-area perimeter ("the number of detours
+	// is in proportional of the perimeter of the unsafe area"); at zero
+	// the routing escalates to the perimeter phase.
+	backupActive bool
+	backupDist   float64
+	backupBudget int
+
+	// stuckDist is the distance-to-destination recorded when the current
+	// detour began (the perimeter/detour exit criterion).
+	stuckDist float64
+
+	// detour state for boundary walks (GF).
+	detourHole  int // hole id, -1 when none
+	detourDir   int // +1 / -1 cycle direction
+	detourSteps int
+	// failedHoles records holes whose boundary walk did not help this
+	// packet; they are not retried (one header bit per visited hole).
+	failedHoles map[int]bool
+}
+
+func newState(net *topo.Network, src, dst topo.NodeID) *state {
+	return &state{
+		net:        net,
+		src:        src,
+		dst:        dst,
+		dstPos:     net.Pos(dst),
+		cur:        src,
+		prev:       topo.NoNode,
+		detourHole: -1,
+	}
+}
+
+func (st *state) markTried(u, v topo.NodeID) {
+	if st.tried == nil {
+		st.tried = make(map[topo.NodeID]map[topo.NodeID]bool)
+	}
+	m := st.tried[u]
+	if m == nil {
+		m = make(map[topo.NodeID]bool)
+		st.tried[u] = m
+	}
+	m[v] = true
+}
+
+func (st *state) wasTried(u, v topo.NodeID) bool {
+	return st.tried != nil && st.tried[u][v]
+}
+
+// algorithm is the per-hop decision procedure each router implements.
+type algorithm interface {
+	// step returns the successor of st.cur, or topo.NoNode to drop. It
+	// must set st.phase for accounting.
+	step(st *state) topo.NodeID
+}
+
+// drive runs the per-hop loop for one packet.
+func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int) Result {
+	res := Result{PhaseHops: make(map[Phase]int)}
+	if !net.Alive(src) || !net.Alive(dst) {
+		res.Reason = DropNoCandidate
+		return res
+	}
+	if ttlFactor <= 0 {
+		ttlFactor = DefaultTTLFactor
+	}
+	ttl := ttlFactor * net.N()
+
+	st := newState(net, src, dst)
+	res.Path = append(res.Path, src)
+	for st.cur != dst {
+		if res.Hops() >= ttl {
+			res.Reason = DropTTL
+			return res
+		}
+		next := alg.step(st)
+		if next == topo.NoNode {
+			res.Reason = DropNoCandidate
+			return res
+		}
+		res.Length += net.Dist(st.cur, next)
+		res.PhaseHops[st.phase]++
+		st.prev = st.cur
+		st.cur = next
+		res.Path = append(res.Path, next)
+	}
+	res.Delivered = true
+	return res
+}
+
+// neighborOfDst reports the trivial last hop: d ∈ N(u).
+func neighborOfDst(st *state) bool {
+	return st.net.InRange(st.cur, st.dst)
+}
+
+// enterPerimeter starts a persistent perimeter phase at the current
+// (stuck) node.
+func (st *state) enterPerimeter() {
+	st.perimeterActive = true
+	st.stuckDist = geom.Dist(st.net.Pos(st.cur), st.dstPos)
+}
+
+// perimeterDone reports whether an active perimeter phase may end: the
+// packet sits closer to the destination than the stuck node was.
+func (st *state) perimeterDone() bool {
+	return geom.Dist(st.net.Pos(st.cur), st.dstPos) < st.stuckDist
+}
+
+// greedyInRequestZone returns the neighbor of u inside Z(u, d) closest to
+// the destination, or topo.NoNode. filter, when non-nil, restricts
+// candidates (used by the safety-based algorithms); prefer, when non-nil,
+// supersedes: if any candidate satisfies it, only those are considered.
+func greedyInRequestZone(st *state, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	up := st.net.Pos(st.cur)
+	best := topo.NoNode
+	bestPreferred := false
+	bestDist := math.MaxFloat64
+	for _, v := range st.net.Neighbors(st.cur) {
+		pv := st.net.Pos(v)
+		if !geom.InRequestZone(up, st.dstPos, pv) {
+			continue
+		}
+		if filter != nil && !filter(v) {
+			continue
+		}
+		pref := prefer == nil || prefer(v)
+		d := geom.Dist2(pv, st.dstPos)
+		// Preferred candidates strictly dominate non-preferred ones.
+		switch {
+		case pref && !bestPreferred:
+			best, bestDist, bestPreferred = v, d, true
+		case pref == bestPreferred && d < bestDist:
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+// greedyInForwardingZone returns the neighbor of u inside the forwarding
+// quadrant Q_k(u) toward the destination that is strictly closer to it,
+// minimizing that distance. filter/prefer behave as in
+// greedyInRequestZone.
+//
+// The safety-based routings use the quadrant, not the thin request-zone
+// rectangle: the safety statuses (Definition 1) and Theorem 1's guarantee
+// are defined on forwarding zones Q_i, and a near-axis-aligned
+// destination makes the rectangle arbitrarily thin, blocking forwardings
+// the information model has proven safe. The progress requirement keeps
+// the advance loop-free where the quadrant alone would allow overshoot.
+func greedyInForwardingZone(st *state, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	up := st.net.Pos(st.cur)
+	zone := geom.ZoneTypeOf(up, st.dstPos)
+	limit := geom.Dist2(up, st.dstPos)
+	best := topo.NoNode
+	bestPreferred := false
+	bestDist := limit
+	for _, v := range st.net.Neighbors(st.cur) {
+		pv := st.net.Pos(v)
+		if !geom.InForwardingZone(up, zone, pv) {
+			continue
+		}
+		if filter != nil && !filter(v) {
+			continue
+		}
+		d := geom.Dist2(pv, st.dstPos)
+		if d >= limit {
+			continue // must make progress
+		}
+		pref := prefer == nil || prefer(v)
+		switch {
+		case pref && !bestPreferred:
+			best, bestDist, bestPreferred = v, d, true
+		case pref == bestPreferred && d < bestDist:
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+// greedyClosest returns the classic GF successor: the neighbor strictly
+// closer to the destination than u, minimizing that distance.
+func greedyClosest(st *state) topo.NodeID {
+	up := st.net.Pos(st.cur)
+	limit := geom.Dist2(up, st.dstPos)
+	best := topo.NoNode
+	bestDist := limit
+	for _, v := range st.net.Neighbors(st.cur) {
+		d := geom.Dist2(st.net.Pos(v), st.dstPos)
+		if d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+// sweepUntried rotates the ray from u toward the destination in the
+// hand's direction and returns the first untried neighbor accepted by
+// filter; prefer supersedes sweep order as in greedyInRequestZone. The
+// returned node is marked tried. topo.NoNode when the sweep is exhausted.
+func sweepUntried(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	best, _ := sweepPeek(st, hand, filter, prefer)
+	if best != topo.NoNode {
+		st.markTried(st.cur, best)
+	}
+	return best
+}
+
+// sweepPeek is sweepUntried without the tried-marking side effect; it
+// also reports the winning candidate's sweep rotation, which the
+// either-hand rule uses to compare the two hands at detour entry.
+func sweepPeek(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) (topo.NodeID, float64) {
+	up := st.net.Pos(st.cur)
+	from := geom.Angle(up, st.dstPos)
+	best := topo.NoNode
+	bestPreferred := false
+	bestDelta := math.MaxFloat64
+	for _, v := range st.net.Neighbors(st.cur) {
+		if st.wasTried(st.cur, v) {
+			continue
+		}
+		if filter != nil && !filter(v) {
+			continue
+		}
+		pref := prefer == nil || prefer(v)
+		delta := hand.sweepDelta(from, geom.Angle(up, st.net.Pos(v)))
+		switch {
+		case pref && !bestPreferred:
+			best, bestDelta, bestPreferred = v, delta, true
+		case pref == bestPreferred && delta < bestDelta:
+			best, bestDelta = v, delta
+		}
+	}
+	return best, bestDelta
+}

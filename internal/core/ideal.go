@@ -1,0 +1,57 @@
+package core
+
+import "github.com/straightpath/wasn/internal/topo"
+
+// IdealKind selects which optimum the Ideal router reports.
+type IdealKind int
+
+// Ideal variants.
+const (
+	IdealMinHop IdealKind = iota + 1
+	IdealMinLength
+)
+
+// Ideal is the omniscient reference router ("ideal routing path" of
+// Fig. 1(a)): it returns the true shortest path computed with global
+// knowledge, either minimum-hop (BFS) or minimum Euclidean length
+// (Dijkstra). It is the lower bound every distributed algorithm is
+// measured against.
+type Ideal struct {
+	net  *topo.Network
+	kind IdealKind
+}
+
+var _ Router = (*Ideal)(nil)
+
+// NewIdeal returns the reference router.
+func NewIdeal(net *topo.Network, kind IdealKind) *Ideal {
+	return &Ideal{net: net, kind: kind}
+}
+
+// Name implements Router.
+func (r *Ideal) Name() string {
+	if r.kind == IdealMinLength {
+		return "Ideal-length"
+	}
+	return "Ideal-hops"
+}
+
+// Route implements Router.
+func (r *Ideal) Route(src, dst topo.NodeID) Result {
+	var path []topo.NodeID
+	if r.kind == IdealMinLength {
+		path = topo.ShortestEuclideanPath(r.net, src, dst)
+	} else {
+		path = topo.ShortestHopPath(r.net, src, dst)
+	}
+	res := Result{PhaseHops: make(map[Phase]int)}
+	if path == nil {
+		res.Reason = DropNoCandidate
+		return res
+	}
+	res.Path = path
+	res.Delivered = true
+	res.Length = r.net.PathLength(path)
+	res.PhaseHops[PhaseGreedy] = len(path) - 1
+	return res
+}

@@ -1,0 +1,141 @@
+// Package core implements the routing algorithms of the paper: the
+// baselines GF (greedy forwarding with BOUNDHOLE boundary detours), LGF
+// (request-zone-limited greedy forwarding, Algorithm 1) and SLGF (the
+// safety-information LGF of the authors' earlier work), and the paper's
+// contribution SLGF2 (Algorithm 3) with its safe-forwarding, backup-path
+// and confined perimeter phases steered by the either-hand rule. A
+// GPSR-style greedy+face router and exact shortest-path references are
+// included for comparison.
+//
+// Every router is a per-hop decision procedure: the driver asks the
+// algorithm for the successor of the current node until the destination
+// is reached, the TTL expires, or the algorithm reports no candidate.
+package core
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Phase labels the forwarding mode that selected a hop, for the
+// per-phase accounting the evaluation reports.
+type Phase int
+
+// Phases, in escalation order.
+const (
+	PhaseGreedy Phase = iota + 1
+	PhaseBackup
+	PhasePerimeter
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGreedy:
+		return "greedy"
+	case PhaseBackup:
+		return "backup"
+	case PhasePerimeter:
+		return "perimeter"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// DropReason explains a failed routing.
+type DropReason int
+
+// Drop reasons. DropNone marks delivered packets.
+const (
+	DropNone DropReason = iota
+	DropTTL
+	DropNoCandidate
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "delivered"
+	case DropTTL:
+		return "ttl-exceeded"
+	case DropNoCandidate:
+		return "no-candidate"
+	default:
+		return fmt.Sprintf("drop(%d)", int(r))
+	}
+}
+
+// Result is the outcome of routing one packet.
+type Result struct {
+	// Path holds every node the packet visited, source first. Nodes can
+	// repeat (perimeter phases may backtrack).
+	Path []topo.NodeID
+	// Delivered reports whether the packet reached the destination.
+	Delivered bool
+	// Reason is DropNone when delivered.
+	Reason DropReason
+	// Length is the total Euclidean distance traveled.
+	Length float64
+	// PhaseHops counts hops per phase.
+	PhaseHops map[Phase]int
+}
+
+// Hops returns the hop count of the traveled path.
+func (r Result) Hops() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// Router routes single packets between nodes of one fixed network.
+type Router interface {
+	// Name identifies the algorithm ("GF", "LGF", "SLGF", "SLGF2", ...).
+	Name() string
+	// Route routes one packet from src to dst.
+	Route(src, dst topo.NodeID) Result
+}
+
+// Hand selects the ray-rotation direction of detour sweeps. The paper's
+// "right-hand rule" [2] rotates the ray ud counter-clockwise until the
+// first untried neighbor is hit (Algorithm 1); the left-hand rule is the
+// mirror image. The either-hand rule of SLGF2 picks whichever hand keeps
+// the routing on the destination's (critical) side of a blocking area and
+// then sticks with it.
+type Hand int
+
+// Hands. HandNone means "not committed yet".
+const (
+	HandNone  Hand = 0
+	RightHand Hand = iota // counter-clockwise ray rotation
+	LeftHand              // clockwise ray rotation
+)
+
+// String implements fmt.Stringer.
+func (h Hand) String() string {
+	switch h {
+	case RightHand:
+		return "right"
+	case LeftHand:
+		return "left"
+	case HandNone:
+		return "none"
+	default:
+		return fmt.Sprintf("hand(%d)", int(h))
+	}
+}
+
+// sweepDelta returns how far the ray must rotate from angle `from` to hit
+// angle `to` under the hand's rotation direction.
+func (h Hand) sweepDelta(from, to float64) float64 {
+	if h == LeftHand {
+		return geom.CWDelta(from, to)
+	}
+	return geom.CCWDelta(from, to)
+}
+
+// DefaultTTLFactor scales the per-packet hop budget: TTL = factor * |V|.
+const DefaultTTLFactor = 4

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func buildNet(t *testing.T, pts []geom.Point, radius float64) *topo.Network {
+	t.Helper()
+	net, err := topo.NewNetwork(pts, radius, geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func deployed(t *testing.T, model topo.DeployModel, n int, seed uint64) *topo.Network {
+	t.Helper()
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(model, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep.Net
+}
+
+// allRouters builds every algorithm over one network.
+func allRouters(t *testing.T, net *topo.Network) []Router {
+	t.Helper()
+	m := safety.Build(net)
+	b := bound.FindHoles(net)
+	g := planar.Build(net, planar.GabrielGraph)
+	return []Router{
+		NewGF(net, b),
+		NewLGF(net),
+		NewSLGF(net, m),
+		NewSLGF2(net, m),
+		NewGPSR(net, g),
+		NewIdeal(net, IdealMinHop),
+		NewIdeal(net, IdealMinLength),
+	}
+}
+
+func TestAllRoutersOnLine(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(10, 50), geom.Pt(20, 50), geom.Pt(30, 50), geom.Pt(40, 50), geom.Pt(50, 50),
+	}
+	net := buildNet(t, pts, 12)
+	for _, r := range allRouters(t, net) {
+		t.Run(r.Name(), func(t *testing.T) {
+			res := r.Route(0, 4)
+			if !res.Delivered {
+				t.Fatalf("not delivered: %v", res.Reason)
+			}
+			if res.Hops() != 4 {
+				t.Errorf("hops = %d, want 4 (path %v)", res.Hops(), res.Path)
+			}
+			if res.Length != 40 {
+				t.Errorf("length = %v, want 40", res.Length)
+			}
+			if res.Path[0] != 0 || res.Path[len(res.Path)-1] != 4 {
+				t.Errorf("bad endpoints: %v", res.Path)
+			}
+			if res.Reason != DropNone {
+				t.Errorf("delivered packet has drop reason %v", res.Reason)
+			}
+		})
+	}
+}
+
+func TestRouteToSelf(t *testing.T) {
+	net := buildNet(t, []geom.Point{geom.Pt(10, 10), geom.Pt(20, 10)}, 15)
+	for _, r := range allRouters(t, net) {
+		res := r.Route(1, 1)
+		if !res.Delivered || res.Hops() != 0 {
+			t.Errorf("%s: route to self = %+v", r.Name(), res)
+		}
+	}
+}
+
+func TestDisconnectedPairFails(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(150, 150), geom.Pt(160, 150)}
+	net := buildNet(t, pts, 15)
+	for _, r := range allRouters(t, net) {
+		res := r.Route(0, 3)
+		if res.Delivered {
+			t.Errorf("%s: delivered across disconnection", r.Name())
+		}
+		if res.Reason == DropNone {
+			t.Errorf("%s: missing drop reason", r.Name())
+		}
+	}
+}
+
+func TestDeadEndpointFails(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0)}
+	net := buildNet(t, pts, 12)
+	net.SetAlive(2, false)
+	lgf := NewLGF(net)
+	if res := lgf.Route(0, 2); res.Delivered {
+		t.Error("delivered to dead destination")
+	}
+	if res := lgf.Route(2, 0); res.Delivered {
+		t.Error("delivered from dead source")
+	}
+}
+
+// A concave obstacle between source and destination: greedy alone gets
+// stuck; every full algorithm must still deliver by detouring.
+func TestDetourAroundCShape(t *testing.T) {
+	// Wall of nodes forming a "C" opening west, source inside the
+	// pocket, destination east beyond the wall.
+	var pts []geom.Point
+	pts = append(pts, geom.Pt(75, 100))  // 0: source in the pocket
+	pts = append(pts, geom.Pt(160, 100)) // 1: destination
+	// North arm.
+	for x := 50.0; x <= 90; x += 10 {
+		pts = append(pts, geom.Pt(x, 130))
+	}
+	// South arm.
+	for x := 50.0; x <= 90; x += 10 {
+		pts = append(pts, geom.Pt(x, 70))
+	}
+	// East wall connecting the arms (the pocket's back, between source
+	// and destination).
+	for y := 80.0; y <= 120; y += 10 {
+		pts = append(pts, geom.Pt(90, y))
+	}
+	// Bridge from the arms around to the destination.
+	for x := 100.0; x <= 150; x += 10 {
+		pts = append(pts, geom.Pt(x, 130))
+		pts = append(pts, geom.Pt(x, 70))
+	}
+	for y := 80.0; y <= 120; y += 10 {
+		pts = append(pts, geom.Pt(150, y))
+	}
+	net := buildNet(t, pts, 15)
+	if !topo.Connected(net, 0, 1) {
+		t.Fatal("test topology must be connected")
+	}
+	for _, r := range allRouters(t, net) {
+		t.Run(r.Name(), func(t *testing.T) {
+			res := r.Route(0, 1)
+			if !res.Delivered {
+				t.Fatalf("not delivered: %v (path %v)", res.Reason, res.Path)
+			}
+			// A detour is mandatory: the straight-line distance is 100
+			// but the pocket forces extra travel.
+			if res.Length < 100 {
+				t.Errorf("implausibly short path: %v", res.Length)
+			}
+		})
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	net := deployed(t, topo.ModelFA, 500, 3)
+	m := safety.Build(net)
+	r := NewSLGF2(net, m)
+	labels, _ := topo.Components(net)
+	delivered := 0
+	greedyHops, otherHops := 0, 0
+	for s := 0; s < net.N() && delivered < 50; s++ {
+		d := net.N() - 1 - s
+		if s == d || labels[s] != labels[d] || labels[s] < 0 {
+			continue
+		}
+		res := r.Route(topo.NodeID(s), topo.NodeID(d))
+		if !res.Delivered {
+			continue
+		}
+		delivered++
+		sum := 0
+		for _, c := range res.PhaseHops {
+			sum += c
+		}
+		if sum != res.Hops() {
+			t.Fatalf("phase hops %v sum %d != hops %d", res.PhaseHops, sum, res.Hops())
+		}
+		greedyHops += res.PhaseHops[PhaseGreedy]
+		otherHops += res.PhaseHops[PhaseBackup] + res.PhaseHops[PhasePerimeter]
+	}
+	if delivered == 0 {
+		t.Fatal("no connected pairs routed")
+	}
+	if greedyHops == 0 {
+		t.Error("no greedy hops recorded across 50 routes")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	var empty Result
+	if empty.Hops() != 0 {
+		t.Error("empty result should have 0 hops")
+	}
+	if PhaseGreedy.String() != "greedy" || PhaseBackup.String() != "backup" ||
+		PhasePerimeter.String() != "perimeter" || Phase(9).String() != "phase(9)" {
+		t.Error("phase labels wrong")
+	}
+	if DropNone.String() != "delivered" || DropTTL.String() != "ttl-exceeded" ||
+		DropNoCandidate.String() != "no-candidate" || DropReason(9).String() != "drop(9)" {
+		t.Error("drop labels wrong")
+	}
+	if RightHand.String() != "right" || LeftHand.String() != "left" ||
+		HandNone.String() != "none" || Hand(9).String() != "hand(9)" {
+		t.Error("hand labels wrong")
+	}
+}
+
+func TestHandSweepDelta(t *testing.T) {
+	// Right hand = CCW rotation; left = CW.
+	if d := RightHand.sweepDelta(0, 1); !(d > 0.99 && d < 1.01) {
+		t.Errorf("right sweep 0->1 = %v", d)
+	}
+	if d := LeftHand.sweepDelta(0, 1); !(d > geom.TwoPi-1.01 && d < geom.TwoPi-0.99) {
+		t.Errorf("left sweep 0->1 = %v", d)
+	}
+}
+
+func TestIdealNames(t *testing.T) {
+	net := buildNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)}, 10)
+	if NewIdeal(net, IdealMinHop).Name() != "Ideal-hops" ||
+		NewIdeal(net, IdealMinLength).Name() != "Ideal-length" {
+		t.Error("ideal names wrong")
+	}
+}
+
+func TestSLGF2AblationNames(t *testing.T) {
+	net := buildNet(t, []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)}, 10)
+	m := safety.Build(net)
+	tests := []struct {
+		opts []SLGF2Option
+		want string
+	}{
+		{opts: nil, want: "SLGF2"},
+		{opts: []SLGF2Option{WithoutShapeInfo()}, want: "SLGF2-noshape"},
+		{opts: []SLGF2Option{WithoutEitherHand()}, want: "SLGF2-righthand"},
+		{opts: []SLGF2Option{WithoutBackup()}, want: "SLGF2-nobackup"},
+		{opts: []SLGF2Option{WithoutShapeInfo(), WithoutBackup()}, want: "SLGF2-noshape-nobackup"},
+	}
+	for _, tt := range tests {
+		if got := NewSLGF2(net, m, tt.opts...).Name(); got != tt.want {
+			t.Errorf("name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// On connected pairs across random networks, the ideal hop count is a
+// lower bound for every algorithm, and delivery rates stay high.
+func TestRandomNetworksInvariants(t *testing.T) {
+	for _, model := range []topo.DeployModel{topo.ModelIA, topo.ModelFA} {
+		net := deployed(t, model, 550, 12)
+		routers := allRouters(t, net)
+		idealHop := NewIdeal(net, IdealMinHop)
+		labels, _ := topo.Components(net)
+
+		pairs := 0
+		deliveredBy := make(map[string]int)
+		for s := 0; s < net.N() && pairs < 60; s += 7 {
+			d := (s*13 + net.N()/2) % net.N()
+			if s == d || labels[s] < 0 || labels[s] != labels[d] {
+				continue
+			}
+			pairs++
+			lower := idealHop.Route(topo.NodeID(s), topo.NodeID(d)).Hops()
+			for _, r := range routers {
+				res := r.Route(topo.NodeID(s), topo.NodeID(d))
+				if !res.Delivered {
+					continue
+				}
+				deliveredBy[r.Name()]++
+				if res.Hops() < lower {
+					t.Fatalf("%v %s: %d hops beats ideal %d", model, r.Name(), res.Hops(), lower)
+				}
+				// Path must use real consecutive edges.
+				for i := 1; i < len(res.Path); i++ {
+					if res.Path[i-1] != res.Path[i] && !net.InRange(res.Path[i-1], res.Path[i]) {
+						t.Fatalf("%v %s: hop %d-%d not an edge", model, r.Name(), res.Path[i-1], res.Path[i])
+					}
+				}
+			}
+		}
+		if pairs < 20 {
+			t.Fatalf("%v: only %d connected pairs sampled", model, pairs)
+		}
+		for name, n := range deliveredBy {
+			rate := float64(n) / float64(pairs)
+			if rate < 0.5 {
+				t.Errorf("%v %s: delivery rate %.2f implausibly low", model, name, rate)
+			}
+		}
+		if deliveredBy["Ideal-hops"] != pairs {
+			t.Errorf("%v: ideal failed on connected pairs", model)
+		}
+	}
+}

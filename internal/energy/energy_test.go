@@ -1,0 +1,90 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func lineNet(t *testing.T) *topo.Network {
+	t.Helper()
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0), geom.Pt(30, 0)}
+	net, err := topo.NewNetwork(pts, 12, geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCostFormulas(t *testing.T) {
+	m := DefaultModel()
+	// 1 bit over 0 m costs exactly the electronics energy.
+	if got := m.TxCost(1, 0); got != m.ElecJPerBit {
+		t.Errorf("TxCost(1, 0) = %v", got)
+	}
+	// Amplifier term is quadratic in distance.
+	d10 := m.TxCost(1000, 10) - m.TxCost(1000, 0)
+	d20 := m.TxCost(1000, 20) - m.TxCost(1000, 0)
+	if math.Abs(d20/d10-4) > 1e-9 {
+		t.Errorf("amplifier not quadratic: %v vs %v", d10, d20)
+	}
+	if got := m.RxCost(1000); got != 1000*m.ElecJPerBit {
+		t.Errorf("RxCost = %v", got)
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	net := lineNet(t)
+	m := DefaultModel()
+	perHop := m.TxCost(500, 10) + m.RxCost(500)
+	got := m.PathCost(net, []topo.NodeID{0, 1, 2, 3}, 500)
+	if math.Abs(got-3*perHop) > 1e-18 {
+		t.Errorf("PathCost = %v, want %v", got, 3*perHop)
+	}
+	if m.PathCost(net, []topo.NodeID{2}, 500) != 0 {
+		t.Error("single-node path should cost nothing")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	net := lineNet(t)
+	m := DefaultModel()
+	if _, err := NewBudget(net, m, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	// Budget sized so the relay (which both receives and transmits)
+	// drains on the first stream while pure senders/receivers survive.
+	perTx := m.TxCost(1000, 10)
+	b, err := NewBudget(net, m, m.RxCost(1000)+perTx/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Depleted(0) {
+		t.Error("fresh node depleted")
+	}
+	dep := b.Charge(net, []topo.NodeID{0, 1, 2}, 1000)
+	// Node 1 both received and transmitted: exactly drained.
+	if len(dep) != 1 || dep[0] != 1 {
+		t.Errorf("depleted = %v, want [1]", dep)
+	}
+	if !b.Depleted(1) || b.Depleted(0) || b.Depleted(2) {
+		t.Error("depletion flags wrong")
+	}
+	// Charging again must not re-report node 1.
+	dep = b.Charge(net, []topo.NodeID{0, 1, 2}, 1000)
+	for _, u := range dep {
+		if u == 1 {
+			t.Error("node 1 re-reported as newly depleted")
+		}
+	}
+	if b.Residual(3) != b.MinResidual(net) && b.MinResidual(net) > 0 {
+		// MinResidual must be <= any node's residual.
+		for i := range net.Nodes {
+			if b.MinResidual(net) > b.Residual(topo.NodeID(i)) {
+				t.Error("MinResidual above a node's residual")
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation (§5): sweeps of random networks per deployment model and
+// node count, routing sampled source–destination pairs with every
+// algorithm, and aggregating the three reported metrics — maximum hop
+// count (Fig. 5), average hop count (Fig. 6), and average path length
+// (Fig. 7).
+package expt
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// AlgID names an algorithm in configs and result tables.
+type AlgID string
+
+// Algorithm identifiers. The first four are the paper's §5 lineup.
+const (
+	AlgGF    AlgID = "GF"
+	AlgLGF   AlgID = "LGF"
+	AlgSLGF  AlgID = "SLGF"
+	AlgSLGF2 AlgID = "SLGF2"
+
+	AlgGPSR      AlgID = "GPSR"
+	AlgIdealHops AlgID = "Ideal-hops"
+	AlgIdealLen  AlgID = "Ideal-length"
+
+	// Ablation variants of SLGF2.
+	AlgSLGF2NoShape   AlgID = "SLGF2-noshape"
+	AlgSLGF2RightHand AlgID = "SLGF2-righthand"
+	AlgSLGF2NoBackup  AlgID = "SLGF2-nobackup"
+)
+
+// PaperAlgorithms is the §5 lineup in figure-legend order.
+var PaperAlgorithms = []AlgID{AlgGF, AlgLGF, AlgSLGF, AlgSLGF2}
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Model is the deployment model (IA or FA).
+	Model topo.DeployModel
+	// NodeCounts is the x-axis; the paper uses 400..800 step 50.
+	NodeCounts []int
+	// Networks is the number of random networks per node count (100 in
+	// the paper).
+	Networks int
+	// Pairs is the number of connected source–destination pairs routed
+	// per network.
+	Pairs int
+	// Algorithms selects the routers to run.
+	Algorithms []AlgID
+	// BaseSeed makes the whole sweep reproducible.
+	BaseSeed uint64
+	// Workers bounds parallelism (runtime.NumCPU() when 0).
+	Workers int
+	// TTLFactor overrides the routing hop budget (default when 0).
+	TTLFactor int
+	// EdgeRule overrides the safety model's edge rule (default when nil).
+	EdgeRule safety.EdgeRule
+	// Forbidden overrides FA hole generation (default when zero).
+	Forbidden topo.ForbiddenConfig
+}
+
+// PaperNodeCounts is the §5 x-axis: 400 to 800 in increments of 50.
+func PaperNodeCounts() []int {
+	counts := make([]int, 0, 9)
+	for n := 400; n <= 800; n += 50 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// DefaultConfig returns the paper's setup for one model, scaled by the
+// networks/pairs arguments (the paper uses networks=100).
+func DefaultConfig(model topo.DeployModel, networks, pairs int) Config {
+	return Config{
+		Model:      model,
+		NodeCounts: PaperNodeCounts(),
+		Networks:   networks,
+		Pairs:      pairs,
+		Algorithms: PaperAlgorithms,
+		BaseSeed:   1,
+	}
+}
+
+// AlgStats aggregates one algorithm's results in one sweep cell.
+type AlgStats struct {
+	// Hops and Length summarize delivered routes only.
+	Hops   metrics.Summary
+	Length metrics.Summary
+	// DetourHops summarizes the non-greedy (backup + perimeter) hops of
+	// delivered routes.
+	DetourHops metrics.Summary
+	// Attempted and Delivered count routes.
+	Attempted, Delivered int
+}
+
+// DeliveryRate returns Delivered/Attempted (0 when nothing attempted).
+func (a AlgStats) DeliveryRate() float64 {
+	if a.Attempted == 0 {
+		return 0
+	}
+	return float64(a.Delivered) / float64(a.Attempted)
+}
+
+func (a *AlgStats) merge(b *AlgStats) {
+	a.Hops.Merge(b.Hops)
+	a.Length.Merge(b.Length)
+	a.DetourHops.Merge(b.DetourHops)
+	a.Attempted += b.Attempted
+	a.Delivered += b.Delivered
+}
+
+func (a *AlgStats) observe(res core.Result) {
+	a.Attempted++
+	if !res.Delivered {
+		return
+	}
+	a.Delivered++
+	a.Hops.Add(float64(res.Hops()))
+	a.Length.Add(res.Length)
+	a.DetourHops.Add(float64(res.PhaseHops[core.PhaseBackup] + res.PhaseHops[core.PhasePerimeter]))
+}
+
+// Row is one x-axis point of a sweep.
+type Row struct {
+	N     int
+	Stats map[AlgID]*AlgStats
+}
+
+// Sweep is a completed experiment.
+type Sweep struct {
+	Config  Config
+	Rows    []Row
+	Elapsed time.Duration
+}
+
+// Run executes the sweep: Networks random deployments per node count,
+// Pairs connected routes per deployment per algorithm, in parallel.
+func Run(cfg Config) (*Sweep, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	type job struct{ nIdx, netIdx int }
+	type cellDelta struct {
+		nIdx  int
+		stats map[AlgID]*AlgStats
+	}
+
+	jobs := make(chan job)
+	results := make(chan cellDelta)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- cellDelta{
+					nIdx:  j.nIdx,
+					stats: runNetwork(cfg, cfg.NodeCounts[j.nIdx], j.netIdx),
+				}
+			}
+		}()
+	}
+	go func() {
+		for nIdx := range cfg.NodeCounts {
+			for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+				jobs <- job{nIdx: nIdx, netIdx: netIdx}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	rows := make([]Row, len(cfg.NodeCounts))
+	for i, n := range cfg.NodeCounts {
+		rows[i] = Row{N: n, Stats: make(map[AlgID]*AlgStats, len(cfg.Algorithms))}
+		for _, alg := range cfg.Algorithms {
+			rows[i].Stats[alg] = &AlgStats{}
+		}
+	}
+	for delta := range results {
+		for alg, st := range delta.stats {
+			rows[delta.nIdx].Stats[alg].merge(st)
+		}
+	}
+	return &Sweep{Config: cfg, Rows: rows, Elapsed: time.Since(start)}, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Model != topo.ModelIA && cfg.Model != topo.ModelFA {
+		return fmt.Errorf("expt: unknown deployment model %v", cfg.Model)
+	}
+	if len(cfg.NodeCounts) == 0 {
+		return fmt.Errorf("expt: no node counts configured")
+	}
+	if cfg.Networks <= 0 || cfg.Pairs <= 0 {
+		return fmt.Errorf("expt: networks (%d) and pairs (%d) must be positive", cfg.Networks, cfg.Pairs)
+	}
+	if len(cfg.Algorithms) == 0 {
+		return fmt.Errorf("expt: no algorithms configured")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	return nil
+}
+
+// networkSeed derives a deterministic seed for one deployment.
+func networkSeed(base uint64, n, netIdx int) uint64 {
+	seed := base
+	seed = seed*0x100000001b3 + uint64(n)
+	seed = seed*0x100000001b3 + uint64(netIdx)
+	return seed
+}
+
+// runNetwork deploys one network, samples connected pairs, and routes
+// them with every configured algorithm.
+func runNetwork(cfg Config, n, netIdx int) map[AlgID]*AlgStats {
+	seed := networkSeed(cfg.BaseSeed, n, netIdx)
+	dcfg := topo.DefaultDeployConfig(cfg.Model, n, seed)
+	if cfg.Forbidden.Count > 0 {
+		dcfg.Forbidden = cfg.Forbidden
+	}
+	out := make(map[AlgID]*AlgStats, len(cfg.Algorithms))
+	for _, alg := range cfg.Algorithms {
+		out[alg] = &AlgStats{}
+	}
+	dep, err := topo.Deploy(dcfg)
+	if err != nil {
+		// Degenerate forbidden configuration; skip this network. The
+		// aggregate simply sees fewer attempts.
+		return out
+	}
+	net := dep.Net
+
+	routers := buildRouters(cfg, net)
+	pairs := samplePairs(net, cfg.Pairs, seed^0xabcdef12345)
+	for _, p := range pairs {
+		for _, alg := range cfg.Algorithms {
+			out[alg].observe(routers[alg].Route(p[0], p[1]))
+		}
+	}
+	return out
+}
+
+// buildRouters constructs the configured routers, sharing substrate
+// artifacts (safety model, boundaries, planar graph) across algorithms.
+func buildRouters(cfg Config, net *topo.Network) map[AlgID]core.Router {
+	needSafety := false
+	needBounds := false
+	needPlanar := false
+	for _, alg := range cfg.Algorithms {
+		switch alg {
+		case AlgSLGF, AlgSLGF2, AlgSLGF2NoShape, AlgSLGF2RightHand, AlgSLGF2NoBackup:
+			needSafety = true
+		case AlgGF:
+			needBounds = true
+		case AlgGPSR:
+			needPlanar = true
+		}
+	}
+	var m *safety.Model
+	if needSafety {
+		if cfg.EdgeRule != nil {
+			m = safety.Build(net, safety.WithEdgeRule(cfg.EdgeRule))
+		} else {
+			m = safety.Build(net)
+		}
+	}
+	var b *bound.Boundaries
+	if needBounds {
+		b = bound.FindHoles(net)
+	}
+	var g *planar.Graph
+	if needPlanar {
+		g = planar.Build(net, planar.GabrielGraph)
+	}
+
+	routers := make(map[AlgID]core.Router, len(cfg.Algorithms))
+	for _, alg := range cfg.Algorithms {
+		switch alg {
+		case AlgGF:
+			r := core.NewGF(net, b)
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgLGF:
+			r := core.NewLGF(net)
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgSLGF:
+			r := core.NewSLGF(net, m)
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgSLGF2:
+			r := core.NewSLGF2(net, m)
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgSLGF2NoShape:
+			r := core.NewSLGF2(net, m, core.WithoutShapeInfo())
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgSLGF2RightHand:
+			r := core.NewSLGF2(net, m, core.WithoutEitherHand())
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgSLGF2NoBackup:
+			r := core.NewSLGF2(net, m, core.WithoutBackup())
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgGPSR:
+			r := core.NewGPSR(net, g)
+			r.TTLFactor = cfg.TTLFactor
+			routers[alg] = r
+		case AlgIdealHops:
+			routers[alg] = core.NewIdeal(net, core.IdealMinHop)
+		case AlgIdealLen:
+			routers[alg] = core.NewIdeal(net, core.IdealMinLength)
+		default:
+			// validate() accepts any id so new algorithms can be added
+			// in one place; unknown ids fall back to LGF-less nothing.
+			panic(fmt.Sprintf("expt: unknown algorithm id %q", alg))
+		}
+	}
+	return routers
+}
+
+// maxPairTries bounds rejection sampling of connected pairs.
+const maxPairTriesPerPair = 200
+
+// samplePairs draws up to `pairs` uniformly random connected (s, d)
+// pairs, s != d. Sparse disconnected networks may yield fewer.
+func samplePairs(net *topo.Network, pairs int, seed uint64) [][2]topo.NodeID {
+	labels, _ := topo.Components(net)
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	out := make([][2]topo.NodeID, 0, pairs)
+	tries := pairs * maxPairTriesPerPair
+	for len(out) < pairs && tries > 0 {
+		tries--
+		s := topo.NodeID(rng.IntN(net.N()))
+		d := topo.NodeID(rng.IntN(net.N()))
+		if s == d || labels[s] < 0 || labels[s] != labels[d] {
+			continue
+		}
+		out = append(out, [2]topo.NodeID{s, d})
+	}
+	return out
+}

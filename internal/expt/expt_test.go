@@ -1,0 +1,231 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// smallConfig keeps unit-test sweeps fast: two node counts, few networks.
+func smallConfig(model topo.DeployModel) Config {
+	cfg := DefaultConfig(model, 3, 5)
+	cfg.NodeCounts = []int{400, 500}
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestRunSweepIA(t *testing.T) {
+	sweep, err := Run(smallConfig(topo.ModelIA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sweep.Rows))
+	}
+	for _, row := range sweep.Rows {
+		for _, alg := range PaperAlgorithms {
+			st := row.Stats[alg]
+			if st == nil {
+				t.Fatalf("missing stats for %s", alg)
+			}
+			if st.Attempted != 15 { // 3 networks x 5 pairs
+				t.Errorf("N=%d %s attempted = %d, want 15", row.N, alg, st.Attempted)
+			}
+			if st.DeliveryRate() < 0.6 {
+				t.Errorf("N=%d %s delivery = %.2f too low", row.N, alg, st.DeliveryRate())
+			}
+			if st.Delivered > 0 && st.Hops.Mean() <= 0 {
+				t.Errorf("N=%d %s zero mean hops with deliveries", row.N, alg)
+			}
+		}
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	cfg := smallConfig(topo.ModelFA)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for _, alg := range cfg.Algorithms {
+			sa, sb := a.Rows[i].Stats[alg], b.Rows[i].Stats[alg]
+			if sa.Hops.Mean() != sb.Hops.Mean() || sa.Delivered != sb.Delivered {
+				t.Fatalf("row %d %s not deterministic: %v vs %v",
+					i, alg, sa.Hops.Mean(), sb.Hops.Mean())
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Model: topo.ModelIA},
+		{Model: topo.ModelIA, NodeCounts: []int{400}},
+		{Model: topo.ModelIA, NodeCounts: []int{400}, Networks: 1, Pairs: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSweepTables(t *testing.T) {
+	cfg := smallConfig(topo.ModelIA)
+	cfg.Algorithms = append([]AlgID{}, PaperAlgorithms...)
+	cfg.Algorithms = append(cfg.Algorithms, AlgIdealHops)
+	sweep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Metric{MetricMaxHops, MetricAvgHops, MetricAvgLength, MetricDelivery, MetricDetourHops} {
+		tb := sweep.Table(m)
+		text := tb.Text()
+		if !strings.Contains(text, "400") || !strings.Contains(text, "SLGF2") {
+			t.Errorf("%v table missing content:\n%s", m, text)
+		}
+		if m.Figure() != "" && !strings.Contains(text, m.Figure()) {
+			t.Errorf("%v table missing figure label", m)
+		}
+		if csv := tb.CSV(); !strings.Contains(csv, "nodes,GF") {
+			t.Errorf("%v CSV header wrong: %q", m, csv[:40])
+		}
+	}
+	// Cell accessor.
+	if _, ok := sweep.Value(400, AlgSLGF2, MetricAvgHops); !ok {
+		t.Error("Value lookup failed for existing cell")
+	}
+	if _, ok := sweep.Value(999, AlgSLGF2, MetricAvgHops); ok {
+		t.Error("Value lookup succeeded for missing row")
+	}
+	if _, ok := sweep.Value(400, AlgID("nope"), MetricAvgHops); ok {
+		t.Error("Value lookup succeeded for missing algorithm")
+	}
+}
+
+func TestMetricLabels(t *testing.T) {
+	if MetricMaxHops.Figure() != "Fig. 5" || MetricAvgHops.Figure() != "Fig. 6" ||
+		MetricAvgLength.Figure() != "Fig. 7" || MetricDelivery.Figure() != "" {
+		t.Error("figure mapping wrong")
+	}
+	for _, m := range []Metric{MetricMaxHops, MetricAvgHops, MetricAvgLength, MetricDelivery, MetricDetourHops} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "metric(") {
+			t.Errorf("missing label for metric %d", m)
+		}
+	}
+	if Metric(99).String() != "metric(99)" {
+		t.Error("unknown metric label wrong")
+	}
+}
+
+// The ideal router lower-bounds everything in aggregate.
+func TestIdealLowerBound(t *testing.T) {
+	cfg := smallConfig(topo.ModelFA)
+	cfg.Algorithms = []AlgID{AlgSLGF2, AlgIdealHops}
+	sweep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sweep.Rows {
+		ideal := row.Stats[AlgIdealHops]
+		slgf2 := row.Stats[AlgSLGF2]
+		if ideal.Delivered != ideal.Attempted {
+			t.Errorf("N=%d: ideal failed on connected pairs", row.N)
+		}
+		if slgf2.Hops.Mean() < ideal.Hops.Mean()-1e-9 {
+			t.Errorf("N=%d: SLGF2 mean hops %.2f below ideal %.2f",
+				row.N, slgf2.Hops.Mean(), ideal.Hops.Mean())
+		}
+	}
+}
+
+// Every declared algorithm id must be constructible and routable.
+func TestAllAlgorithmIDs(t *testing.T) {
+	cfg := smallConfig(topo.ModelFA)
+	cfg.NodeCounts = []int{400}
+	cfg.Networks = 2
+	cfg.Pairs = 3
+	cfg.Algorithms = []AlgID{
+		AlgGF, AlgLGF, AlgSLGF, AlgSLGF2, AlgGPSR, AlgIdealHops, AlgIdealLen,
+		AlgSLGF2NoShape, AlgSLGF2RightHand, AlgSLGF2NoBackup,
+	}
+	sweep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range cfg.Algorithms {
+		st := sweep.Rows[0].Stats[alg]
+		if st == nil || st.Attempted == 0 {
+			t.Errorf("%s: no routes attempted", alg)
+		}
+	}
+}
+
+// An unknown algorithm id must fail loudly at router construction.
+func TestUnknownAlgorithmPanics(t *testing.T) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelIA, 50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown algorithm id")
+		}
+	}()
+	buildRouters(Config{Algorithms: []AlgID{AlgID("bogus")}}, dep.Net)
+}
+
+// Custom forbidden configuration flows through to FA deployments.
+func TestCustomForbiddenConfig(t *testing.T) {
+	cfg := smallConfig(topo.ModelFA)
+	cfg.NodeCounts = []int{400}
+	cfg.Networks = 2
+	cfg.Forbidden = topo.ForbiddenConfig{Count: 1, MinSize: 70, MaxSize: 70, Margin: 60}
+	sweep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Rows[0].Stats[AlgSLGF2].Attempted == 0 {
+		t.Error("no routes under custom forbidden config")
+	}
+}
+
+func TestNetworkSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for n := 400; n <= 800; n += 50 {
+		for idx := 0; idx < 100; idx++ {
+			s := networkSeed(1, n, idx)
+			if seen[s] {
+				t.Fatalf("duplicate seed for n=%d idx=%d", n, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSamplePairsConnected(t *testing.T) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelFA, 300, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _ := topo.Components(dep.Net)
+	pairs := samplePairs(dep.Net, 30, 99)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Error("self pair sampled")
+		}
+		if labels[p[0]] != labels[p[1]] {
+			t.Error("disconnected pair sampled")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/straightpath/wasn/internal/metrics"
+)
+
+// Metric selects which figure's quantity a table reports.
+type Metric int
+
+// Metrics, one per reproduced figure plus extras.
+const (
+	// MetricMaxHops is Fig. 5: the maximum number of hops observed.
+	MetricMaxHops Metric = iota + 1
+	// MetricAvgHops is Fig. 6: the average number of hops.
+	MetricAvgHops
+	// MetricAvgLength is Fig. 7: the average routing path length (m).
+	MetricAvgLength
+	// MetricDelivery is the delivery rate (not in the paper; sanity).
+	MetricDelivery
+	// MetricDetourHops is the average non-greedy hop count (analysis).
+	MetricDetourHops
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricMaxHops:
+		return "max hops"
+	case MetricAvgHops:
+		return "avg hops"
+	case MetricAvgLength:
+		return "avg path length (m)"
+	case MetricDelivery:
+		return "delivery rate"
+	case MetricDetourHops:
+		return "avg detour hops"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Figure returns the paper artifact a metric reproduces ("" for extras).
+func (m Metric) Figure() string {
+	switch m {
+	case MetricMaxHops:
+		return "Fig. 5"
+	case MetricAvgHops:
+		return "Fig. 6"
+	case MetricAvgLength:
+		return "Fig. 7"
+	default:
+		return ""
+	}
+}
+
+// value extracts the metric from one cell.
+func (m Metric) value(st *AlgStats) float64 {
+	switch m {
+	case MetricMaxHops:
+		return st.Hops.Max()
+	case MetricAvgHops:
+		return st.Hops.Mean()
+	case MetricAvgLength:
+		return st.Length.Mean()
+	case MetricDelivery:
+		return st.DeliveryRate()
+	case MetricDetourHops:
+		return st.DetourHops.Mean()
+	default:
+		return 0
+	}
+}
+
+// format renders the metric's value for tables.
+func (m Metric) format(v float64) string {
+	switch m {
+	case MetricMaxHops:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case MetricDelivery:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+}
+
+// Table renders one figure: node count rows, one column per algorithm.
+func (s *Sweep) Table(m Metric) *metrics.Table {
+	title := fmt.Sprintf("%s — %s, %s model (%d networks × %d pairs per point)",
+		figureLabel(m), m, s.Config.Model, s.Config.Networks, s.Config.Pairs)
+	t := &metrics.Table{Title: title, Headers: []string{"nodes"}}
+	for _, alg := range s.Config.Algorithms {
+		t.Headers = append(t.Headers, string(alg))
+	}
+	for _, row := range s.Rows {
+		cells := []string{strconv.Itoa(row.N)}
+		for _, alg := range s.Config.Algorithms {
+			cells = append(cells, m.format(m.value(row.Stats[alg])))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+func figureLabel(m Metric) string {
+	if f := m.Figure(); f != "" {
+		return f
+	}
+	return "Extra"
+}
+
+// Value exposes one cell's metric (used by benchmarks to report paper
+// metrics through testing.B).
+func (s *Sweep) Value(nodeCount int, alg AlgID, m Metric) (float64, bool) {
+	for _, row := range s.Rows {
+		if row.N != nodeCount {
+			continue
+		}
+		st, ok := row.Stats[alg]
+		if !ok {
+			return 0, false
+		}
+		return m.value(st), true
+	}
+	return 0, false
+}

@@ -1,0 +1,110 @@
+package geom
+
+import "sort"
+
+// ConvexHullIndices returns the indices of the points on the convex hull of
+// pts, in counter-clockwise order starting from the lexicographically
+// smallest point. Collinear points on the hull boundary are excluded
+// (strict hull). Degenerate inputs (fewer than 3 distinct points, or all
+// collinear) return all distinct extreme indices.
+//
+// The paper builds the "edge of networks" for the interest area with "the
+// hull algorithm"; this is that algorithm (Andrew's monotone chain,
+// O(n log n)).
+func ConvexHullIndices(pts []Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Deduplicate coincident points so they cannot break the turn test.
+	uniq := idx[:0]
+	for _, i := range idx {
+		if len(uniq) == 0 || pts[uniq[len(uniq)-1]] != pts[i] {
+			uniq = append(uniq, i)
+		}
+	}
+	idx = uniq
+	if len(idx) < 3 {
+		out := make([]int, len(idx))
+		copy(out, idx)
+		return out
+	}
+
+	build := func(order []int) []int {
+		var chain []int
+		for _, i := range order {
+			for len(chain) >= 2 &&
+				Orient(pts[chain[len(chain)-2]], pts[chain[len(chain)-1]], pts[i]) != CounterClockwise {
+				chain = chain[:len(chain)-1]
+			}
+			chain = append(chain, i)
+		}
+		return chain
+	}
+
+	lower := build(idx)
+	rev := make([]int, len(idx))
+	for i, v := range idx {
+		rev[len(idx)-1-i] = v
+	}
+	upper := build(rev)
+
+	// Concatenate, dropping the duplicated endpoints.
+	hull := make([]int, 0, len(lower)+len(upper)-2)
+	hull = append(hull, lower[:len(lower)-1]...)
+	hull = append(hull, upper[:len(upper)-1]...)
+	return hull
+}
+
+// ConvexHull returns the hull points themselves, CCW order.
+func ConvexHull(pts []Point) []Point {
+	ids := ConvexHullIndices(pts)
+	out := make([]Point, len(ids))
+	for i, id := range ids {
+		out[i] = pts[id]
+	}
+	return out
+}
+
+// PointInConvexPolygon reports whether p lies inside or on the boundary of
+// the convex polygon poly given in CCW order.
+func PointInConvexPolygon(p Point, poly []Point) bool {
+	n := len(poly)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return poly[0].Eq(p, orientationEps)
+	}
+	if n == 2 {
+		return Orient(poly[0], poly[1], p) == Collinear && onSegment(poly[0], poly[1], p)
+	}
+	for i := 0; i < n; i++ {
+		if Orient(poly[i], poly[(i+1)%n], p) == Clockwise {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the signed area of the polygon (positive for CCW).
+func PolygonArea(poly []Point) float64 {
+	var sum float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += poly[i].Cross(poly[j])
+	}
+	return sum / 2
+}

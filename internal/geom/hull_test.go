@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2), // the square corners
+		Pt(1, 1), Pt(0.5, 1.5), // interior
+		Pt(1, 0), // collinear boundary point, excluded by strict hull
+	}
+	ids := ConvexHullIndices(pts)
+	if len(ids) != 4 {
+		t.Fatalf("hull size = %d, want 4 (got %v)", len(ids), ids)
+	}
+	onHull := map[int]bool{}
+	for _, id := range ids {
+		onHull[id] = true
+	}
+	for _, want := range []int{0, 1, 2, 3} {
+		if !onHull[want] {
+			t.Errorf("corner %d missing from hull %v", want, ids)
+		}
+	}
+	hull := ConvexHull(pts)
+	if PolygonArea(hull) <= 0 {
+		t.Error("hull not CCW")
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []Point
+		want int
+	}{
+		{name: "empty", pts: nil, want: 0},
+		{name: "single", pts: []Point{Pt(1, 1)}, want: 1},
+		{name: "duplicate single", pts: []Point{Pt(1, 1), Pt(1, 1)}, want: 1},
+		{name: "pair", pts: []Point{Pt(0, 0), Pt(1, 1)}, want: 2},
+		{name: "collinear", pts: []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ids := ConvexHullIndices(tt.pts)
+			if len(ids) != tt.want {
+				t.Errorf("hull size = %d, want %d (%v)", len(ids), tt.want, ids)
+			}
+		})
+	}
+}
+
+// Property: every input point is inside (or on) the hull polygon, and hull
+// vertices are a subset of the input.
+func TestConvexHullContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.IntN(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("trial %d: degenerate hull for random points", trial)
+		}
+		for i, p := range pts {
+			if !PointInConvexPolygon(p, hull) {
+				t.Fatalf("trial %d: point %d %v outside its own hull", trial, i, p)
+			}
+		}
+	}
+}
+
+func TestPointInConvexPolygon(t *testing.T) {
+	tri := []Point{Pt(0, 0), Pt(4, 0), Pt(0, 4)}
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{name: "inside", p: Pt(1, 1), want: true},
+		{name: "vertex", p: Pt(0, 0), want: true},
+		{name: "edge", p: Pt(2, 0), want: true},
+		{name: "outside", p: Pt(3, 3), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PointInConvexPolygon(tt.p, tri); got != tt.want {
+				t.Errorf("PointInConvexPolygon(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+	if PointInConvexPolygon(Pt(0, 0), nil) {
+		t.Error("empty polygon contains nothing")
+	}
+	if !PointInConvexPolygon(Pt(1, 1), []Point{Pt(1, 1)}) {
+		t.Error("single-point polygon should contain its point")
+	}
+	if !PointInConvexPolygon(Pt(1, 0), []Point{Pt(0, 0), Pt(2, 0)}) {
+		t.Error("two-point polygon should contain segment points")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := PolygonArea(sq); got != 4 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	// Reversed (CW) polygon has negative signed area.
+	rev := []Point{Pt(0, 2), Pt(2, 2), Pt(2, 0), Pt(0, 0)}
+	if got := PolygonArea(rev); got != -4 {
+		t.Errorf("reversed area = %v, want -4", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Package metrics provides the statistics the evaluation reports:
+// streaming summaries (mean, min, max, standard deviation) via Welford's
+// algorithm, plus small text/CSV table renderers for the figure output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary accumulates a stream of float64 samples. The zero value is an
+// empty summary ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s (parallel-reduction step).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.n += o.n
+	s.min = math.Min(s.min, o.min)
+	s.max = math.Max(s.max, o.max)
+}
+
+// N returns the sample count.
+func (s Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 for an empty summary).
+func (s Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 for an empty summary).
+func (s Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (s Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f std=%.3f",
+		s.n, s.Mean(), s.Min(), s.Max(), s.Std())
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Std() != 0 {
+		t.Error("zero summary should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	for trial := 0; trial < 20; trial++ {
+		var all, a, b Summary
+		n := 1 + rng.IntN(200)
+		cut := rng.IntN(n + 1)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()*10 + 3
+			all.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			t.Fatalf("merge N = %d, want %d", a.N(), all.N())
+		}
+		if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+			t.Fatalf("merge mean = %v, want %v", a.Mean(), all.Mean())
+		}
+		if math.Abs(a.Var()-all.Var()) > 1e-6 {
+			t.Fatalf("merge var = %v, want %v", a.Var(), all.Var())
+		}
+		if a.Min() != all.Min() || a.Max() != all.Max() {
+			t.Fatal("merge min/max mismatch")
+		}
+	}
+	// Merging into/from empty.
+	var empty, filled Summary
+	filled.Add(1)
+	filled.Add(3)
+	empty.Merge(filled)
+	if empty.N() != 2 || empty.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+	before := filled
+	var zero Summary
+	filled.Merge(zero)
+	if filled != before {
+		t.Error("merging empty changed the summary")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"n", "value"}}
+	tb.AddRow("400", "1.25")
+	tb.AddRow("450", "10.50")
+	out := tb.Text()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "400") {
+		t.Errorf("text output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `with "quote", and comma`)
+	out := tb.CSV()
+	want := "a,b\n1,plain\n2,\"with \"\"quote\"\", and comma\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}

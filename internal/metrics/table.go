@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional title,
+// rendered either as padded text (for terminals) or CSV (for plotting).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cells are used as-is.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting cells that
+// contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+// Package planar derives planar subgraphs of the unit-disk network and
+// walks their faces. This is the substrate behind the "right-hand rule"
+// perimeter routing of Bose–Morin–Stojmenović (the paper's reference [2])
+// and of GPSR, which this repository ships as an additional baseline.
+//
+// Two classical localized planarizations are provided: the Gabriel graph
+// (edge uv survives iff the disk with diameter uv is empty) and the
+// relative neighborhood graph (edge uv survives iff no witness w is closer
+// to both u and v than they are to each other). Both preserve connectivity
+// of the unit-disk graph and are computable from one-hop neighbor
+// information only.
+package planar
+
+import (
+	"sort"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Kind selects the planarization rule.
+type Kind int
+
+// Planarization kinds.
+const (
+	GabrielGraph Kind = iota + 1
+	RelativeNeighborhood
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case GabrielGraph:
+		return "GG"
+	case RelativeNeighborhood:
+		return "RNG"
+	default:
+		return "planar(?)"
+	}
+}
+
+// Graph is a planar subgraph of a network with adjacency sorted by angle,
+// ready for face traversal.
+type Graph struct {
+	Net  *topo.Network
+	Kind Kind
+	// adj[u] lists u's planar neighbors sorted counter-clockwise by the
+	// angle of the edge u->v.
+	adj [][]topo.NodeID
+}
+
+// Build computes the planar subgraph of net under rule k. Dead nodes are
+// excluded. O(sum_u deg(u)^2).
+func Build(net *topo.Network, k Kind) *Graph {
+	g := &Graph{
+		Net:  net,
+		Kind: k,
+		adj:  make([][]topo.NodeID, net.N()),
+	}
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		if !net.Alive(u) {
+			continue
+		}
+		nbrs := net.Neighbors(u)
+		var kept []topo.NodeID
+		for _, v := range nbrs {
+			if keepEdge(net, k, u, v, nbrs) {
+				kept = append(kept, v)
+			}
+		}
+		up := net.Pos(u)
+		sort.Slice(kept, func(a, b int) bool {
+			return geom.Angle(up, net.Pos(kept[a])) < geom.Angle(up, net.Pos(kept[b]))
+		})
+		g.adj[u] = kept
+	}
+	return g
+}
+
+// keepEdge applies the witness test. Any witness for uv lies within range
+// of both endpoints, so scanning N(u) suffices in a unit-disk graph.
+func keepEdge(net *topo.Network, k Kind, u, v topo.NodeID, candidates []topo.NodeID) bool {
+	up, vp := net.Pos(u), net.Pos(v)
+	switch k {
+	case GabrielGraph:
+		mid := geom.Midpoint(up, vp)
+		r2 := geom.Dist2(up, vp) / 4
+		for _, w := range candidates {
+			if w == v {
+				continue
+			}
+			if geom.Dist2(net.Pos(w), mid) < r2-1e-12 {
+				return false
+			}
+		}
+		return true
+	case RelativeNeighborhood:
+		d2 := geom.Dist2(up, vp)
+		for _, w := range candidates {
+			if w == v {
+				continue
+			}
+			wp := net.Pos(w)
+			if geom.Dist2(wp, up) < d2-1e-12 && geom.Dist2(wp, vp) < d2-1e-12 {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Neighbors returns the planar neighbors of u in CCW angular order. The
+// slice must not be modified.
+func (g *Graph) Neighbors(u topo.NodeID) []topo.NodeID { return g.adj[u] }
+
+// Degree returns the planar degree of u.
+func (g *Graph) Degree(u topo.NodeID) int { return len(g.adj[u]) }
+
+// EdgeCount returns the number of undirected planar edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, l := range g.adj {
+		total += len(l)
+	}
+	return total / 2
+}
+
+// NextCCW returns the planar neighbor of u that follows the direction
+// `fromAngle` counter-clockwise (strictly after, wrapping around). This is
+// the GPSR right-hand-rule step: taking the next edge counter-clockwise
+// from the in-edge walks the face with the interior on the right.
+// Returns topo.NoNode when u has no planar neighbors.
+func (g *Graph) NextCCW(u topo.NodeID, fromAngle float64) topo.NodeID {
+	nbrs := g.adj[u]
+	if len(nbrs) == 0 {
+		return topo.NoNode
+	}
+	up := g.Net.Pos(u)
+	best := topo.NoNode
+	bestDelta := geom.TwoPi + 1
+	for _, v := range nbrs {
+		delta := geom.CCWDelta(fromAngle, geom.Angle(up, g.Net.Pos(v)))
+		if delta < 1e-12 {
+			delta = geom.TwoPi // the in-edge itself sorts last
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = v
+		}
+	}
+	return best
+}
+
+// HasEdge reports whether uv is a planar edge.
+func (g *Graph) HasEdge(u, v topo.NodeID) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NextCW mirrors NextCCW: the planar neighbor first reached rotating
+// clockwise from fromAngle — the left-hand-rule step.
+func (g *Graph) NextCW(u topo.NodeID, fromAngle float64) topo.NodeID {
+	nbrs := g.adj[u]
+	if len(nbrs) == 0 {
+		return topo.NoNode
+	}
+	up := g.Net.Pos(u)
+	best := topo.NoNode
+	bestDelta := geom.TwoPi + 1
+	for _, v := range nbrs {
+		delta := geom.CWDelta(fromAngle, geom.Angle(up, g.Net.Pos(v)))
+		if delta < 1e-12 {
+			delta = geom.TwoPi // the in-edge itself sorts last
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = v
+		}
+	}
+	return best
+}
+
+// FaceStep advances one right-hand-rule step of a face walk: the packet
+// sits at u having arrived from prev (prev == topo.NoNode on entry, in
+// which case refAngle seeds the sweep, e.g. the direction toward the
+// destination).
+func (g *Graph) FaceStep(u, prev topo.NodeID, refAngle float64) topo.NodeID {
+	return g.FaceStepHand(u, prev, refAngle, true)
+}
+
+// FaceStepHand generalizes FaceStep to both hands: ccw=true walks with
+// the right-hand rule (counter-clockwise sweep), ccw=false with the
+// left-hand rule.
+func (g *Graph) FaceStepHand(u, prev topo.NodeID, refAngle float64, ccw bool) topo.NodeID {
+	if prev != topo.NoNode {
+		refAngle = geom.Angle(g.Net.Pos(u), g.Net.Pos(prev))
+	}
+	if ccw {
+		return g.NextCCW(u, refAngle)
+	}
+	return g.NextCW(u, refAngle)
+}

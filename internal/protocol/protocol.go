@@ -1,0 +1,377 @@
+// Package protocol implements the paper's Algorithm 2 ("Information
+// Construction") as an actual distributed message-passing protocol, the
+// way deployed sensor nodes would run it: every node keeps only its own
+// state plus what neighbors broadcast, and "such an exchange is
+// implemented by broadcasting such information of a node that newly
+// changes its safety status to all its neighbors" (§3).
+//
+// The package provides two schedulers over the same per-node handler
+// logic: a synchronous round-based one (the paper's presentation) and an
+// asynchronous event-driven one with seeded random message delays (the
+// paper's claimed easy extension). Both converge to the unique fixpoint
+// that the centralized safety.Build computes; the equivalence is tested,
+// which is the strongest validation that the centralized model faithfully
+// represents what the distributed nodes can know.
+package protocol
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Message is one one-hop broadcast: the sender's current safety tuple and
+// per-type shape endpoints u(1)/u(2). This is everything Algorithm 2
+// ever puts on the air.
+type Message struct {
+	From topo.NodeID
+	// Safe is the sender's tuple at send time.
+	Safe [geom.NumZones]bool
+	// U1, U2 carry the sender's estimated-shape endpoints (topo.NoNode
+	// while unresolved). Receivers store the *positions* in a real
+	// deployment; ids suffice in simulation because positions are
+	// globally consistent.
+	U1, U2 [geom.NumZones]topo.NodeID
+}
+
+// Bits returns the on-air size of the message under a compact encoding:
+// node id (16 bits), 4 status bits, and 8 node ids of 16 bits for the
+// endpoints. Used for construction-cost accounting in bench output.
+func (m Message) Bits() int { return 16 + geom.NumZones + 8*16 }
+
+// nodeState is what one sensor stores: its own tuple and endpoints plus
+// the last heard state of each neighbor.
+type nodeState struct {
+	id     topo.NodeID
+	pinned bool
+	safe   [geom.NumZones]bool
+	u1, u2 [geom.NumZones]topo.NodeID
+
+	// lastHeard caches the most recent message per neighbor.
+	lastHeard map[topo.NodeID]Message
+
+	// zoneNbrs[z-1] lists neighbors inside Q_z, precomputed once from
+	// local geometry (a node knows its neighbors' positions from hello
+	// beacons, which every geographic routing protocol assumes).
+	zoneNbrs [geom.NumZones][]topo.NodeID
+	// scanFirst / scanLast are the v1/v2 of the zone scan.
+	scanFirst, scanLast [geom.NumZones]topo.NodeID
+}
+
+func newNodeState(net *topo.Network, u topo.NodeID, pinned bool) *nodeState {
+	st := &nodeState{
+		id:        u,
+		pinned:    pinned,
+		lastHeard: make(map[topo.NodeID]Message, net.Degree(u)),
+	}
+	up := net.Pos(u)
+	for _, z := range geom.AllZones {
+		st.safe[z-1] = true
+		st.u1[z-1] = topo.NoNode
+		st.u2[z-1] = topo.NoNode
+		st.scanFirst[z-1] = topo.NoNode
+		st.scanLast[z-1] = topo.NoNode
+		start := float64(z-1) * (geom.TwoPi / 4)
+		var minD, maxD float64
+		for _, v := range net.Neighbors(u) {
+			pv := net.Pos(v)
+			if !geom.InForwardingZone(up, z, pv) {
+				continue
+			}
+			st.zoneNbrs[z-1] = append(st.zoneNbrs[z-1], v)
+			delta := geom.CCWDelta(start, geom.Angle(up, pv))
+			if st.scanFirst[z-1] == topo.NoNode || delta < minD {
+				st.scanFirst[z-1], minD = v, delta
+			}
+			if st.scanLast[z-1] == topo.NoNode || delta > maxD {
+				st.scanLast[z-1], maxD = v, delta
+			}
+		}
+	}
+	return st
+}
+
+// snapshot renders the node's current broadcast message.
+func (st *nodeState) snapshot() Message {
+	return Message{From: st.id, Safe: st.safe, U1: st.u1, U2: st.u2}
+}
+
+// deliver folds a neighbor's message into local state. Links are not
+// FIFO in the async scheduler, so the merge is monotone rather than
+// last-writer-wins: a status only ever moves safe→unsafe and endpoints
+// are written once, so "unsafe is sticky, endpoints are set-once"
+// reconstructs the sender's newest state regardless of arrival order
+// (the same trick a deployment would get from a per-node version
+// counter).
+func (st *nodeState) deliver(m Message) {
+	old, ok := st.lastHeard[m.From]
+	if !ok {
+		st.lastHeard[m.From] = m
+		return
+	}
+	for z := 0; z < geom.NumZones; z++ {
+		old.Safe[z] = old.Safe[z] && m.Safe[z]
+		if old.U1[z] == topo.NoNode {
+			old.U1[z] = m.U1[z]
+		}
+		if old.U2[z] == topo.NoNode {
+			old.U2[z] = m.U2[z]
+		}
+	}
+	st.lastHeard[m.From] = old
+}
+
+// heardSafe reports the last heard type-z status of neighbor v; unheard
+// neighbors count as safe, matching Definition 1's all-safe initial
+// state.
+func (st *nodeState) heardSafe(v topo.NodeID, z geom.ZoneType) bool {
+	m, ok := st.lastHeard[v]
+	if !ok {
+		return true
+	}
+	return m.Safe[z-1]
+}
+
+// react re-evaluates Definition 1 and the shape recurrences against the
+// heard state. It returns true when the local state changed (and must be
+// re-broadcast).
+func (st *nodeState) react() bool {
+	changed := false
+	for _, z := range geom.AllZones {
+		zi := z - 1
+		// Definition 1: flip safe -> unsafe when no type-z safe
+		// neighbor is heard inside Q_z. Pinned edge nodes never flip.
+		if st.safe[zi] && !st.pinned {
+			hasSafe := false
+			for _, v := range st.zoneNbrs[zi] {
+				if st.heardSafe(v, z) {
+					hasSafe = true
+					break
+				}
+			}
+			if !hasSafe {
+				st.safe[zi] = false
+				changed = true
+			}
+		}
+		if st.safe[zi] {
+			continue
+		}
+		// Algorithm 2 step 3: resolve u(1)/u(2).
+		if len(st.zoneNbrs[zi]) == 0 {
+			if st.u1[zi] == topo.NoNode {
+				st.u1[zi] = st.id
+				st.u2[zi] = st.id
+				changed = true
+			}
+			continue
+		}
+		if st.u1[zi] == topo.NoNode {
+			if m, ok := st.lastHeard[st.scanFirst[zi]]; ok && m.U1[zi] != topo.NoNode {
+				st.u1[zi] = m.U1[zi]
+				changed = true
+			}
+		}
+		if st.u2[zi] == topo.NoNode {
+			if m, ok := st.lastHeard[st.scanLast[zi]]; ok && m.U2[zi] != topo.NoNode {
+				st.u2[zi] = m.U2[zi]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Result is the converged outcome of a protocol run.
+type Result struct {
+	// Safe[u][z-1] is the final S_z(u).
+	Safe [][geom.NumZones]bool
+	// U1, U2 are the final shape endpoints.
+	U1, U2 [][geom.NumZones]topo.NodeID
+	// Rounds is the number of synchronous rounds (0 for async runs).
+	Rounds int
+	// Messages is the number of one-hop broadcasts sent.
+	Messages int
+	// Bits is the total on-air traffic.
+	Bits int
+}
+
+// Matches reports whether the distributed outcome agrees with a
+// centralized model on every status and endpoint, returning a
+// description of the first mismatch otherwise.
+func (r *Result) Matches(m *safety.Model) (bool, string) {
+	for i := range r.Safe {
+		u := topo.NodeID(i)
+		for _, z := range geom.AllZones {
+			if r.Safe[i][z-1] != m.Safe(u, z) {
+				return false, fmt.Sprintf("node %d type-%d: protocol=%v model=%v",
+					u, z, r.Safe[i][z-1], m.Safe(u, z))
+			}
+			if !m.Safe(u, z) {
+				if r.U1[i][z-1] != m.U1(u, z) || r.U2[i][z-1] != m.U2(u, z) {
+					return false, fmt.Sprintf("node %d type-%d endpoints: protocol=%v/%v model=%v/%v",
+						u, z, r.U1[i][z-1], r.U2[i][z-1], m.U1(u, z), m.U2(u, z))
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+func collect(states []*nodeState, rounds, messages int) *Result {
+	res := &Result{
+		Safe:     make([][geom.NumZones]bool, len(states)),
+		U1:       make([][geom.NumZones]topo.NodeID, len(states)),
+		U2:       make([][geom.NumZones]topo.NodeID, len(states)),
+		Rounds:   rounds,
+		Messages: messages,
+		Bits:     messages * (Message{}).Bits(),
+	}
+	for i, st := range states {
+		if st == nil {
+			for z := range res.U1[i] {
+				res.U1[i][z] = topo.NoNode
+				res.U2[i][z] = topo.NoNode
+			}
+			continue
+		}
+		res.Safe[i] = st.safe
+		res.U1[i] = st.u1
+		res.U2[i] = st.u2
+	}
+	return res
+}
+
+func buildStates(net *topo.Network, edge safety.EdgeRule) []*nodeState {
+	if edge == nil {
+		edge = safety.DefaultEdgeRule()
+	}
+	pinned := edge.EdgeNodes(net)
+	states := make([]*nodeState, net.N())
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		if !net.Alive(u) {
+			continue
+		}
+		states[i] = newNodeState(net, u, pinned[i])
+	}
+	return states
+}
+
+// RunSync executes the protocol in the synchronous round-based system of
+// §3: in every round, each changed node's broadcast is delivered to all
+// its neighbors at the round boundary, and every node then re-evaluates.
+// Terminates when a round produces no change.
+func RunSync(net *topo.Network, edge safety.EdgeRule) *Result {
+	states := buildStates(net, edge)
+	messages := 0
+	rounds := 0
+
+	// Initial broadcast: every node announces its all-safe state so
+	// neighbors learn zone occupancy (the hello exchange).
+	pending := make([]Message, 0, net.N())
+	for _, st := range states {
+		if st != nil {
+			pending = append(pending, st.snapshot())
+		}
+	}
+	for len(pending) > 0 {
+		// Deliver this round's broadcasts.
+		for _, m := range pending {
+			for _, v := range net.Neighbors(m.From) {
+				states[v].deliver(m)
+			}
+		}
+		messages += len(pending)
+		rounds++
+		// Every node reacts against the freshly heard state.
+		pending = pending[:0]
+		for _, st := range states {
+			if st == nil {
+				continue
+			}
+			if st.react() {
+				pending = append(pending, st.snapshot())
+			}
+		}
+	}
+	return collect(states, rounds, messages)
+}
+
+// event is one in-flight broadcast delivery for the async scheduler.
+type event struct {
+	at  float64 // delivery time
+	seq int     // tie-breaker for determinism
+	to  topo.NodeID
+	msg Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// RunAsync executes the protocol with per-link random delays drawn from
+// a seeded generator: deliveries interleave arbitrarily, nodes react to
+// each message as it arrives. The fixpoint is delay-independent; the
+// seed only shuffles the trajectory.
+func RunAsync(net *topo.Network, edge safety.EdgeRule, seed uint64) *Result {
+	states := buildStates(net, edge)
+	rng := rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc908))
+	messages := 0
+	seq := 0
+
+	q := &eventQueue{}
+	broadcast := func(st *nodeState, now float64) {
+		messages++
+		m := st.snapshot()
+		for _, v := range net.Neighbors(st.id) {
+			seq++
+			heap.Push(q, event{at: now + rng.Float64(), seq: seq, to: v, msg: m})
+		}
+	}
+	for _, st := range states {
+		if st != nil {
+			broadcast(st, 0)
+		}
+	}
+	// Every node self-evaluates once before any traffic arrives: a node
+	// with an empty forwarding zone (or no neighbors at all) flips
+	// unsafe from purely local knowledge and must not wait for a
+	// message that may never come.
+	for _, st := range states {
+		if st != nil && st.react() {
+			broadcast(st, 0)
+		}
+	}
+	for q.Len() > 0 {
+		e := heap.Pop(q).(event)
+		st := states[e.to]
+		if st == nil {
+			continue
+		}
+		st.deliver(e.msg)
+		if st.react() {
+			broadcast(st, e.at)
+		}
+	}
+	return collect(states, 0, messages)
+}

@@ -1,0 +1,139 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// pinSet pins an explicit node set (mirrors the safety tests).
+type pinSet map[topo.NodeID]bool
+
+func (p pinSet) EdgeNodes(net *topo.Network) []bool {
+	out := make([]bool, net.N())
+	for id := range p {
+		out[id] = true
+	}
+	return out
+}
+
+func (p pinSet) Name() string { return "pinset" }
+
+func deployed(t *testing.T, model topo.DeployModel, n int, seed uint64) *topo.Network {
+	t.Helper()
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(model, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep.Net
+}
+
+// The distributed protocol must converge to exactly the centralized
+// model's fixpoint — statuses and shape endpoints — on random networks,
+// under both schedulers.
+func TestProtocolMatchesCentralizedModel(t *testing.T) {
+	for _, model := range []topo.DeployModel{topo.ModelIA, topo.ModelFA} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			net := deployed(t, model, 350, seed)
+			m := safety.Build(net)
+
+			sync := RunSync(net, nil)
+			if ok, diff := sync.Matches(m); !ok {
+				t.Fatalf("%v seed %d sync: %s", model, seed, diff)
+			}
+			if sync.Rounds == 0 || sync.Messages == 0 || sync.Bits == 0 {
+				t.Errorf("%v seed %d: empty cost accounting %+v", model, seed, sync)
+			}
+
+			for _, asyncSeed := range []uint64{5, 99} {
+				async := RunAsync(net, nil, asyncSeed)
+				if ok, diff := async.Matches(m); !ok {
+					t.Fatalf("%v seed %d async(%d): %s", model, seed, asyncSeed, diff)
+				}
+			}
+		}
+	}
+}
+
+// Line topology: the east end pinned; protocol must label (1,0,0,0) for
+// the rest, exactly like the centralized model.
+func TestProtocolLine(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(10, 50), geom.Pt(20, 50), geom.Pt(30, 50), geom.Pt(40, 50), geom.Pt(50, 50),
+	}
+	net, err := topo.NewNetwork(pts, 12, geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := pinSet{4: true}
+	res := RunSync(net, pin)
+	m := safety.Build(net, safety.WithEdgeRule(pin))
+	if ok, diff := res.Matches(m); !ok {
+		t.Fatal(diff)
+	}
+	// The cascade is sequential: the type-2 chain needs one round per
+	// node plus the initial hello round.
+	if res.Rounds < 4 {
+		t.Errorf("rounds = %d, want >= 4 for a 4-node cascade", res.Rounds)
+	}
+}
+
+// Shape endpoints propagate hop by hop: the NE chain resolves the tip
+// into every member.
+func TestProtocolShapeChain(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5), geom.Pt(10, 10)}
+	net, err := topo.NewNetwork(pts, 8, geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSync(net, pinSet{})
+	if res.Safe[0][0] || res.Safe[1][0] || res.Safe[2][0] {
+		t.Fatal("chain should be type-1 unsafe")
+	}
+	if res.U1[0][0] != 2 || res.U2[0][0] != 2 {
+		t.Errorf("root endpoints = %v/%v, want 2/2", res.U1[0][0], res.U2[0][0])
+	}
+}
+
+func TestProtocolDeadNodes(t *testing.T) {
+	net := deployed(t, topo.ModelIA, 200, 9)
+	net.SetAlive(10, false)
+	net.SetAlive(50, false)
+	m := safety.Build(net)
+	res := RunSync(net, nil)
+	// Dead nodes keep zero-value state and the rest still matches.
+	for _, z := range geom.AllZones {
+		if res.Safe[10][z-1] {
+			t.Error("dead node reported safe by protocol")
+		}
+	}
+	// Matches only checks live consistency for statuses; dead nodes are
+	// all-unsafe in both representations.
+	if ok, diff := res.Matches(m); !ok {
+		t.Fatal(diff)
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	if (Message{}).Bits() != 16+4+8*16 {
+		t.Errorf("Bits = %d", (Message{}).Bits())
+	}
+}
+
+// Async message counts vary with the delay seed but the sync round count
+// is deterministic.
+func TestProtocolDeterminism(t *testing.T) {
+	net := deployed(t, topo.ModelFA, 300, 4)
+	a := RunSync(net, nil)
+	b := RunSync(net, nil)
+	if a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Errorf("sync runs differ: %d/%d vs %d/%d", a.Rounds, a.Messages, b.Rounds, b.Messages)
+	}
+	c := RunAsync(net, nil, 1)
+	d := RunAsync(net, nil, 1)
+	if c.Messages != d.Messages {
+		t.Error("same-seed async runs differ")
+	}
+}

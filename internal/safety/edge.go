@@ -1,0 +1,109 @@
+package safety
+
+import (
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// EdgeRule decides which nodes are "edge nodes" of the interest area.
+// Edge nodes keep the pinned tuple (1,1,1,1) so the boundary of the
+// deployment does not cascade unsafe labels inward (§3: "each edge node
+// will always keep its status tuple as (1,1,1,1)").
+type EdgeRule interface {
+	// EdgeNodes returns a bitmap indexed by NodeID; true = edge node.
+	EdgeNodes(net *topo.Network) []bool
+	// Name identifies the rule in benchmarks and docs.
+	Name() string
+}
+
+// ConvexHullEdge pins exactly the convex-hull nodes of the alive
+// deployment — the paper's literal "hull algorithm" reading.
+type ConvexHullEdge struct{}
+
+var _ EdgeRule = ConvexHullEdge{}
+
+// EdgeNodes implements EdgeRule.
+func (ConvexHullEdge) EdgeNodes(net *topo.Network) []bool {
+	out := make([]bool, net.N())
+	alive := net.AliveIDs()
+	pts := make([]geom.Point, len(alive))
+	for i, id := range alive {
+		pts[i] = net.Pos(id)
+	}
+	for _, i := range geom.ConvexHullIndices(pts) {
+		out[alive[i]] = true
+	}
+	return out
+}
+
+// Name implements EdgeRule.
+func (ConvexHullEdge) Name() string { return "hull" }
+
+// BorderMarginEdge pins every node within Margin of the field border —
+// the robust reading of "the edge of networks" for fields whose border
+// region is well populated.
+type BorderMarginEdge struct {
+	Margin float64
+}
+
+var _ EdgeRule = BorderMarginEdge{}
+
+// EdgeNodes implements EdgeRule.
+func (r BorderMarginEdge) EdgeNodes(net *topo.Network) []bool {
+	out := make([]bool, net.N())
+	// Build the shrunken rect without FromCorners: a margin wider than
+	// half the field must invert to empty, not re-normalize.
+	inner := geom.Rect{
+		Min: geom.Pt(net.Field.Min.X+r.Margin, net.Field.Min.Y+r.Margin),
+		Max: geom.Pt(net.Field.Max.X-r.Margin, net.Field.Max.Y-r.Margin),
+	}
+	for i, n := range net.Nodes {
+		if !n.Alive {
+			continue
+		}
+		if inner.Empty() || !inner.ContainsStrict(n.Pos) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Name implements EdgeRule.
+func (r BorderMarginEdge) Name() string { return "margin" }
+
+// UnionEdge pins a node when any member rule does.
+type UnionEdge []EdgeRule
+
+var _ EdgeRule = UnionEdge{}
+
+// EdgeNodes implements EdgeRule.
+func (u UnionEdge) EdgeNodes(net *topo.Network) []bool {
+	out := make([]bool, net.N())
+	for _, r := range u {
+		for i, b := range r.EdgeNodes(net) {
+			if b {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Name implements EdgeRule.
+func (u UnionEdge) Name() string {
+	name := "union("
+	for i, r := range u {
+		if i > 0 {
+			name += "+"
+		}
+		name += r.Name()
+	}
+	return name + ")"
+}
+
+// DefaultEdgeRule is the experiments' default: hull nodes plus a border
+// strip one radio range deep (20 m on the paper's field). The union keeps
+// the labeling focused on interior holes even when the hull is sparse.
+func DefaultEdgeRule() EdgeRule {
+	return UnionEdge{ConvexHullEdge{}, BorderMarginEdge{Margin: 20}}
+}

@@ -1,0 +1,132 @@
+package safety
+
+import (
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func TestConvexHullEdge(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(0, 100), // hull
+		geom.Pt(50, 50), // interior
+	}
+	net := buildNet(t, pts, 200)
+	edges := ConvexHullEdge{}.EdgeNodes(net)
+	for i := 0; i < 4; i++ {
+		if !edges[i] {
+			t.Errorf("hull corner %d not marked", i)
+		}
+	}
+	if edges[4] {
+		t.Error("interior node marked as edge")
+	}
+	// A dead hull node is replaced by the remaining hull.
+	net.SetAlive(0, false)
+	edges = ConvexHullEdge{}.EdgeNodes(net)
+	if edges[0] {
+		t.Error("dead node marked as edge")
+	}
+}
+
+func TestBorderMarginEdge(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(5, 100),   // within 20 of the west border
+		geom.Pt(100, 195), // within 20 of the north border
+		geom.Pt(100, 100), // deep interior
+	}
+	net := buildNet(t, pts, 30)
+	edges := BorderMarginEdge{Margin: 20}.EdgeNodes(net)
+	if !edges[0] || !edges[1] {
+		t.Error("border nodes not marked")
+	}
+	if edges[2] {
+		t.Error("interior node marked")
+	}
+	// Margin covering the whole field marks everything.
+	all := BorderMarginEdge{Margin: 150}.EdgeNodes(net)
+	for i, b := range all {
+		if !b {
+			t.Errorf("node %d unmarked under full-field margin", i)
+		}
+	}
+}
+
+func TestUnionEdgeAndNames(t *testing.T) {
+	pts := []geom.Point{geom.Pt(5, 100), geom.Pt(100, 100), geom.Pt(195, 100)}
+	net := buildNet(t, pts, 300)
+	u := UnionEdge{ConvexHullEdge{}, BorderMarginEdge{Margin: 10}}
+	edges := u.EdgeNodes(net)
+	// 0 and 2 are both hull and border; 1 is neither (collinear interior).
+	if !edges[0] || !edges[2] {
+		t.Error("union missed obvious edge nodes")
+	}
+	if edges[1] {
+		t.Error("union marked interior collinear node")
+	}
+	if got := u.Name(); got != "union(hull+margin)" {
+		t.Errorf("union name = %q", got)
+	}
+	if (ConvexHullEdge{}).Name() != "hull" || (BorderMarginEdge{}).Name() != "margin" {
+		t.Error("rule names wrong")
+	}
+	if DefaultEdgeRule().Name() != "union(hull+margin)" {
+		t.Errorf("default rule = %q", DefaultEdgeRule().Name())
+	}
+}
+
+func TestIncrementalFailureEqualsRebuild(t *testing.T) {
+	for seed := uint64(2); seed <= 4; seed++ {
+		net := deployed(t, topo.ModelFA, 400, seed)
+		m := Build(net)
+
+		// Fail a scattered batch of nodes.
+		failed := []topo.NodeID{11, 47, 160, 233, 391}
+		for _, f := range failed {
+			net.SetAlive(f, false)
+		}
+		m.OnNodeFailure(failed...)
+
+		fresh := Build(net)
+		for i := range net.Nodes {
+			u := topo.NodeID(i)
+			for _, z := range geom.AllZones {
+				if m.Safe(u, z) != fresh.Safe(u, z) {
+					t.Fatalf("seed %d: node %d type-%d: incremental=%v fresh=%v",
+						seed, u, z, m.Safe(u, z), fresh.Safe(u, z))
+				}
+				if m.U1(u, z) != fresh.U1(u, z) || m.U2(u, z) != fresh.U2(u, z) {
+					t.Fatalf("seed %d: node %d type-%d shape endpoints differ", seed, u, z)
+				}
+			}
+		}
+		// Restore for the next iteration's deploy (fresh network anyway).
+	}
+}
+
+func TestIncrementalCascade(t *testing.T) {
+	// Line 0..4, pin east end. Killing node 3 severs the type-1 chain:
+	// nodes 0..2 must flip type-1 unsafe.
+	pts := []geom.Point{
+		geom.Pt(10, 50), geom.Pt(20, 50), geom.Pt(30, 50), geom.Pt(40, 50), geom.Pt(50, 50),
+	}
+	net := buildNet(t, pts, 12)
+	m := Build(net, WithEdgeRule(pinSet{4: true}))
+	if !m.Safe(0, geom.Zone1) {
+		t.Fatal("precondition: node 0 type-1 safe")
+	}
+	net.SetAlive(3, false)
+	m.OnNodeFailure(3)
+	for u := topo.NodeID(0); u <= 2; u++ {
+		if m.Safe(u, geom.Zone1) {
+			t.Errorf("node %d still type-1 safe after chain cut", u)
+		}
+	}
+	if m.AnySafe(3) {
+		t.Error("dead node reports safe status")
+	}
+	if got := m.Tuple(3); got != "(0,0,0,0)" {
+		t.Errorf("dead node tuple = %s", got)
+	}
+}

@@ -1,0 +1,219 @@
+package safety
+
+import (
+	"math/rand/v2"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// hasSafeZoneNeighbor evaluates the Definition 1 condition at u for zone
+// z against the given status snapshot: is there any type-z safe neighbor
+// inside Q_z(u)?
+func (m *Model) hasSafeZoneNeighbor(u topo.NodeID, z geom.ZoneType, safeOf func(topo.NodeID, geom.ZoneType) bool) bool {
+	pu := m.Net.Pos(u)
+	for _, v := range m.Net.Neighbors(u) {
+		if geom.InForwardingZone(pu, z, m.Net.Pos(v)) && safeOf(v, z) {
+			return true
+		}
+	}
+	return false
+}
+
+// labelSync runs Definition 1 / Algorithm 2 as the paper states it: a
+// synchronous round-based system where every node re-evaluates its four
+// statuses against the previous round's snapshot, and every status change
+// is broadcast to all neighbors. Rounds and messages are recorded in
+// m.Cost. The iteration is monotone (statuses only flip safe→unsafe), so
+// it stabilizes after at most 4·|V| changes.
+func (m *Model) labelSync() {
+	m.Cost = ConstructionCost{}
+	for {
+		// Snapshot of the previous round.
+		prev := make([]Info, len(m.info))
+		copy(prev, m.info)
+		safeOf := func(v topo.NodeID, z geom.ZoneType) bool { return prev[v].Safe[z-1] }
+
+		changed := 0
+		for i := range m.info {
+			u := topo.NodeID(i)
+			if !m.Net.Alive(u) || m.info[i].Pinned {
+				continue
+			}
+			nodeChanged := false
+			for _, z := range geom.AllZones {
+				if !prev[i].Safe[z-1] {
+					continue // already unsafe; monotone
+				}
+				if !m.hasSafeZoneNeighbor(u, z, safeOf) {
+					m.info[i].Safe[z-1] = false
+					nodeChanged = true
+				}
+			}
+			if nodeChanged {
+				changed++
+				m.Cost.Messages += len(m.Net.Neighbors(u))
+			}
+		}
+		if changed == 0 {
+			break
+		}
+		m.Cost.Rounds++
+	}
+}
+
+// labelWorklist converges to the same fixpoint as labelSync using an
+// event-driven worklist — the "asynchronous round based system" extension
+// the paper mentions. order, when non-nil, shuffles processing to exercise
+// order independence; it does not affect the result.
+func (m *Model) labelWorklist(rng *rand.Rand) {
+	queue := make([]topo.NodeID, 0, m.Net.N())
+	inQueue := make([]bool, m.Net.N())
+	push := func(u topo.NodeID) {
+		if !inQueue[u] && m.Net.Alive(u) && !m.info[u].Pinned {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for i := range m.info {
+		push(topo.NodeID(i))
+	}
+	safeOf := func(v topo.NodeID, z geom.ZoneType) bool { return m.info[v].Safe[z-1] }
+
+	for len(queue) > 0 {
+		var u topo.NodeID
+		if rng != nil {
+			k := rng.IntN(len(queue))
+			u = queue[k]
+			queue[k] = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			u = queue[0]
+			queue = queue[1:]
+		}
+		inQueue[u] = false
+
+		changed := false
+		for _, z := range geom.AllZones {
+			if !m.info[u].Safe[z-1] {
+				continue
+			}
+			if !m.hasSafeZoneNeighbor(u, z, safeOf) {
+				m.info[u].Safe[z-1] = false
+				changed = true
+			}
+		}
+		if changed {
+			m.Cost.Messages += len(m.Net.Neighbors(u))
+			for _, v := range m.Net.Neighbors(u) {
+				push(v)
+			}
+		}
+	}
+}
+
+// BuildAsync builds the model with the asynchronous (worklist) labeling,
+// processing nodes in seeded-random order. The resulting statuses always
+// equal Build's: the fixpoint is unique.
+func BuildAsync(net *topo.Network, seed uint64, opts ...Option) *Model {
+	cfg := buildConfig{edgeRule: DefaultEdgeRule()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := &Model{
+		Net:  net,
+		Edge: cfg.edgeRule,
+		info: make([]Info, net.N()),
+		edge: cfg.edgeRule.EdgeNodes(net),
+	}
+	m.reset()
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	m.labelWorklist(rng)
+	m.propagateShapes()
+	return m
+}
+
+// OnNodeFailure incrementally repairs the model after the given nodes
+// fail (callers must have already called net.SetAlive(id, false)).
+// Failures only flip statuses safe→unsafe, so re-running the worklist
+// from the current state converges to exactly the from-scratch labeling;
+// the pinned set is recomputed first because a dead hull node changes the
+// interest-area edge.
+func (m *Model) OnNodeFailure(failed ...topo.NodeID) {
+	m.edge = m.Edge.EdgeNodes(m.Net)
+	for i := range m.info {
+		u := topo.NodeID(i)
+		alive := m.Net.Alive(u)
+		m.info[i].Pinned = m.edge[i] && alive
+		if !alive {
+			for z := 0; z < geom.NumZones; z++ {
+				m.info[i].Safe[z] = false
+			}
+		}
+	}
+	// Seed the worklist with the failure neighborhood: only nodes whose
+	// zone condition may have changed. labelWorklist pushes transitively.
+	queue := make([]topo.NodeID, 0, len(failed)*8)
+	seen := make(map[topo.NodeID]bool, len(failed)*8)
+	for _, f := range failed {
+		// Dead nodes have no Neighbors; use the static adjacency via
+		// positions: scan all alive nodes in range.
+		for i := range m.info {
+			v := topo.NodeID(i)
+			if m.Net.Alive(v) && m.Net.InRange(f, v) && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Un-pinned survivors (hull changed) must also re-evaluate.
+	for i := range m.info {
+		u := topo.NodeID(i)
+		if m.Net.Alive(u) && !m.info[i].Pinned && !seen[u] && m.AnySafe(u) {
+			// Cheap filter: only nodes near the failure set or with a
+			// changed pin state matter, but re-evaluating every safe
+			// node costs one zone scan and keeps the repair exact.
+			seen[u] = true
+			queue = append(queue, u)
+		}
+	}
+	m.repairFrom(queue)
+	m.propagateShapes()
+}
+
+// repairFrom runs the monotone worklist starting from the given seeds.
+func (m *Model) repairFrom(seeds []topo.NodeID) {
+	queue := append([]topo.NodeID(nil), seeds...)
+	inQueue := make([]bool, m.Net.N())
+	for _, u := range seeds {
+		inQueue[u] = true
+	}
+	safeOf := func(v topo.NodeID, z geom.ZoneType) bool { return m.info[v].Safe[z-1] }
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		if !m.Net.Alive(u) || m.info[u].Pinned {
+			continue
+		}
+		changed := false
+		for _, z := range geom.AllZones {
+			if !m.info[u].Safe[z-1] {
+				continue
+			}
+			if !m.hasSafeZoneNeighbor(u, z, safeOf) {
+				m.info[u].Safe[z-1] = false
+				changed = true
+			}
+		}
+		if changed {
+			m.Cost.Messages += len(m.Net.Neighbors(u))
+			for _, v := range m.Net.Neighbors(u) {
+				if !inQueue[v] {
+					inQueue[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package safety
+
+import (
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Region classifies a point against one unsafe-area estimate (Fig. 1(b)):
+// Q_z(v) is divided by the ray from v through the far corner of E_z(v);
+// the side holding the destination is the critical region (the routing
+// hugs it), the other side is the forbidden region (entering it forces a
+// detour around the wrong flank of the blocking area).
+type Region int
+
+// Region values. Points outside the owner's forwarding zone are neutral.
+const (
+	RegionCritical Region = iota + 1
+	RegionForbidden
+	RegionNeutral
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case RegionCritical:
+		return "critical"
+	case RegionForbidden:
+		return "forbidden"
+	case RegionNeutral:
+		return "neutral"
+	default:
+		return "region(?)"
+	}
+}
+
+// ShapeAt is one unsafe-area estimate visible from a routing decision
+// point: the owning unsafe node, the zone type, the rectangle, and the
+// dividing-ray far corner.
+type ShapeAt struct {
+	Owner topo.NodeID
+	Zone  geom.ZoneType
+	Rect  geom.Rect
+	Far   geom.Point
+}
+
+// ClassifyPoint classifies p against the estimate held by unsafe node v
+// for zone z, given destination d. Collinear points (on the dividing ray)
+// count as critical: the ray itself leads to the far corner, where the
+// area ends.
+func (m *Model) ClassifyPoint(v topo.NodeID, z geom.ZoneType, d, p geom.Point) Region {
+	far, ok := m.FarCorner(v, z)
+	if !ok {
+		return RegionNeutral
+	}
+	pv := m.Net.Pos(v)
+	if !geom.InForwardingZone(pv, z, p) {
+		return RegionNeutral
+	}
+	sideD := geom.SideOfRay(pv, far, d)
+	sideP := geom.SideOfRay(pv, far, p)
+	if sideP == geom.Collinear || sideD == geom.Collinear || sideP == sideD {
+		return RegionCritical
+	}
+	return RegionForbidden
+}
+
+// NearbyShapes collects every unsafe-area estimate visible at u for a
+// packet destined to d: estimates held by u itself and by its unsafe
+// neighbors, for the zone each holder would use toward d. This models the
+// paper's "u can collect an unsafe area estimation from its unsafe
+// neighbor v".
+func (m *Model) NearbyShapes(u topo.NodeID, d geom.Point) []ShapeAt {
+	var out []ShapeAt
+	consider := func(v topo.NodeID) {
+		z := geom.ZoneTypeOf(m.Net.Pos(v), d)
+		if m.Safe(v, z) {
+			return
+		}
+		r, ok := m.Shape(v, z)
+		if !ok {
+			return
+		}
+		far, _ := m.FarCorner(v, z)
+		out = append(out, ShapeAt{Owner: v, Zone: z, Rect: r, Far: far})
+	}
+	consider(u)
+	for _, v := range m.Net.Neighbors(u) {
+		consider(v)
+	}
+	return out
+}
+
+// AvoidsForbidden reports whether candidate position p avoids the
+// forbidden region of every visible estimate whose critical region holds
+// the destination — the superseding "either-hand" preference of
+// Algorithm 3 step 3.
+func (m *Model) AvoidsForbidden(shapes []ShapeAt, d, p geom.Point) bool {
+	for _, s := range shapes {
+		if m.ClassifyPoint(s.Owner, s.Zone, d, d) != RegionCritical {
+			continue
+		}
+		if m.ClassifyPoint(s.Owner, s.Zone, d, p) == RegionForbidden {
+			return false
+		}
+	}
+	return true
+}
+
+// ConfinementBox returns the union of the four E-areas visible at u
+// (inflated by one radio range), the box that confines the cautious
+// perimeter phase when the source or destination tuple is (0,0,0,0)
+// (contribution (c)). ok is false when u holds no estimates at all.
+func (m *Model) ConfinementBox(u topo.NodeID) (geom.Rect, bool) {
+	var box geom.Rect
+	found := false
+	add := func(v topo.NodeID) {
+		for _, z := range geom.AllZones {
+			if r, ok := m.Shape(v, z); ok {
+				if !found {
+					box = r
+					found = true
+				} else {
+					box = box.Union(r)
+				}
+			}
+		}
+	}
+	add(u)
+	for _, v := range m.Net.Neighbors(u) {
+		add(v)
+	}
+	if !found {
+		return geom.Rect{}, false
+	}
+	return box.Inflate(m.Net.Radius), true
+}

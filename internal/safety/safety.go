@@ -1,0 +1,243 @@
+// Package safety implements the paper's safety information model (§3):
+// the four-type safe/unsafe labeling process of Definition 1 / Algorithm 2,
+// the estimated-shape information E_i(u) built from the farthest reachable
+// nodes u(1) and u(2), the critical/forbidden region split derived from
+// those shapes, and the construction-cost accounting used to compare
+// against BOUNDHOLE.
+//
+// A node u is type-i unsafe when every neighbor in its type-i forwarding
+// zone Q_i(u) is itself type-i unsafe (vacuously so when the zone is
+// empty); edge nodes of the interest area are pinned safe, tuple
+// (1,1,1,1). The connected unsafe nodes of one type form an unsafe area,
+// whose shape each member estimates as the rectangle spanned by itself and
+// the farthest nodes on its first and last greedy forwarding paths.
+package safety
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Info is the safety state a single node stores: its own tuple plus the
+// per-type shape bookkeeping (u(1), u(2)).
+type Info struct {
+	// Safe[z-1] is S_z(u): true = safe ("1"), false = unsafe ("0").
+	Safe [geom.NumZones]bool
+	// Pinned marks edge nodes of the interest area, which never change
+	// status.
+	Pinned bool
+	// U1[z-1] / U2[z-1] are the farthest reachable nodes u(1) and u(2)
+	// of the type-z unsafe area (valid only while !Safe[z-1];
+	// topo.NoNode when not computed).
+	U1, U2 [geom.NumZones]topo.NodeID
+}
+
+// Tuple renders the status tuple the way the paper writes it, e.g.
+// "(1,0,1,1)".
+func (in Info) Tuple() string {
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("(%d,%d,%d,%d)", b(in.Safe[0]), b(in.Safe[1]), b(in.Safe[2]), b(in.Safe[3]))
+}
+
+// ConstructionCost records what building the information model cost: the
+// number of synchronous rounds until stabilization and the number of
+// one-hop broadcast messages (one per node per status change, as in
+// Algorithm 2's "broadcasting such information of a node that newly
+// changes its safety status to all its neighbors").
+type ConstructionCost struct {
+	Rounds   int
+	Messages int
+}
+
+// Model is the stabilized safety information of one network.
+type Model struct {
+	Net  *topo.Network
+	Edge EdgeRule
+	Cost ConstructionCost
+
+	info []Info
+	// edge[u] caches the pinned set.
+	edge []bool
+}
+
+// Option configures Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	edgeRule EdgeRule
+}
+
+// WithEdgeRule overrides the default edge-node rule.
+func WithEdgeRule(r EdgeRule) Option {
+	return func(c *buildConfig) { c.edgeRule = r }
+}
+
+// Build constructs the safety information for net: labels every node
+// (synchronous rounds, Algorithm 2) and propagates the estimated shape
+// information.
+func Build(net *topo.Network, opts ...Option) *Model {
+	cfg := buildConfig{edgeRule: DefaultEdgeRule()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := &Model{
+		Net:  net,
+		Edge: cfg.edgeRule,
+		info: make([]Info, net.N()),
+		edge: cfg.edgeRule.EdgeNodes(net),
+	}
+	m.reset()
+	m.labelSync()
+	m.propagateShapes()
+	return m
+}
+
+// reset initializes every alive node safe (Definition 1 step 1), pinning
+// edge nodes.
+func (m *Model) reset() {
+	for i := range m.info {
+		in := &m.info[i]
+		in.Pinned = m.edge[i] && m.Net.Alive(topo.NodeID(i))
+		for z := 0; z < geom.NumZones; z++ {
+			in.Safe[z] = m.Net.Alive(topo.NodeID(i))
+			in.U1[z] = topo.NoNode
+			in.U2[z] = topo.NoNode
+		}
+	}
+}
+
+// Safe reports S_z(u). Dead nodes are unsafe in every type.
+func (m *Model) Safe(u topo.NodeID, z geom.ZoneType) bool {
+	return m.info[u].Safe[z-1]
+}
+
+// Unsafe reports !S_z(u).
+func (m *Model) Unsafe(u topo.NodeID, z geom.ZoneType) bool { return !m.Safe(u, z) }
+
+// AnySafe reports whether u is safe in at least one type (tuple != (0,0,0,0)).
+func (m *Model) AnySafe(u topo.NodeID) bool {
+	for _, s := range m.info[u].Safe {
+		if s {
+			return true
+		}
+	}
+	return false
+}
+
+// AllUnsafe reports the paper's (0,0,0,0) condition that triggers the
+// cautious perimeter phase.
+func (m *Model) AllUnsafe(u topo.NodeID) bool { return !m.AnySafe(u) }
+
+// Pinned reports whether u is an edge node of the interest area.
+func (m *Model) Pinned(u topo.NodeID) bool { return m.info[u].Pinned }
+
+// Tuple returns the printable status tuple of u.
+func (m *Model) Tuple(u topo.NodeID) string { return m.info[u].Tuple() }
+
+// U1 returns u(1) of the type-z unsafe area at u (topo.NoNode when u is
+// type-z safe).
+func (m *Model) U1(u topo.NodeID, z geom.ZoneType) topo.NodeID { return m.info[u].U1[z-1] }
+
+// U2 returns u(2), symmetric to U1.
+func (m *Model) U2(u topo.NodeID, z geom.ZoneType) topo.NodeID { return m.info[u].U2[z-1] }
+
+// SafeToward reports whether node v is safe with respect to a packet
+// destined for d: S_k̄(v) where k̄ is the type of the request zone
+// Z(v, d). A node that is the destination itself counts as safe.
+func (m *Model) SafeToward(v topo.NodeID, d geom.Point) bool {
+	pv := m.Net.Pos(v)
+	if pv == d {
+		return true
+	}
+	return m.Safe(v, geom.ZoneTypeOf(pv, d))
+}
+
+// Shape returns the estimated unsafe-area rectangle E_z(u) as seen from
+// type-z unsafe node u: [xu : x_{u(1)}, yu : y_{u(2)}] (with the x/y roles
+// of u(1) and u(2) swapped for the even zone types, whose CCW scan starts
+// on the other axis). ok is false when u is type-z safe or the shape has
+// not stabilized.
+func (m *Model) Shape(u topo.NodeID, z geom.ZoneType) (geom.Rect, bool) {
+	in := m.info[u]
+	if in.Safe[z-1] {
+		return geom.Rect{}, false
+	}
+	u1 := in.U1[z-1]
+	u2 := in.U2[z-1]
+	if u1 == topo.NoNode || u2 == topo.NoNode {
+		return geom.Rect{}, false
+	}
+	return shapeRect(m.Net, u, z, u1, u2), true
+}
+
+// shapeRect assembles E_z(u) from the u(1)/u(2) positions. For the odd
+// zones (1: scan starts at +X; 3: at -X) the first path u(1) bounds the x
+// extent and the last path u(2) the y extent; for the even zones the scan
+// starts on the y axis so the roles swap.
+func shapeRect(net *topo.Network, u topo.NodeID, z geom.ZoneType, u1, u2 topo.NodeID) geom.Rect {
+	pu := net.Pos(u)
+	p1 := net.Pos(u1)
+	p2 := net.Pos(u2)
+	var far geom.Point
+	switch z {
+	case geom.Zone1, geom.Zone3:
+		far = geom.Pt(p1.X, p2.Y)
+	default: // Zone2, Zone4
+		far = geom.Pt(p2.X, p1.Y)
+	}
+	return geom.FromCorners(pu, far)
+}
+
+// FarCorner returns the corner of E_z(u) diagonally opposite u — the
+// endpoint of the dividing ray of the critical/forbidden split. ok
+// mirrors Shape.
+func (m *Model) FarCorner(u topo.NodeID, z geom.ZoneType) (geom.Point, bool) {
+	r, ok := m.Shape(u, z)
+	if !ok {
+		return geom.Point{}, false
+	}
+	pu := m.Net.Pos(u)
+	// The far corner is the rect corner not equal to pu in either
+	// coordinate. Because the rect was built FromCorners(pu, far), it is
+	// whichever of Min/Max differs from pu per axis.
+	x := r.Min.X
+	if pu.X == r.Min.X {
+		x = r.Max.X
+	}
+	y := r.Min.Y
+	if pu.Y == r.Min.Y {
+		y = r.Max.Y
+	}
+	return geom.Pt(x, y), true
+}
+
+// UnsafeAreaOf returns every node of the connected type-z unsafe area
+// containing u (BFS over unsafe nodes), or nil if u is type-z safe.
+// Used by analysis, tests and the visualizer; routing never needs it.
+func (m *Model) UnsafeAreaOf(u topo.NodeID, z geom.ZoneType) []topo.NodeID {
+	if m.Safe(u, z) {
+		return nil
+	}
+	seen := map[topo.NodeID]bool{u: true}
+	queue := []topo.NodeID{u}
+	var out []topo.NodeID
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		out = append(out, x)
+		for _, v := range m.Net.Neighbors(x) {
+			if !seen[v] && m.Unsafe(v, z) {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}

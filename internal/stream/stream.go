@@ -1,0 +1,114 @@
+// Package stream models the paper's motivating application (§1): a
+// streaming service delivering a large amount of data from a source to a
+// destination over a fixed route. Straighter paths involve fewer relay
+// nodes, which both saves energy and causes less interference in other
+// transmissions; this package quantifies relays, interference footprint,
+// and delivery energy for a route.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/energy"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Flow is one streaming session routed over a fixed path.
+type Flow struct {
+	Src, Dst topo.NodeID
+	Path     []topo.NodeID
+	// PacketBits is the size of one stream packet.
+	PacketBits int
+	// Packets is the number of packets in the stream.
+	Packets int
+}
+
+// NewFlow builds a flow from a routing result.
+func NewFlow(src, dst topo.NodeID, res core.Result, packetBits, packets int) (*Flow, error) {
+	if !res.Delivered {
+		return nil, fmt.Errorf("stream: route %d->%d undelivered (%v)", src, dst, res.Reason)
+	}
+	if packetBits <= 0 || packets <= 0 {
+		return nil, fmt.Errorf("stream: packet bits (%d) and count (%d) must be positive", packetBits, packets)
+	}
+	return &Flow{Src: src, Dst: dst, Path: res.Path, PacketBits: packetBits, Packets: packets}, nil
+}
+
+// Relays returns the number of distinct intermediate nodes carrying the
+// stream (source and destination excluded).
+func (f *Flow) Relays() int {
+	seen := make(map[topo.NodeID]bool, len(f.Path))
+	for _, u := range f.Path[1 : len(f.Path)-1] {
+		if u != f.Src && u != f.Dst {
+			seen[u] = true
+		}
+	}
+	return len(seen)
+}
+
+// Interference returns the number of distinct nodes that hear the stream
+// at all: every node within radio range of any transmitter on the path.
+// Fewer involved nodes means less interference in other transmissions —
+// the paper's second motivation for straightforward paths.
+func (f *Flow) Interference(net *topo.Network) int {
+	heard := make(map[topo.NodeID]bool)
+	for i := 0; i < len(f.Path)-1; i++ { // every node that transmits
+		tx := f.Path[i]
+		for _, v := range net.Neighbors(tx) {
+			heard[v] = true
+		}
+		heard[tx] = true
+	}
+	return len(heard)
+}
+
+// Energy returns the total radio energy to deliver the whole stream.
+func (f *Flow) Energy(net *topo.Network, m energy.Model) float64 {
+	perPacket := m.PathCost(net, f.Path, f.PacketBits)
+	return perPacket * float64(f.Packets)
+}
+
+// Stretch returns the path length divided by the Euclidean distance
+// between source and destination (1.0 = perfectly straight).
+func (f *Flow) Stretch(net *topo.Network) float64 {
+	direct := geom.Dist(net.Pos(f.Src), net.Pos(f.Dst))
+	if direct == 0 {
+		return 1
+	}
+	return net.PathLength(f.Path) / direct
+}
+
+// Report summarizes a flow for one routing algorithm.
+type Report struct {
+	Algorithm    string
+	Hops         int
+	Relays       int
+	Interference int
+	EnergyJ      float64
+	Stretch      float64
+}
+
+// Compare routes the same stream with every router and reports the
+// per-algorithm footprint. Routers that fail to deliver are skipped.
+func Compare(net *topo.Network, routers []core.Router, src, dst topo.NodeID, packetBits, packets int) []Report {
+	m := energy.DefaultModel()
+	out := make([]Report, 0, len(routers))
+	for _, r := range routers {
+		res := r.Route(src, dst)
+		flow, err := NewFlow(src, dst, res, packetBits, packets)
+		if err != nil {
+			continue
+		}
+		out = append(out, Report{
+			Algorithm:    r.Name(),
+			Hops:         res.Hops(),
+			Relays:       flow.Relays(),
+			Interference: flow.Interference(net),
+			EnergyJ:      flow.Energy(net, m),
+			Stretch:      flow.Stretch(net),
+		})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/energy"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func lineNet(t *testing.T) *topo.Network {
+	t.Helper()
+	pts := []geom.Point{
+		geom.Pt(10, 50), geom.Pt(20, 50), geom.Pt(30, 50), geom.Pt(40, 50), geom.Pt(50, 50),
+	}
+	net, err := topo.NewNetwork(pts, 12, geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func deliveredResult(t *testing.T, net *topo.Network, src, dst topo.NodeID) core.Result {
+	t.Helper()
+	res := core.NewLGF(net).Route(src, dst)
+	if !res.Delivered {
+		t.Fatal("routing failed on test network")
+	}
+	return res
+}
+
+func TestNewFlowValidation(t *testing.T) {
+	net := lineNet(t)
+	res := deliveredResult(t, net, 0, 4)
+	if _, err := NewFlow(0, 4, res, 0, 10); err == nil {
+		t.Error("zero packet bits accepted")
+	}
+	if _, err := NewFlow(0, 4, res, 1024, 0); err == nil {
+		t.Error("zero packet count accepted")
+	}
+	var failed core.Result
+	failed.Reason = core.DropNoCandidate
+	if _, err := NewFlow(0, 4, failed, 1024, 10); err == nil {
+		t.Error("undelivered route accepted")
+	}
+}
+
+func TestFlowMetrics(t *testing.T) {
+	net := lineNet(t)
+	res := deliveredResult(t, net, 0, 4)
+	flow, err := NewFlow(0, 4, res, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flow.Relays(); got != 3 {
+		t.Errorf("Relays = %d, want 3 (nodes 1,2,3)", got)
+	}
+	// Every node hears a transmission on the line.
+	if got := flow.Interference(net); got != 5 {
+		t.Errorf("Interference = %d, want 5", got)
+	}
+	// Stretch on a straight line is 1.
+	if got := flow.Stretch(net); got != 1 {
+		t.Errorf("Stretch = %v, want 1", got)
+	}
+	// Energy: 4 hops of 10 m, 1000 bits, 100 packets.
+	m := energy.DefaultModel()
+	perHop := m.TxCost(1000, 10) + m.RxCost(1000)
+	want := perHop * 4 * 100
+	if got := flow.Energy(net, m); got < want*0.999 || got > want*1.001 {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestStretchSelfFlow(t *testing.T) {
+	net := lineNet(t)
+	f := &Flow{Src: 2, Dst: 2, Path: []topo.NodeID{2}, PacketBits: 1, Packets: 1}
+	if got := f.Stretch(net); got != 1 {
+		t.Errorf("self-flow stretch = %v, want 1", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelIA, 400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	m := safety.Build(net)
+	routers := []core.Router{
+		core.NewLGF(net),
+		core.NewSLGF2(net, m),
+		core.NewIdeal(net, core.IdealMinLength),
+	}
+	labels, _ := topo.Components(net)
+	var src, dst topo.NodeID = topo.NoNode, topo.NoNode
+	for s := 0; s < net.N() && src == topo.NoNode; s++ {
+		d := net.N() - 1 - s
+		if s != d && labels[s] >= 0 && labels[s] == labels[d] {
+			src, dst = topo.NodeID(s), topo.NodeID(d)
+		}
+	}
+	if src == topo.NoNode {
+		t.Skip("no connected pair")
+	}
+	reports := Compare(net, routers, src, dst, 1000, 10)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	var ideal, lgf *Report
+	for i := range reports {
+		switch reports[i].Algorithm {
+		case "Ideal-length":
+			ideal = &reports[i]
+		case "LGF":
+			lgf = &reports[i]
+		}
+		if reports[i].Hops <= 0 || reports[i].EnergyJ <= 0 || reports[i].Stretch < 1 {
+			t.Errorf("implausible report %+v", reports[i])
+		}
+	}
+	if ideal == nil || lgf == nil {
+		t.Fatal("missing expected reports")
+	}
+	if lgf.EnergyJ < ideal.EnergyJ*0.999 {
+		t.Errorf("LGF energy %v beats ideal %v", lgf.EnergyJ, ideal.EnergyJ)
+	}
+	if lgf.Interference < ideal.Interference/2 {
+		t.Errorf("interference implausible: lgf %d vs ideal %d", lgf.Interference, ideal.Interference)
+	}
+}

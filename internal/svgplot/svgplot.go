@@ -1,0 +1,162 @@
+// Package svgplot renders networks, holes, unsafe areas and routes as
+// standalone SVG documents using only the standard library. It exists
+// for visual verification of the reproduction (the paper's Figs. 1-4 are
+// exactly such drawings).
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Canvas accumulates SVG elements over a deployment field.
+type Canvas struct {
+	field geom.Rect
+	scale float64
+	body  strings.Builder
+}
+
+// New returns a canvas mapping the field to a width-pixel-wide image.
+func New(field geom.Rect, widthPx float64) *Canvas {
+	if widthPx <= 0 {
+		widthPx = 800
+	}
+	scale := widthPx / field.Width()
+	return &Canvas{field: field, scale: scale}
+}
+
+// pt maps field coordinates to SVG pixels (y flipped: SVG grows down).
+func (c *Canvas) pt(p geom.Point) (x, y float64) {
+	return (p.X - c.field.Min.X) * c.scale,
+		(c.field.Max.Y - p.Y) * c.scale
+}
+
+// Network draws every node as a dot and, when edges is true, every link.
+func (c *Canvas) Network(net *topo.Network, edges bool) {
+	if edges {
+		for i := range net.Nodes {
+			u := topo.NodeID(i)
+			if !net.Alive(u) {
+				continue
+			}
+			for _, v := range net.Neighbors(u) {
+				if v < u {
+					continue
+				}
+				x1, y1 := c.pt(net.Pos(u))
+				x2, y2 := c.pt(net.Pos(v))
+				fmt.Fprintf(&c.body,
+					`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+					x1, y1, x2, y2)
+			}
+		}
+	}
+	for _, n := range net.Nodes {
+		x, y := c.pt(n.Pos)
+		fill := "#444"
+		if !n.Alive {
+			fill = "#f33"
+		}
+		fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s"/>`+"\n", x, y, fill)
+	}
+}
+
+// Holes shades forbidden areas.
+func (c *Canvas) Holes(areas topo.AreaSet) {
+	for _, a := range areas {
+		switch t := a.(type) {
+		case topo.RectArea:
+			c.rect(t.R, "rgba(255,120,120,0.35)", "none")
+		case topo.DiscArea:
+			x, y := c.pt(t.Center)
+			fmt.Fprintf(&c.body,
+				`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="rgba(255,120,120,0.35)"/>`+"\n",
+				x, y, t.Radius*c.scale)
+		default:
+			c.rect(a.BBox(), "rgba(255,120,120,0.2)", "none")
+		}
+	}
+}
+
+// UnsafeAreas outlines the estimated shape rectangles E_z(u) of every
+// unsafe node (deduplicated by rectangle).
+func (c *Canvas) UnsafeAreas(m *safety.Model) {
+	seen := map[geom.Rect]bool{}
+	for i := range m.Net.Nodes {
+		u := topo.NodeID(i)
+		for _, z := range geom.AllZones {
+			r, ok := m.Shape(u, z)
+			if !ok || r.Degenerate() || seen[r] {
+				continue
+			}
+			seen[r] = true
+			c.rect(r, "none", "#d80")
+		}
+	}
+}
+
+// Route draws a path with the given stroke color.
+func (c *Canvas) Route(net *topo.Network, path []topo.NodeID, color string) {
+	if len(path) < 2 {
+		return
+	}
+	var b strings.Builder
+	for i, u := range path {
+		x, y := c.pt(net.Pos(u))
+		if i == 0 {
+			fmt.Fprintf(&b, "M %.1f %.1f", x, y)
+		} else {
+			fmt.Fprintf(&b, " L %.1f %.1f", x, y)
+		}
+	}
+	fmt.Fprintf(&c.body,
+		`<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-opacity="0.8"/>`+"\n",
+		b.String(), color)
+	// Endpoints.
+	x, y := c.pt(net.Pos(path[0]))
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s"/>`+"\n", x, y, color)
+	x, y = c.pt(net.Pos(path[len(path)-1]))
+	fmt.Fprintf(&c.body,
+		`<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", x-5, y-5, color)
+}
+
+// Label places small text at a field position.
+func (c *Canvas) Label(p geom.Point, text string) {
+	x, y := c.pt(p)
+	fmt.Fprintf(&c.body, `<text x="%.1f" y="%.1f" font-size="11" fill="#333">%s</text>`+"\n",
+		x+4, y-4, escape(text))
+}
+
+func (c *Canvas) rect(r geom.Rect, fill, stroke string) {
+	x, y := c.pt(geom.Pt(r.Min.X, r.Max.Y)) // top-left in SVG space
+	attrs := fmt.Sprintf(`x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"`,
+		x, y, r.Width()*c.scale, r.Height()*c.scale, fill)
+	if stroke != "none" {
+		attrs += fmt.Sprintf(` stroke="%s" stroke-dasharray="4 2"`, stroke)
+	}
+	fmt.Fprintf(&c.body, "<rect %s/>\n", attrs)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	width := c.field.Width() * c.scale
+	height := c.field.Height() * c.scale
+	doc := fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height) +
+		`<rect width="100%" height="100%" fill="white"/>` + "\n" +
+		c.body.String() +
+		"</svg>\n"
+	n, err := io.WriteString(w, doc)
+	return int64(n), err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

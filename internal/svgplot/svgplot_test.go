@@ -1,0 +1,89 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func TestCanvasRendersDocument(t *testing.T) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelFA, 120, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	net.SetAlive(5, false)
+	m := safety.Build(net)
+
+	c := New(net.Field, 600)
+	c.Holes(dep.Forbidden)
+	c.Network(net, true)
+	c.UnsafeAreas(m)
+	c.Route(net, []topo.NodeID{0, 1, 2}, "#06c")
+	c.Label(geom.Pt(10, 10), "s < & > d")
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checks := []string{
+		"<svg", "</svg>", "<circle", "<line", // nodes and edges
+		"rgba(255,120,120", // holes
+		"#f33",             // dead node
+		"stroke=\"#06c\"",  // route
+		"&lt;",             // escaped label
+	}
+	for _, want := range checks {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Error("should emit exactly one svg element")
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	c := New(geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)), 800)
+	// Field origin maps to bottom-left in SVG (y flipped).
+	x, y := c.pt(geom.Pt(0, 0))
+	if x != 0 || y != 800 {
+		t.Errorf("origin maps to (%v, %v), want (0, 800)", x, y)
+	}
+	x, y = c.pt(geom.Pt(200, 200))
+	if x != 800 || y != 0 {
+		t.Errorf("far corner maps to (%v, %v), want (800, 0)", x, y)
+	}
+}
+
+func TestZeroWidthDefaults(t *testing.T) {
+	c := New(geom.FromCorners(geom.Pt(0, 0), geom.Pt(100, 100)), 0)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800"`) {
+		t.Error("default width not applied")
+	}
+}
+
+func TestRouteTooShort(t *testing.T) {
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelIA, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(dep.Net.Field, 100)
+	c.Route(dep.Net, []topo.NodeID{3}, "#000") // no-op
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<path") {
+		t.Error("single-node route should draw nothing")
+	}
+}

@@ -1,0 +1,197 @@
+package topo
+
+import "container/heap"
+
+// Components labels every alive node with a connected-component id and
+// returns the labels (dead nodes get -1) plus the number of components.
+func Components(net *Network) (labels []int, count int) {
+	labels = make([]int, net.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	for start := range net.Nodes {
+		if !net.Nodes[start].Alive || labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], NodeID(start))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range net.Neighbors(u) {
+				if labels[v] == -1 {
+					labels[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Connected reports whether alive nodes a and b are in the same component.
+func Connected(net *Network, a, b NodeID) bool {
+	if !net.Alive(a) || !net.Alive(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	visited := make([]bool, net.N())
+	visited[a] = true
+	queue := []NodeID{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range net.Neighbors(u) {
+			if v == b {
+				return true
+			}
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// HopDistances returns the BFS hop count from src to every node
+// (-1 when unreachable). This is the "ideal" minimum-hop reference.
+func HopDistances(net *Network, src NodeID) []int {
+	dist := make([]int, net.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !net.Alive(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range net.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestHopPath returns a minimum-hop path from src to dst (inclusive),
+// or nil when unreachable.
+func ShortestHopPath(net *Network, src, dst NodeID) []NodeID {
+	if !net.Alive(src) || !net.Alive(dst) {
+		return nil
+	}
+	if src == dst {
+		return []NodeID{src}
+	}
+	prev := make([]NodeID, net.N())
+	for i := range prev {
+		prev[i] = NoNode
+	}
+	prev[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range net.Neighbors(u) {
+			if prev[v] != NoNode {
+				continue
+			}
+			prev[v] = u
+			if v == dst {
+				return tracePath(prev, src, dst)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func tracePath(prev []NodeID, src, dst NodeID) []NodeID {
+	var rev []NodeID
+	for at := dst; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	out := make([]NodeID, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestEuclideanPath returns the minimum total-Euclidean-length path
+// from src to dst (Dijkstra over edge lengths), or nil when unreachable.
+// This is the "ideal routing path" reference of Fig. 1(a).
+func ShortestEuclideanPath(net *Network, src, dst NodeID) []NodeID {
+	if !net.Alive(src) || !net.Alive(dst) {
+		return nil
+	}
+	if src == dst {
+		return []NodeID{src}
+	}
+	const unreached = -1.0
+	dist := make([]float64, net.N())
+	prev := make([]NodeID, net.N())
+	done := make([]bool, net.N())
+	for i := range dist {
+		dist[i] = unreached
+		prev[i] = NoNode
+	}
+	dist[src] = 0
+	prev[src] = src
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			return tracePath(prev, src, dst)
+		}
+		for _, v := range net.Neighbors(u) {
+			if done[v] {
+				continue
+			}
+			nd := dist[u] + net.Dist(u, v)
+			if dist[v] == unreached || nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, pqItem{node: v, dist: nd})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// DeployModel names the two deployment models of §5.
+type DeployModel int
+
+// Deployment models. IA is the ideal uniform model; FA adds forbidden areas.
+const (
+	ModelIA DeployModel = iota + 1
+	ModelFA
+)
+
+// String implements fmt.Stringer.
+func (m DeployModel) String() string {
+	switch m {
+	case ModelIA:
+		return "IA"
+	case ModelFA:
+		return "FA"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// ParseDeployModel converts "ia"/"fa" (any case) to a DeployModel.
+func ParseDeployModel(s string) (DeployModel, error) {
+	switch s {
+	case "ia", "IA", "Ia":
+		return ModelIA, nil
+	case "fa", "FA", "Fa":
+		return ModelFA, nil
+	default:
+		return 0, fmt.Errorf("topo: unknown deployment model %q (want ia or fa)", s)
+	}
+}
+
+// DeployConfig describes one random network instance.
+type DeployConfig struct {
+	// Model selects IA (uniform) or FA (uniform outside forbidden areas).
+	Model DeployModel
+	// N is the node count.
+	N int
+	// Radius is the radio range (20 m in the paper).
+	Radius float64
+	// Field is the interest area (200x200 m in the paper).
+	Field geom.Rect
+	// Forbidden parameterizes FA hole generation; ignored under IA.
+	Forbidden ForbiddenConfig
+	// Seed1, Seed2 seed the PCG generator; the same seeds always produce
+	// the same network.
+	Seed1, Seed2 uint64
+}
+
+// DefaultDeployConfig returns the paper's §5 setup for the given model and
+// node count: 200x200 field, radius 20.
+func DefaultDeployConfig(model DeployModel, n int, seed uint64) DeployConfig {
+	return DeployConfig{
+		Model:     model,
+		N:         n,
+		Radius:    20,
+		Field:     geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)),
+		Forbidden: DefaultForbiddenConfig(),
+		Seed1:     seed,
+		Seed2:     seed ^ 0x9e3779b97f4a7c15, // golden-ratio mix for the PCG stream
+	}
+}
+
+// Deployment is a generated network plus the generation artifacts the
+// experiments need (the hole set for plotting, the RNG state consumed).
+type Deployment struct {
+	Net       *Network
+	Forbidden AreaSet // nil under IA
+}
+
+// maxPlacementAttempts bounds FA rejection sampling; with default configs
+// forbidden areas cover well under half the field, so this is generous.
+const maxPlacementAttempts = 10_000
+
+// Deploy generates one random network per cfg.
+func Deploy(cfg DeployConfig) (*Deployment, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("topo: node count must be positive, got %d", cfg.N)
+	}
+	if cfg.Field.Empty() {
+		return nil, fmt.Errorf("topo: empty deployment field %v", cfg.Field)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed1, cfg.Seed2))
+
+	var holes AreaSet
+	if cfg.Model == ModelFA {
+		holes = RandomForbiddenAreas(rng, cfg.Field, cfg.Forbidden)
+	}
+
+	pts := make([]geom.Point, 0, cfg.N)
+	for len(pts) < cfg.N {
+		placed := false
+		for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+			p := geom.Pt(
+				cfg.Field.Min.X+rng.Float64()*cfg.Field.Width(),
+				cfg.Field.Min.Y+rng.Float64()*cfg.Field.Height(),
+			)
+			if holes != nil && holes.Contains(p) {
+				continue
+			}
+			pts = append(pts, p)
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("topo: could not place node %d after %d attempts; forbidden areas too large",
+				len(pts), maxPlacementAttempts)
+		}
+	}
+
+	net, err := NewNetwork(pts, cfg.Radius, cfg.Field)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Net: net, Forbidden: holes}, nil
+}

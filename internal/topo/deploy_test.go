@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+func TestDeployIA(t *testing.T) {
+	cfg := DefaultDeployConfig(ModelIA, 400, 42)
+	dep, err := Deploy(cfg)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.Net.N() != 400 {
+		t.Errorf("N = %d, want 400", dep.Net.N())
+	}
+	if dep.Forbidden != nil {
+		t.Error("IA deployment should have no forbidden areas")
+	}
+	for _, n := range dep.Net.Nodes {
+		if !cfg.Field.Contains(n.Pos) {
+			t.Fatalf("node %v outside field", n)
+		}
+	}
+	// The paper's density (400 nodes, R=20, 200x200) is well connected:
+	// expected degree ~ 12.6.
+	if d := dep.Net.AvgDegree(); d < 8 || d > 18 {
+		t.Errorf("average degree %v outside plausible range [8, 18]", d)
+	}
+}
+
+func TestDeployFA(t *testing.T) {
+	cfg := DefaultDeployConfig(ModelFA, 500, 7)
+	dep, err := Deploy(cfg)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if len(dep.Forbidden) != cfg.Forbidden.Count {
+		t.Fatalf("got %d forbidden areas, want %d", len(dep.Forbidden), cfg.Forbidden.Count)
+	}
+	for _, n := range dep.Net.Nodes {
+		if dep.Forbidden.Contains(n.Pos) {
+			t.Fatalf("node %v placed inside a forbidden area", n)
+		}
+	}
+}
+
+func TestDeployDeterministic(t *testing.T) {
+	for _, model := range []DeployModel{ModelIA, ModelFA} {
+		a, err := Deploy(DefaultDeployConfig(model, 200, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Deploy(DefaultDeployConfig(model, 200, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Net.Nodes {
+			if a.Net.Nodes[i].Pos != b.Net.Nodes[i].Pos {
+				t.Fatalf("%v: node %d differs across identical seeds", model, i)
+			}
+		}
+		c, err := Deploy(DefaultDeployConfig(model, 200, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a.Net.Nodes {
+			if a.Net.Nodes[i].Pos != c.Net.Nodes[i].Pos {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical networks", model)
+		}
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	cfg := DefaultDeployConfig(ModelIA, 0, 1)
+	if _, err := Deploy(cfg); err == nil {
+		t.Error("zero node count accepted")
+	}
+	cfg = DefaultDeployConfig(ModelIA, 10, 1)
+	cfg.Field = geom.Rect{}
+	if _, err := Deploy(cfg); err == nil {
+		t.Error("empty field accepted")
+	}
+}
+
+func TestDeployImpossibleForbidden(t *testing.T) {
+	cfg := DefaultDeployConfig(ModelFA, 10, 1)
+	// One hole covering everything.
+	cfg.Forbidden = ForbiddenConfig{Count: 1, MinSize: 1000, MaxSize: 1000, DiscFraction: 0, Margin: 0}
+	if _, err := Deploy(cfg); err == nil {
+		t.Error("expected failure when forbidden areas cover the field")
+	}
+}
+
+func TestParseDeployModel(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    DeployModel
+		wantErr bool
+	}{
+		{in: "ia", want: ModelIA},
+		{in: "FA", want: ModelFA},
+		{in: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseDeployModel(tt.in)
+		if tt.wantErr != (err != nil) {
+			t.Errorf("ParseDeployModel(%q) err = %v", tt.in, err)
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseDeployModel(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if ModelIA.String() != "IA" || ModelFA.String() != "FA" || DeployModel(9).String() != "model(9)" {
+		t.Error("DeployModel String labels wrong")
+	}
+}
+
+func TestForbiddenAreas(t *testing.T) {
+	ra := RectArea{R: geom.FromCorners(geom.Pt(0, 0), geom.Pt(10, 10))}
+	if !ra.Contains(geom.Pt(5, 5)) || ra.Contains(geom.Pt(15, 5)) {
+		t.Error("RectArea.Contains wrong")
+	}
+	if ra.BBox() != ra.R {
+		t.Error("RectArea.BBox wrong")
+	}
+	da := DiscArea{Center: geom.Pt(0, 0), Radius: 5}
+	if !da.Contains(geom.Pt(3, 4)) || da.Contains(geom.Pt(3.01, 4)) {
+		t.Error("DiscArea.Contains wrong at boundary")
+	}
+	if bb := da.BBox(); bb != geom.FromCorners(geom.Pt(-5, -5), geom.Pt(5, 5)) {
+		t.Errorf("DiscArea.BBox = %v", bb)
+	}
+	set := AreaSet{ra, da}
+	if !set.Contains(geom.Pt(-3, 0)) || set.Contains(geom.Pt(100, 100)) {
+		t.Error("AreaSet.Contains wrong")
+	}
+	var empty AreaSet
+	if empty.Contains(geom.Pt(0, 0)) {
+		t.Error("empty AreaSet contains nothing")
+	}
+}
+
+func TestRandomForbiddenAreasRespectConfig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	field := field200()
+	cfg := ForbiddenConfig{Count: 8, MinSize: 10, MaxSize: 30, DiscFraction: 0.5, Margin: 30}
+	areas := RandomForbiddenAreas(rng, field, cfg)
+	if len(areas) != 8 {
+		t.Fatalf("got %d areas, want 8", len(areas))
+	}
+	inner := field.Inflate(-cfg.Margin + cfg.MaxSize/2 + 1)
+	for i, a := range areas {
+		bb := a.BBox()
+		if bb.Width() > cfg.MaxSize+1e-9 || bb.Height() > cfg.MaxSize+1e-9 {
+			t.Errorf("area %d bbox %v exceeds max size", i, bb)
+		}
+		if !inner.Overlaps(bb) {
+			t.Errorf("area %d bbox %v too far outside margin zone", i, bb)
+		}
+	}
+	if got := RandomForbiddenAreas(rng, field, ForbiddenConfig{Count: 0}); got != nil {
+		t.Error("zero count should return nil")
+	}
+}

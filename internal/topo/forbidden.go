@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"math/rand/v2"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// Area is a region of the field where the FA deployment model refuses to
+// place nodes ("forbidden areas ... where no nodes can be deployed", §5).
+type Area interface {
+	Contains(p geom.Point) bool
+	// BBox returns an axis-aligned bounding box of the area.
+	BBox() geom.Rect
+}
+
+// RectArea is a rectangular forbidden area.
+type RectArea struct {
+	R geom.Rect
+}
+
+// Contains implements Area.
+func (a RectArea) Contains(p geom.Point) bool { return a.R.Contains(p) }
+
+// BBox implements Area.
+func (a RectArea) BBox() geom.Rect { return a.R }
+
+// DiscArea is a circular forbidden area.
+type DiscArea struct {
+	Center geom.Point
+	Radius float64
+}
+
+// Contains implements Area.
+func (a DiscArea) Contains(p geom.Point) bool {
+	return geom.Dist2(p, a.Center) <= a.Radius*a.Radius
+}
+
+// BBox implements Area.
+func (a DiscArea) BBox() geom.Rect {
+	return geom.FromCorners(
+		geom.Pt(a.Center.X-a.Radius, a.Center.Y-a.Radius),
+		geom.Pt(a.Center.X+a.Radius, a.Center.Y+a.Radius),
+	)
+}
+
+// AreaSet is the union of several forbidden areas; the union of rectangles
+// and discs produces the "irregular" holes the paper's FA model calls for.
+type AreaSet []Area
+
+// Contains reports whether any member contains p.
+func (s AreaSet) Contains(p geom.Point) bool {
+	for _, a := range s {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForbiddenConfig parameterizes random forbidden-area generation.
+type ForbiddenConfig struct {
+	// Count is the number of areas (>= 1).
+	Count int
+	// MinSize and MaxSize bound each area's extent: rectangle side
+	// length, or 2x the disc radius.
+	MinSize, MaxSize float64
+	// DiscFraction in [0,1] is the probability an area is a disc rather
+	// than a rectangle.
+	DiscFraction float64
+	// Margin keeps area centers at least this far from the field border,
+	// so holes are interior (matching the paper's figures, where holes
+	// sit inside the interest area).
+	Margin float64
+}
+
+// DefaultForbiddenConfig mirrors the scale of the paper's FA experiments on
+// a 200x200 field with R=20: a few holes comparable to several radio
+// ranges across.
+func DefaultForbiddenConfig() ForbiddenConfig {
+	return ForbiddenConfig{
+		Count:        3,
+		MinSize:      25,
+		MaxSize:      60,
+		DiscFraction: 0.5,
+		Margin:       30,
+	}
+}
+
+// RandomForbiddenAreas draws cfg.Count areas uniformly inside field using
+// rng. Areas may overlap each other, which yields irregular unions.
+func RandomForbiddenAreas(rng *rand.Rand, field geom.Rect, cfg ForbiddenConfig) AreaSet {
+	if cfg.Count <= 0 {
+		return nil
+	}
+	span := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	inner := field.Inflate(-cfg.Margin)
+	if inner.Empty() {
+		inner = field
+	}
+	out := make(AreaSet, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		c := geom.Pt(span(inner.Min.X, inner.Max.X), span(inner.Min.Y, inner.Max.Y))
+		size := span(cfg.MinSize, cfg.MaxSize)
+		if rng.Float64() < cfg.DiscFraction {
+			out = append(out, DiscArea{Center: c, Radius: size / 2})
+			continue
+		}
+		w := size
+		h := span(cfg.MinSize, cfg.MaxSize)
+		out = append(out, RectArea{R: geom.FromCorners(
+			geom.Pt(c.X-w/2, c.Y-h/2),
+			geom.Pt(c.X+w/2, c.Y+h/2),
+		)})
+	}
+	return out
+}

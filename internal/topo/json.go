@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// networkJSON is the on-disk form of a Network. Only positions and global
+// parameters are stored; adjacency is recomputed on load (it is a pure
+// function of positions and radius).
+type networkJSON struct {
+	Radius    float64      `json:"radius"`
+	Field     [4]float64   `json:"field"` // minX, minY, maxX, maxY
+	Positions [][2]float64 `json:"positions"`
+	Dead      []NodeID     `json:"dead,omitempty"`
+}
+
+// WriteJSON serializes the network to w.
+func (net *Network) WriteJSON(w io.Writer) error {
+	out := networkJSON{
+		Radius:    net.Radius,
+		Field:     [4]float64{net.Field.Min.X, net.Field.Min.Y, net.Field.Max.X, net.Field.Max.Y},
+		Positions: make([][2]float64, net.N()),
+	}
+	for i, n := range net.Nodes {
+		out.Positions[i] = [2]float64{n.Pos.X, n.Pos.Y}
+		if !n.Alive {
+			out.Dead = append(out.Dead, n.ID)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a network written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in networkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("topo: decoding network: %w", err)
+	}
+	pts := make([]geom.Point, len(in.Positions))
+	for i, xy := range in.Positions {
+		pts[i] = geom.Pt(xy[0], xy[1])
+	}
+	field := geom.FromCorners(geom.Pt(in.Field[0], in.Field[1]), geom.Pt(in.Field[2], in.Field[3]))
+	net, err := NewNetwork(pts, in.Radius, field)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range in.Dead {
+		if id < 0 || int(id) >= net.N() {
+			return nil, fmt.Errorf("topo: dead node id %d out of range [0, %d)", id, net.N())
+		}
+		net.SetAlive(id, false)
+	}
+	return net, nil
+}

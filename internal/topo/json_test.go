@@ -1,0 +1,56 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	dep, err := Deploy(DefaultDeployConfig(ModelFA, 120, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	net.SetAlive(5, false)
+	net.SetAlive(17, false)
+
+	var buf bytes.Buffer
+	if err := net.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.N() != net.N() || got.Radius != net.Radius || got.Field != net.Field {
+		t.Fatal("global parameters not preserved")
+	}
+	for i := range net.Nodes {
+		if got.Nodes[i].Pos != net.Nodes[i].Pos {
+			t.Fatalf("node %d position differs", i)
+		}
+		if got.Nodes[i].Alive != net.Nodes[i].Alive {
+			t.Fatalf("node %d alive flag differs", i)
+		}
+	}
+	// Adjacency is a pure function of positions; spot check.
+	for _, u := range []NodeID{0, 50, 119} {
+		a, b := net.Neighbors(u), got.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency differs: %v vs %v", u, a, b)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"radius":0,"field":[0,0,1,1],"positions":[[1,1]]}`)); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"radius":10,"field":[0,0,1,1],"positions":[[1,1]],"dead":[5]}`)); err == nil {
+		t.Error("out-of-range dead id accepted")
+	}
+}

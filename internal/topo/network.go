@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// Network is the WASN graph G = (V, E): nodes with identical radio range in
+// a rectangular field, edges between every pair within range. Adjacency is
+// precomputed at construction; node failure (SetAlive) filters queries
+// without rebuilding.
+//
+// A Network is safe for concurrent reads after construction as long as no
+// SetAlive calls race with them; the experiment harness builds one network
+// per goroutine.
+type Network struct {
+	Nodes  []Node
+	Radius float64
+	Field  geom.Rect
+
+	adj [][]NodeID
+}
+
+// NewNetwork builds the unit-disk graph over the given positions.
+// Positions outside the field are accepted (the field only scopes grid
+// hashing and deployment); radius must be positive.
+func NewNetwork(positions []geom.Point, radius float64, field geom.Rect) (*Network, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("topo: radius must be positive, got %v", radius)
+	}
+	nodes := make([]Node, len(positions))
+	for i, p := range positions {
+		nodes[i] = Node{ID: NodeID(i), Pos: p, Alive: true}
+	}
+	net := &Network{
+		Nodes:  nodes,
+		Radius: radius,
+		Field:  field,
+		adj:    make([][]NodeID, len(nodes)),
+	}
+	net.buildAdjacency()
+	return net, nil
+}
+
+func (net *Network) buildAdjacency() {
+	g := newGrid(net.Field, net.Radius, net.Nodes)
+	r2 := net.Radius * net.Radius
+	for i := range net.Nodes {
+		u := &net.Nodes[i]
+		var nbrs []NodeID
+		g.visitNear(u.Pos, net.Radius, func(v NodeID) {
+			if v == u.ID {
+				return
+			}
+			if geom.Dist2(u.Pos, net.Nodes[v].Pos) <= r2 {
+				nbrs = append(nbrs, v)
+			}
+		})
+		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+		net.adj[i] = nbrs
+	}
+}
+
+// N returns the number of nodes (alive or not).
+func (net *Network) N() int { return len(net.Nodes) }
+
+// Pos returns the location L(u) of node u.
+func (net *Network) Pos(u NodeID) geom.Point { return net.Nodes[u].Pos }
+
+// Alive reports whether u is alive.
+func (net *Network) Alive(u NodeID) bool { return net.Nodes[u].Alive }
+
+// SetAlive marks node u alive or failed. Failed nodes disappear from
+// Neighbors and Degree without mutating the precomputed adjacency.
+func (net *Network) SetAlive(u NodeID, alive bool) { net.Nodes[u].Alive = alive }
+
+// Neighbors returns N(u): the alive neighbors of u. When u itself is dead
+// it has no neighbors. The returned slice must not be modified; when no
+// node has failed it aliases the internal adjacency (hot path), otherwise
+// it is a fresh filtered copy.
+func (net *Network) Neighbors(u NodeID) []NodeID {
+	if !net.Nodes[u].Alive {
+		return nil
+	}
+	all := net.adj[u]
+	clean := true
+	for _, v := range all {
+		if !net.Nodes[v].Alive {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return all
+	}
+	out := make([]NodeID, 0, len(all))
+	for _, v := range all {
+		if net.Nodes[v].Alive {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Degree returns |N(u)| over alive neighbors.
+func (net *Network) Degree(u NodeID) int { return len(net.Neighbors(u)) }
+
+// Dist returns the Euclidean distance between nodes u and v.
+func (net *Network) Dist(u, v NodeID) float64 {
+	return geom.Dist(net.Nodes[u].Pos, net.Nodes[v].Pos)
+}
+
+// InRange reports whether u and v are within radio range (u != v).
+func (net *Network) InRange(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	return geom.Dist2(net.Nodes[u].Pos, net.Nodes[v].Pos) <= net.Radius*net.Radius
+}
+
+// AliveIDs returns the ids of all alive nodes.
+func (net *Network) AliveIDs() []NodeID {
+	out := make([]NodeID, 0, len(net.Nodes))
+	for _, n := range net.Nodes {
+		if n.Alive {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Positions returns a copy of all node positions, indexed by NodeID.
+func (net *Network) Positions() []geom.Point {
+	out := make([]geom.Point, len(net.Nodes))
+	for i, n := range net.Nodes {
+		out[i] = n.Pos
+	}
+	return out
+}
+
+// PathLength returns the total Euclidean length of the node path.
+func (net *Network) PathLength(path []NodeID) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += net.Dist(path[i-1], path[i])
+	}
+	return total
+}
+
+// EdgeCount returns |E| over alive nodes.
+func (net *Network) EdgeCount() int {
+	total := 0
+	for _, n := range net.Nodes {
+		if !n.Alive {
+			continue
+		}
+		total += len(net.Neighbors(n.ID))
+	}
+	return total / 2
+}
+
+// AvgDegree returns the mean degree over alive nodes (0 for an empty net).
+func (net *Network) AvgDegree() float64 {
+	alive := 0
+	total := 0
+	for _, n := range net.Nodes {
+		if !n.Alive {
+			continue
+		}
+		alive++
+		total += len(net.Neighbors(n.ID))
+	}
+	if alive == 0 {
+		return 0
+	}
+	return float64(total) / float64(alive)
+}

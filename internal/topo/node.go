@@ -1,0 +1,41 @@
+// Package topo models the wireless ad-hoc sensor network (WASN) of the
+// paper's §3: a set of sensor nodes with identical communication radius in
+// a rectangular deployment field, represented as a simple undirected graph
+// G = (V, E) where an edge connects every pair of nodes within range of
+// each other (the unit-disk model).
+//
+// The package also provides the two deployment models of §5: the ideal
+// uniform model (IA), where holes arise only from sparse deployment, and
+// the forbidden-area model (FA), where randomly placed no-deploy regions
+// create large irregular holes.
+package topo
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// NodeID identifies a node; it is the node's index in Network.Nodes.
+type NodeID int
+
+// NoNode is the sentinel for "no node" (e.g. no successor found).
+const NoNode NodeID = -1
+
+// Node is one sensor.
+type Node struct {
+	ID  NodeID
+	Pos geom.Point
+	// Alive is false after failure injection; dead nodes drop out of
+	// every adjacency query.
+	Alive bool
+}
+
+// String implements fmt.Stringer.
+func (n Node) String() string {
+	state := "up"
+	if !n.Alive {
+		state = "down"
+	}
+	return fmt.Sprintf("n%d%v[%s]", n.ID, n.Pos, state)
+}

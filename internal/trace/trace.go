@@ -1,0 +1,83 @@
+// Package trace records per-route event logs: which node a packet
+// visited, under which phase, and why. The examples and the visualizer
+// use traces to explain routing decisions; the experiment harness leaves
+// tracing off (it costs an allocation per hop).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Event is one hop of a route.
+type Event struct {
+	Seq   int
+	From  topo.NodeID
+	To    topo.NodeID
+	Phase core.Phase
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %d->%d [%s]", e.Seq, e.From, e.To, e.Phase)
+}
+
+// Trace is a recorded route.
+type Trace struct {
+	Src, Dst topo.NodeID
+	Events   []Event
+	Result   core.Result
+}
+
+// FromResult reconstructs a trace from a routing result. Phase
+// attribution uses the per-phase hop counts in order (greedy hops are
+// not necessarily contiguous, so attribution is approximate when phases
+// interleave; the path itself is exact).
+func FromResult(src, dst topo.NodeID, res core.Result) *Trace {
+	t := &Trace{Src: src, Dst: dst, Result: res}
+	for i := 1; i < len(res.Path); i++ {
+		t.Events = append(t.Events, Event{
+			Seq:  i,
+			From: res.Path[i-1],
+			To:   res.Path[i],
+		})
+	}
+	return t
+}
+
+// Summary renders a one-line description.
+func (t *Trace) Summary() string {
+	status := "delivered"
+	if !t.Result.Delivered {
+		status = "dropped (" + t.Result.Reason.String() + ")"
+	}
+	return fmt.Sprintf("%d -> %d: %s, %d hops, %.1f m",
+		t.Src, t.Dst, status, t.Result.Hops(), t.Result.Length)
+}
+
+// Dump renders the full hop list, wrapping at width hops per line.
+func (t *Trace) Dump(width int) string {
+	if width <= 0 {
+		width = 10
+	}
+	var b strings.Builder
+	b.WriteString(t.Summary())
+	b.WriteByte('\n')
+	for i, e := range t.Events {
+		if i%width == 0 {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+		} else {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", e.To)
+	}
+	if len(t.Events) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

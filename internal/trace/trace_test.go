@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func sampleResult() core.Result {
+	return core.Result{
+		Path:      []topo.NodeID{3, 7, 9, 12},
+		Delivered: true,
+		Length:    30,
+		PhaseHops: map[core.Phase]int{core.PhaseGreedy: 3},
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	tr := FromResult(3, 12, sampleResult())
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(tr.Events))
+	}
+	if tr.Events[0].From != 3 || tr.Events[0].To != 7 || tr.Events[0].Seq != 1 {
+		t.Errorf("first event wrong: %+v", tr.Events[0])
+	}
+	if tr.Events[2].To != 12 {
+		t.Errorf("last event wrong: %+v", tr.Events[2])
+	}
+	if s := tr.Events[0].String(); !strings.Contains(s, "3->7") {
+		t.Errorf("event string = %q", s)
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	tr := FromResult(3, 12, sampleResult())
+	sum := tr.Summary()
+	if !strings.Contains(sum, "delivered") || !strings.Contains(sum, "3 hops") {
+		t.Errorf("summary = %q", sum)
+	}
+	dump := tr.Dump(2)
+	if !strings.Contains(dump, "7 9") || !strings.Contains(dump, "12") {
+		t.Errorf("dump = %q", dump)
+	}
+	// Default width.
+	if d := tr.Dump(0); !strings.Contains(d, "12") {
+		t.Errorf("default-width dump = %q", d)
+	}
+
+	var failed core.Result
+	failed.Reason = core.DropTTL
+	failed.Path = []topo.NodeID{1}
+	ft := FromResult(1, 2, failed)
+	if !strings.Contains(ft.Summary(), "ttl-exceeded") {
+		t.Errorf("failed summary = %q", ft.Summary())
+	}
+	if got := ft.Dump(4); !strings.Contains(got, "dropped") {
+		t.Errorf("failed dump = %q", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package wasn reproduces "A Straightforward Path Routing in Wireless Ad
+// Hoc Sensor Networks" (Jiang, Ma, Lou, Wu; IEEE ICDCS Workshops 2009) as
+// a Go library: the SLGF2 safety-information routing, its baselines (GF
+// with BOUNDHOLE boundaries, LGF, SLGF), the safety information model,
+// and the full experiment harness regenerating the paper's Figs. 5-7.
+//
+// This root package is the facade a downstream user starts from:
+//
+//	dep, _ := wasn.Deploy(wasn.FA, 500, 42)
+//	sim, _ := wasn.NewSim(dep)
+//	res := sim.Route(wasn.SLGF2, src, dst)
+//	fmt.Println(res.Hops(), res.Length)
+//
+// The building blocks live in internal packages (topo, safety, core,
+// bound, planar, expt, ...) and are re-exported here through small
+// wrappers; cmd/wasnsim regenerates every figure from the command line.
+package wasn
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/expt"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Model selects a deployment model of §5.
+type Model = topo.DeployModel
+
+// Deployment models: IA is ideal uniform placement, FA adds random
+// forbidden areas (large holes).
+const (
+	IA = topo.ModelIA
+	FA = topo.ModelFA
+)
+
+// Algorithm names a routing algorithm.
+type Algorithm string
+
+// The four §5 algorithms plus the extra baselines.
+const (
+	GF       Algorithm = "GF"
+	LGF      Algorithm = "LGF"
+	SLGF     Algorithm = "SLGF"
+	SLGF2    Algorithm = "SLGF2"
+	GPSR     Algorithm = "GPSR"
+	IdealHop Algorithm = "Ideal-hops"
+	IdealLen Algorithm = "Ideal-length"
+)
+
+// NodeID identifies a node.
+type NodeID = topo.NodeID
+
+// Result is a routing outcome.
+type Result = core.Result
+
+// Network is the deployed WASN graph.
+type Network = topo.Network
+
+// Deployment is a generated network plus its forbidden areas.
+type Deployment = topo.Deployment
+
+// Deploy generates one random network with the paper's parameters
+// (200x200 m field, 20 m radio range) for the given model, node count,
+// and seed.
+func Deploy(model Model, n int, seed uint64) (*Deployment, error) {
+	return topo.Deploy(topo.DefaultDeployConfig(model, n, seed))
+}
+
+// Sim bundles one network with every prebuilt routing substrate: the
+// safety information model, the BOUNDHOLE boundaries, and the Gabriel
+// graph.
+type Sim struct {
+	Dep    *Deployment
+	Safety *safety.Model
+
+	routers map[Algorithm]core.Router
+}
+
+// NewSim builds all routing substrates over a deployment.
+func NewSim(dep *Deployment) (*Sim, error) {
+	if dep == nil || dep.Net == nil {
+		return nil, fmt.Errorf("wasn: nil deployment")
+	}
+	net := dep.Net
+	m := safety.Build(net)
+	b := bound.FindHoles(net)
+	g := planar.Build(net, planar.GabrielGraph)
+	s := &Sim{
+		Dep:    dep,
+		Safety: m,
+		routers: map[Algorithm]core.Router{
+			GF:       core.NewGF(net, b),
+			LGF:      core.NewLGF(net),
+			SLGF:     core.NewSLGF(net, m),
+			SLGF2:    core.NewSLGF2(net, m),
+			GPSR:     core.NewGPSR(net, g),
+			IdealHop: core.NewIdeal(net, core.IdealMinHop),
+			IdealLen: core.NewIdeal(net, core.IdealMinLength),
+		},
+	}
+	return s, nil
+}
+
+// Net returns the underlying network.
+func (s *Sim) Net() *Network { return s.Dep.Net }
+
+// Router returns the named router (nil for unknown names).
+func (s *Sim) Router(alg Algorithm) core.Router { return s.routers[alg] }
+
+// Route routes one packet with the named algorithm. Unknown algorithms
+// return an undelivered result.
+func (s *Sim) Route(alg Algorithm, src, dst NodeID) Result {
+	r, ok := s.routers[alg]
+	if !ok {
+		return Result{Reason: core.DropNoCandidate}
+	}
+	return r.Route(src, dst)
+}
+
+// Algorithms lists the available algorithm names in the figure-legend
+// order.
+func (s *Sim) Algorithms() []Algorithm {
+	return []Algorithm{GF, LGF, SLGF, SLGF2, GPSR, IdealHop, IdealLen}
+}
+
+// RunFigure regenerates one paper figure (5, 6, or 7) for the given
+// model and returns the table as text. networks and pairs scale the
+// sweep (the paper uses networks=100).
+func RunFigure(figure int, model Model, networks, pairs int) (string, error) {
+	var metric expt.Metric
+	switch figure {
+	case 5:
+		metric = expt.MetricMaxHops
+	case 6:
+		metric = expt.MetricAvgHops
+	case 7:
+		metric = expt.MetricAvgLength
+	default:
+		return "", fmt.Errorf("wasn: unknown figure %d (want 5, 6, or 7)", figure)
+	}
+	sweep, err := expt.Run(expt.DefaultConfig(model, networks, pairs))
+	if err != nil {
+		return "", err
+	}
+	return sweep.Table(metric).Text(), nil
+}

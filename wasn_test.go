@@ -1,0 +1,72 @@
+package wasn
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	dep, err := Deploy(FA, 450, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Net() != dep.Net {
+		t.Error("Net accessor wrong")
+	}
+	labels, _ := topo.Components(dep.Net)
+	var src, dst NodeID = -1, -1
+	for s := 0; s < dep.Net.N(); s++ {
+		d := dep.Net.N() - 1 - s
+		if s != d && labels[s] >= 0 && labels[s] == labels[d] {
+			src, dst = NodeID(s), NodeID(d)
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("no connected pair")
+	}
+	for _, alg := range sim.Algorithms() {
+		res := sim.Route(alg, src, dst)
+		if !res.Delivered {
+			t.Errorf("%s failed: %v", alg, res.Reason)
+		}
+		if sim.Router(alg) == nil {
+			t.Errorf("Router(%s) nil", alg)
+		}
+	}
+	// Unknown algorithm degrades gracefully.
+	if res := sim.Route(Algorithm("nope"), src, dst); res.Delivered {
+		t.Error("unknown algorithm delivered")
+	}
+	if sim.Router(Algorithm("nope")) != nil {
+		t.Error("unknown router non-nil")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(nil); err == nil {
+		t.Error("nil deployment accepted")
+	}
+	if _, err := NewSim(&Deployment{}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	out, err := RunFigure(6, IA, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 6") || !strings.Contains(out, "SLGF2") {
+		t.Errorf("figure output missing content:\n%s", out)
+	}
+	if _, err := RunFigure(4, IA, 1, 3); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
