@@ -245,3 +245,75 @@ func BenchmarkSingleRouteSLGF2(b *testing.B) {
 		benchSink = sim.Route(SLGF2, src, dst)
 	}
 }
+
+// Serving layer benches: the cached vs uncached route path and the batch
+// engine of internal/serve (the wasnd backend). BenchmarkServeRoute/cold
+// routes a different pair each iteration (every request misses);
+// /cached replays one warm pair.
+
+func benchService(b *testing.B, cfg ServiceConfig) (*Service, string, [][2]NodeID) {
+	b.Helper()
+	svc := NewService(cfg)
+	name, err := svc.Deploy("", DeploymentSpec{Model: FA, N: 500, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build eagerly so the measured loop times routes, not the one-off
+	// substrate construction.
+	if err := svc.Build(name); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := Deploy(FA, 500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := topo.RoutablePairs(dep.Net, 256, 60)
+	if len(pairs) == 0 {
+		b.Fatal("no connected pairs")
+	}
+	return svc, name, pairs
+}
+
+func BenchmarkServeRoute(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		svc, name, pairs := benchService(b, ServiceConfig{CacheSize: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if _, _, err := svc.Route(name, string(SLGF2), p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc, name, pairs := benchService(b, ServiceConfig{})
+		p := pairs[0]
+		if _, _, err := svc.Route(name, string(SLGF2), p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svc.Route(name, string(SLGF2), p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServeBatch(b *testing.B) {
+	svc, name, pairs := benchService(b, ServiceConfig{})
+	reqs := make([]RouteRequest, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = RouteRequest{Deployment: name, Algorithm: string(SLGF2), Src: p[0], Dst: p[1]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range svc.Batch(reqs) {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(reqs)), "routes/op")
+}

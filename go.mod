@@ -1,0 +1,3 @@
+module github.com/straightpath/wasn
+
+go 1.22

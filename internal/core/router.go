@@ -92,6 +92,14 @@ func (r Result) Hops() int {
 }
 
 // Router routes single packets between nodes of one fixed network.
+//
+// Every Router in this package is safe for concurrent use: Route
+// allocates all per-packet state afresh (SLGF2's lazy planar substrate
+// is built under a sync.Once), so any number of goroutines may route
+// over one router simultaneously — provided no topology mutation
+// (topo.Network.SetAlive) races with in-flight routes. Callers that
+// fail nodes at runtime must serialize mutations against routing; the
+// serve package does so with a per-deployment RWMutex.
 type Router interface {
 	// Name identifies the algorithm ("GF", "LGF", "SLGF", "SLGF2", ...).
 	Name() string

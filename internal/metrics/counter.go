@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a goroutine-safe monotonic event counter for the service
+// layer (cache hits, routes served, ...). The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the samples
+// by the nearest-rank method, 0 for an empty slice. The input is not
+// modified.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1010 {
+		t.Fatalf("Load() = %d; want %d", got, 8*1010)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v; want 0", got)
+	}
+	samples := []float64{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {90, 5}, {20, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v; want %v", c.p, got, c.want)
+		}
+	}
+	// Input untouched.
+	if samples[0] != 5 {
+		t.Fatal("Percentile sorted its input in place")
+	}
+}

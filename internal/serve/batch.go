@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// RouteRequest is one query of a batch (and the /route request body).
+type RouteRequest struct {
+	Deployment string      `json:"deployment"`
+	Algorithm  string      `json:"algorithm"`
+	Src        topo.NodeID `json:"src"`
+	Dst        topo.NodeID `json:"dst"`
+}
+
+// RouteResponse is the outcome of one query. Err is empty on success;
+// the routing fields are zero when it is not.
+type RouteResponse struct {
+	Delivered bool          `json:"delivered"`
+	Hops      int           `json:"hops"`
+	Length    float64       `json:"length"`
+	Reason    string        `json:"reason,omitempty"`
+	Cached    bool          `json:"cached"`
+	Path      []topo.NodeID `json:"path,omitempty"`
+	Err       string        `json:"error,omitempty"`
+}
+
+// toResponse flattens a core.Result for the wire. The path is included
+// only on request: batch consumers usually want the aggregate numbers,
+// and paths dominate the payload.
+func toResponse(res core.Result, cached, withPath bool) RouteResponse {
+	out := RouteResponse{
+		Delivered: res.Delivered,
+		Hops:      res.Hops(),
+		Length:    res.Length,
+		Cached:    cached,
+	}
+	if !res.Delivered {
+		out.Reason = res.Reason.String()
+	}
+	if withPath {
+		out.Path = res.Path
+	}
+	return out
+}
+
+// Batch routes every request and returns the responses in request order.
+// The requests fan out across the service worker pool (Config.Workers);
+// each worker runs the same cached Route path, so a batch warms the
+// cache for subsequent traffic and profits from it in turn. Requests
+// may mix deployments and algorithms freely.
+func (s *Service) Batch(reqs []RouteRequest) []RouteResponse {
+	s.batches.Inc()
+	out := make([]RouteResponse, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := s.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				req := reqs[i]
+				res, cached, err := s.Route(req.Deployment, req.Algorithm, req.Src, req.Dst)
+				if err != nil {
+					out[i] = RouteResponse{Err: err.Error()}
+					continue
+				}
+				out[i] = toResponse(res, cached, false)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// cacheKey identifies one cached route. The deployment epoch is part of
+// the key: a topology mutation bumps the deployment's epoch, so every
+// pre-mutation entry becomes unreachable immediately (and is purged
+// eagerly by Fail) without blocking readers on a global sweep.
+type cacheKey struct {
+	dep   string
+	epoch uint64
+	alg   string
+	src   topo.NodeID
+	dst   topo.NodeID
+}
+
+// routeCache is a sharded LRU of routing results. Sharding keeps lock
+// contention off the hot path when many goroutines serve cache hits
+// concurrently; each shard holds its own lock, map, and recency list.
+type routeCache struct {
+	shards  []*cacheShard
+	seed    maphash.Seed
+	hits    metrics.Counter
+	misses  metrics.Counter
+	evicted metrics.Counter
+	purged  metrics.Counter
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	// cap is the per-shard entry budget.
+	cap int
+	// ll orders entries most-recently-used first.
+	ll *list.List
+	m  map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res core.Result
+}
+
+// defaultCacheSize is the total entry budget when Config.CacheSize is 0.
+const defaultCacheSize = 1 << 16
+
+// defaultCacheShards is the shard count when Config.CacheShards is 0.
+const defaultCacheShards = 16
+
+// newRouteCache builds a cache with the given total capacity spread over
+// the shards. Capacity below the shard count is rounded up to one entry
+// per shard.
+func newRouteCache(size, shards int) *routeCache {
+	if size <= 0 {
+		size = defaultCacheSize
+	}
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	perShard := (size + shards - 1) / shards
+	c := &routeCache{
+		shards: make([]*cacheShard, shards),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap: perShard,
+			ll:  list.New(),
+			m:   make(map[cacheKey]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *routeCache) shard(k cacheKey) *cacheShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.dep)
+	h.WriteString(k.alg)
+	h.WriteByte(byte(k.src))
+	h.WriteByte(byte(k.src >> 8))
+	h.WriteByte(byte(k.dst))
+	h.WriteByte(byte(k.dst >> 8))
+	h.WriteByte(byte(k.epoch))
+	return c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// get returns the cached result for k and whether it was present.
+func (c *routeCache) get(k cacheKey) (core.Result, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	el, ok := sh.m[k]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return core.Result{}, false
+	}
+	sh.ll.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return res, true
+}
+
+// put stores a result, evicting the least recently used entry of the
+// shard when it is full.
+func (c *routeCache) put(k cacheKey, res core.Result) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if el, ok := sh.m[k]; ok {
+		sh.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		sh.mu.Unlock()
+		return
+	}
+	sh.m[k] = sh.ll.PushFront(&cacheEntry{key: k, res: res})
+	var evicted int64
+	for sh.ll.Len() > sh.cap {
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	sh.mu.Unlock()
+	c.evicted.Add(evicted)
+}
+
+// purgeDeployment drops every entry of the named deployment (any epoch).
+// Epoch keying already makes stale entries unreachable; the purge frees
+// their capacity eagerly.
+func (c *routeCache) purgeDeployment(dep string) {
+	var purged int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.ll.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*cacheEntry)
+			if e.key.dep == dep {
+				sh.ll.Remove(el)
+				delete(sh.m, e.key)
+				purged++
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+	c.purged.Add(purged)
+}
+
+// len returns the total number of live entries.
+func (c *routeCache) len() int {
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func key(dep string, epoch uint64, src, dst int) cacheKey {
+	return cacheKey{dep: dep, epoch: epoch, alg: "SLGF2", src: topo.NodeID(src), dst: topo.NodeID(dst)}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newRouteCache(8, 1)
+	k := key("d", 0, 1, 2)
+	if _, ok := c.get(k); ok {
+		t.Fatal("get on empty cache hit")
+	}
+	c.put(k, core.Result{Delivered: true, Length: 42})
+	res, ok := c.get(k)
+	if !ok || res.Length != 42 {
+		t.Fatalf("get = %+v, %v; want cached result", res, ok)
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d; want 1, 1", h, m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newRouteCache(3, 1)
+	for i := 0; i < 3; i++ {
+		c.put(key("d", 0, i, i+1), core.Result{Length: float64(i)})
+	}
+	// Touch entry 0 so entry 1 is the LRU victim.
+	if _, ok := c.get(key("d", 0, 0, 1)); !ok {
+		t.Fatal("expected entry 0 present")
+	}
+	c.put(key("d", 0, 9, 10), core.Result{})
+	if _, ok := c.get(key("d", 0, 1, 2)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	if _, ok := c.get(key("d", 0, 0, 1)); !ok {
+		t.Fatal("recently used entry 0 was evicted")
+	}
+	if c.evicted.Load() != 1 {
+		t.Fatalf("evicted = %d; want 1", c.evicted.Load())
+	}
+}
+
+func TestCacheEpochMakesEntriesUnreachable(t *testing.T) {
+	c := newRouteCache(8, 2)
+	c.put(key("d", 0, 1, 2), core.Result{Delivered: true})
+	if _, ok := c.get(key("d", 1, 1, 2)); ok {
+		t.Fatal("epoch-1 get hit an epoch-0 entry")
+	}
+}
+
+func TestCachePurgeDeployment(t *testing.T) {
+	c := newRouteCache(64, 4)
+	for i := 0; i < 10; i++ {
+		c.put(key("a", 0, i, i+1), core.Result{})
+		c.put(key("b", 0, i, i+1), core.Result{})
+	}
+	c.purgeDeployment("a")
+	if got := c.len(); got != 10 {
+		t.Fatalf("len after purge = %d; want 10", got)
+	}
+	if c.purged.Load() != 10 {
+		t.Fatalf("purged = %d; want 10", c.purged.Load())
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := c.get(key("a", 0, i, i+1)); ok {
+			t.Fatalf("purged entry a/%d still present", i)
+		}
+		if _, ok := c.get(key("b", 0, i, i+1)); !ok {
+			t.Fatalf("unrelated entry b/%d was purged", i)
+		}
+	}
+}
+
+func TestCacheShardSpread(t *testing.T) {
+	c := newRouteCache(1024, 8)
+	for i := 0; i < 256; i++ {
+		c.put(key(fmt.Sprintf("d%d", i%4), 0, i, i+1), core.Result{})
+	}
+	occupied := 0
+	for _, sh := range c.shards {
+		if sh.ll.Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("256 keys landed in %d shard(s); sharding is not spreading", occupied)
+	}
+}

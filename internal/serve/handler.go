@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Handler returns the HTTP/JSON API over the service:
+//
+//	POST /deploy {"name"?, "model", "n", "seed", "build"?}
+//	POST /route  {"deployment", "algorithm", "src", "dst", "path"?}
+//	POST /batch  {"requests": [RouteRequest, ...]}
+//	POST /fail   {"deployment", "nodes": [id, ...]}
+//	GET  /stats
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/deploy", s.handleDeploy)
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/fail", s.handleFail)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor distinguishes client mistakes (bad deployment name, node,
+// algorithm) from server-side lazy-build failures.
+func statusFor(err error) int {
+	if errors.Is(err, ErrBuild) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// maxBodyBytes bounds request bodies; /batch requests are the largest
+// legitimate payloads and stay far under this.
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly decodes the JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+type deployRequest struct {
+	Name  string `json:"name"`
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"`
+	// Build forces the substrates to be built before responding; by
+	// default the first route pays that cost.
+	Build bool `json:"build"`
+}
+
+type deployResponse struct {
+	Name  string `json:"name"`
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"`
+}
+
+func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var req deployRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	model, err := topo.ParseDeployModel(strings.ToLower(req.Model))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.N <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("node count must be positive, got %d", req.N))
+		return
+	}
+	spec := Spec{Model: model, N: req.N, Seed: req.Seed}
+	name, err := s.Deploy(req.Name, spec)
+	if err != nil {
+		// The only Deploy error left after validation is a live name
+		// registered with a different spec.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if req.Build {
+		if err := s.Build(name); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, deployResponse{
+		Name: name, Model: model.String(), N: spec.N, Seed: spec.Seed,
+	})
+}
+
+type routeRequest struct {
+	RouteRequest
+	// Path asks for the full node path in the response.
+	Path bool `json:"path"`
+}
+
+func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, cached, err := s.Route(req.Deployment, req.Algorithm, req.Src, req.Dst)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res, cached, req.Path))
+}
+
+type batchRequest struct {
+	Requests []RouteRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Results []RouteResponse `json:"results"`
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: s.Batch(req.Requests)})
+}
+
+type failRequest struct {
+	Deployment string        `json:"deployment"`
+	Nodes      []topo.NodeID `json:"nodes"`
+}
+
+type failResponse struct {
+	Deployment string        `json:"deployment"`
+	Failed     []topo.NodeID `json:"failed"`
+}
+
+func (s *Service) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Fail(req.Deployment, req.Nodes); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	failed, err := s.Failed(req.Deployment)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, failResponse{Deployment: req.Deployment, Failed: failed})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,394 @@
+// Package serve is the routing-as-a-service layer: a long-lived,
+// concurrent service that answers many route queries over shared
+// deployed-network state, the workload the paper's §1 streaming
+// application implies. It stacks four pieces:
+//
+//   - a deployment registry of named (model, n, seed) deployments whose
+//     routing substrates (safety model, BOUNDHOLE boundaries, Gabriel
+//     graph, routers) are built lazily and deduplicated with
+//     singleflight, so a stampede of first requests builds each
+//     substrate exactly once;
+//   - a sharded LRU route cache keyed by (deployment, epoch, algorithm,
+//     src, dst) with hit/miss/eviction counters;
+//   - a batch engine fanning request slices across a worker pool while
+//     preserving request order;
+//   - HTTP/JSON handlers (see handler.go) that cmd/wasnd serves.
+//
+// Topology mutations (node failures) take a per-deployment write lock,
+// repair the safety model incrementally via safety.OnNodeFailure,
+// rebuild the boundary and planar substrates, and bump the deployment
+// epoch so every previously cached route becomes unreachable.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Spec names a reproducible deployment: the same (model, n, seed) always
+// generates the same network, so a spec is all the registry must persist.
+type Spec struct {
+	Model topo.DeployModel
+	N     int
+	Seed  uint64
+}
+
+// DefaultName derives the registry name used when a deployment is
+// registered without one, e.g. "FA-500-42".
+func (sp Spec) DefaultName() string {
+	return fmt.Sprintf("%s-%d-%d", sp.Model, sp.N, sp.Seed)
+}
+
+// Config tunes a Service. The zero value is ready for production use.
+type Config struct {
+	// CacheSize is the total route-cache entry budget across all shards
+	// (default 65536). Negative disables caching entirely.
+	CacheSize int
+	// CacheShards is the shard count (default 16).
+	CacheShards int
+	// Workers bounds batch-engine concurrency (default NumCPU).
+	Workers int
+	// TTLFactor overrides the per-packet hop budget of every router
+	// (core.DefaultTTLFactor when 0).
+	TTLFactor int
+}
+
+// ErrBuild marks substrate build failures: a server-side fault, not a
+// malformed request (the HTTP layer maps it to a 5xx status).
+var ErrBuild = errors.New("build failed")
+
+// Service is the concurrent routing service. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg    Config
+	cache  *routeCache // nil when disabled
+	flight flightGroup
+
+	mu   sync.RWMutex
+	deps map[string]*deployment
+
+	builds   metrics.Counter
+	routes   metrics.Counter
+	batches  metrics.Counter
+	failures metrics.Counter
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg, deps: make(map[string]*deployment)}
+	if cfg.CacheSize >= 0 {
+		s.cache = newRouteCache(cfg.CacheSize, cfg.CacheShards)
+	}
+	if s.cfg.Workers <= 0 {
+		s.cfg.Workers = runtime.NumCPU()
+	}
+	return s
+}
+
+// deployment is one registry entry. The substrates are built lazily on
+// first use; mu serializes topology mutations against in-flight routes
+// (the routers themselves are safe for concurrent reads of an unchanging
+// network — see core.Router).
+type deployment struct {
+	name string
+	spec Spec
+
+	mu      sync.RWMutex
+	epoch   atomic.Uint64
+	ready   atomic.Bool
+	dep     *topo.Deployment
+	model   *safety.Model
+	routers map[string]core.Router
+	failed  map[topo.NodeID]bool
+}
+
+// Deploy registers a named deployment spec. name may be empty, in which
+// case the spec's default name is used. Registering the same name with
+// the same spec is idempotent; a different spec under a live name is an
+// error. The returned string is the effective name. Substrates are not
+// built here — the first route (or an explicit Build) pays that cost.
+func (s *Service) Deploy(name string, spec Spec) (string, error) {
+	if spec.Model != topo.ModelIA && spec.Model != topo.ModelFA {
+		return "", fmt.Errorf("serve: unknown deployment model %v", spec.Model)
+	}
+	if spec.N <= 0 {
+		return "", fmt.Errorf("serve: node count must be positive, got %d", spec.N)
+	}
+	if name == "" {
+		name = spec.DefaultName()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.deps[name]; ok {
+		if d.spec != spec {
+			return "", fmt.Errorf("serve: deployment %q already registered with spec %+v", name, d.spec)
+		}
+		return name, nil
+	}
+	s.deps[name] = &deployment{name: name, spec: spec}
+	return name, nil
+}
+
+// Deployments lists the registered deployment names, sorted.
+func (s *Service) Deployments() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.deps))
+	for name := range s.deps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Service) lookup(name string) (*deployment, error) {
+	s.mu.RLock()
+	d := s.deps[name]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil, fmt.Errorf("serve: unknown deployment %q (POST /deploy first)", name)
+	}
+	return d, nil
+}
+
+// Build forces the named deployment's substrates to be built now,
+// returning the first build error if any. Concurrent Build/Route calls
+// for the same deployment share one build via singleflight.
+func (s *Service) Build(name string) error {
+	d, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	return s.ensureBuilt(d)
+}
+
+func (s *Service) ensureBuilt(d *deployment) error {
+	if d.ready.Load() {
+		return nil
+	}
+	return s.flight.Do(d.name, func() error {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.ready.Load() { // lost a forget/retry race; already built
+			return nil
+		}
+		dep, err := topo.Deploy(topo.DefaultDeployConfig(d.spec.Model, d.spec.N, d.spec.Seed))
+		if err != nil {
+			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
+		}
+		d.dep = dep
+		d.model = safety.Build(dep.Net)
+		d.routers = s.buildRouters(dep.Net, d.model)
+		s.builds.Inc()
+		d.ready.Store(true)
+		return nil
+	})
+}
+
+// buildRouters constructs the full router set over a network, mirroring
+// the facade's Sim (wasn.NewSim) algorithm table.
+func (s *Service) buildRouters(net *topo.Network, m *safety.Model) map[string]core.Router {
+	b := bound.FindHoles(net)
+	g := planar.Build(net, planar.GabrielGraph)
+	gf := core.NewGF(net, b)
+	gf.TTLFactor = s.cfg.TTLFactor
+	lgf := core.NewLGF(net)
+	lgf.TTLFactor = s.cfg.TTLFactor
+	slgf := core.NewSLGF(net, m)
+	slgf.TTLFactor = s.cfg.TTLFactor
+	slgf2 := core.NewSLGF2(net, m)
+	slgf2.TTLFactor = s.cfg.TTLFactor
+	gpsr := core.NewGPSR(net, g)
+	gpsr.TTLFactor = s.cfg.TTLFactor
+	return map[string]core.Router{
+		"GF":           gf,
+		"LGF":          lgf,
+		"SLGF":         slgf,
+		"SLGF2":        slgf2,
+		"GPSR":         gpsr,
+		"Ideal-hops":   core.NewIdeal(net, core.IdealMinHop),
+		"Ideal-length": core.NewIdeal(net, core.IdealMinLength),
+	}
+}
+
+// Route answers one route query, consulting the cache first. The second
+// return reports whether the result came from the cache.
+func (s *Service) Route(deployment, algorithm string, src, dst topo.NodeID) (core.Result, bool, error) {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	// Validate before ensureBuilt: a garbage request must not trigger
+	// the expensive lazy substrate build. The node range is known from
+	// the spec alone.
+	if src < 0 || dst < 0 || int(src) >= d.spec.N || int(dst) >= d.spec.N {
+		return core.Result{}, false, fmt.Errorf("serve: node out of range [0,%d): src=%d dst=%d", d.spec.N, src, dst)
+	}
+	if !knownAlgorithm(algorithm) {
+		return core.Result{}, false, fmt.Errorf("serve: unknown algorithm %q (want one of %v)", algorithm, Algorithms())
+	}
+	if err := s.ensureBuilt(d); err != nil {
+		return core.Result{}, false, err
+	}
+
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r := d.routers[algorithm]
+
+	key := cacheKey{dep: d.name, epoch: d.epoch.Load(), alg: algorithm, src: src, dst: dst}
+	if s.cache != nil {
+		if res, hit := s.cache.get(key); hit {
+			s.routes.Inc()
+			return res, true, nil
+		}
+	}
+	res := r.Route(src, dst)
+	if s.cache != nil {
+		// Still under RLock: the epoch in key cannot have been bumped,
+		// so the entry matches the topology it was computed on.
+		s.cache.put(key, res)
+	}
+	s.routes.Inc()
+	return res, false, nil
+}
+
+// Fail marks the given nodes dead in the named deployment, repairs the
+// safety information incrementally (safety.OnNodeFailure), rebuilds the
+// boundary/planar substrates so every router sees the damaged topology
+// exactly as a from-scratch Sim would, and invalidates all cached routes
+// of the deployment by bumping its epoch.
+func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return err
+	}
+	if err := s.ensureBuilt(d); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	net := d.dep.Net
+	fresh := nodes[:0:0]
+	inCall := make(map[topo.NodeID]bool, len(nodes))
+	for _, u := range nodes {
+		if u < 0 || int(u) >= net.N() {
+			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
+		}
+		if !d.failed[u] && !inCall[u] {
+			inCall[u] = true
+			fresh = append(fresh, u)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if d.failed == nil {
+		d.failed = make(map[topo.NodeID]bool)
+	}
+	for _, u := range fresh {
+		net.SetAlive(u, false)
+		d.failed[u] = true
+	}
+	d.model.OnNodeFailure(fresh...)
+	d.routers = s.buildRouters(net, d.model)
+	d.epoch.Add(1)
+	if s.cache != nil {
+		s.cache.purgeDeployment(d.name)
+	}
+	s.failures.Add(int64(len(fresh)))
+	return nil
+}
+
+// Failed returns the dead nodes of the named deployment, sorted.
+func (s *Service) Failed(deployment string) ([]topo.NodeID, error) {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]topo.NodeID, 0, len(d.failed))
+	for u := range d.failed {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// NodeCount returns the node count of the named deployment, building it
+// if necessary.
+func (s *Service) NodeCount(deployment string) (int, error) {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.ensureBuilt(d); err != nil {
+		return 0, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.dep.Net.N(), nil
+}
+
+// Algorithms lists the algorithm names every deployment serves, in the
+// figure-legend order of the facade.
+func Algorithms() []string {
+	return []string{"GF", "LGF", "SLGF", "SLGF2", "GPSR", "Ideal-hops", "Ideal-length"}
+}
+
+func knownAlgorithm(name string) bool {
+	for _, a := range Algorithms() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Deployments    int   `json:"deployments"`
+	Builds         int64 `json:"builds"`
+	Routes         int64 `json:"routes"`
+	Batches        int64 `json:"batches"`
+	FailedNodes    int64 `json:"failed_nodes"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CachePurged    int64 `json:"cache_purged"`
+	CacheEntries   int   `json:"cache_entries"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.deps)
+	s.mu.RUnlock()
+	st := Stats{
+		Deployments: n,
+		Builds:      s.builds.Load(),
+		Routes:      s.routes.Load(),
+		Batches:     s.batches.Load(),
+		FailedNodes: s.failures.Load(),
+	}
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+		st.CacheEvictions = s.cache.evicted.Load()
+		st.CachePurged = s.cache.purged.Load()
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}

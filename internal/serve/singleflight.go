@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent function calls by key: while one
+// call for a key is in flight, later callers wait for its result instead
+// of running the function again. Failed calls are forgotten so the next
+// caller retries; successful results are the caller's to cache (the
+// registry stores built substrates on the deployment itself).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// Do runs fn once per key across concurrent callers and returns its
+// error to every waiter.
+func (g *flightGroup) Do(key string, fn func() error) error {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Clean up in a defer so a panicking fn does not wedge every waiter
+	// on a never-closed done channel — and the waiters must observe an
+	// error, not a false success. The panic is re-raised for the
+	// initiating caller after the waiters are released.
+	defer func() {
+		r := recover()
+		if r != nil {
+			c.err = fmt.Errorf("serve: singleflight call %q panicked: %v", key, r)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.err = fn()
+	return c.err
+}

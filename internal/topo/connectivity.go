@@ -31,6 +31,29 @@ func Components(net *Network) (labels []int, count int) {
 	return labels, count
 }
 
+// RoutablePairs returns up to want (src, dst) pairs of alive nodes that
+// lie in the same connected component and are at least minDist apart —
+// the routable, well-separated queries the serving layer, benchmarks,
+// and load generator drive traffic with. The scan is deterministic
+// (ascending src, first qualifying dst from the top) and yields at most
+// one pair per source.
+func RoutablePairs(net *Network, want int, minDist float64) [][2]NodeID {
+	labels, _ := Components(net)
+	var pairs [][2]NodeID
+	for s := 0; s < net.N() && len(pairs) < want; s++ {
+		if labels[s] < 0 {
+			continue
+		}
+		for d := net.N() - 1; d > s; d-- {
+			if labels[d] == labels[s] && net.Dist(NodeID(s), NodeID(d)) >= minDist {
+				pairs = append(pairs, [2]NodeID{NodeID(s), NodeID(d)})
+				break
+			}
+		}
+	}
+	return pairs
+}
+
 // Connected reports whether alive nodes a and b are in the same component.
 func Connected(net *Network, a, b NodeID) bool {
 	if !net.Alive(a) || !net.Alive(b) {

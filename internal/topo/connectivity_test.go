@@ -162,3 +162,45 @@ func TestPathsOnDeadEndpoints(t *testing.T) {
 		t.Error("distances from dead source should be unreachable")
 	}
 }
+
+func TestRoutablePairs(t *testing.T) {
+	dep, err := Deploy(DefaultDeployConfig(ModelFA, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	labels, _ := Components(net)
+	pairs := RoutablePairs(net, 10, 80)
+	if len(pairs) != 10 {
+		t.Fatalf("got %d pairs, want 10", len(pairs))
+	}
+	seen := make(map[[2]NodeID]bool)
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if labels[p[0]] < 0 || labels[p[0]] != labels[p[1]] {
+			t.Fatalf("pair %v spans components", p)
+		}
+		if d := net.Dist(p[0], p[1]); d < 80 {
+			t.Fatalf("pair %v only %.1f apart", p, d)
+		}
+	}
+	// Deterministic.
+	again := RoutablePairs(net, 10, 80)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("RoutablePairs is not deterministic")
+		}
+	}
+	// A dead node never appears.
+	victim := pairs[0][0]
+	net.SetAlive(victim, false)
+	for _, p := range RoutablePairs(net, 300, 80) {
+		if p[0] == victim || p[1] == victim {
+			t.Fatalf("dead node %d in pair %v", victim, p)
+		}
+	}
+	net.SetAlive(victim, true)
+}

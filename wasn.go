@@ -14,6 +14,24 @@
 // The building blocks live in internal packages (topo, safety, core,
 // bound, planar, expt, ...) and are re-exported here through small
 // wrappers; cmd/wasnsim regenerates every figure from the command line.
+//
+// # Serving routes
+//
+// Beyond one-shot simulation, the package serves route queries as a
+// long-lived concurrent service: a deployment registry of named
+// (model, n, seed) deployments built lazily (deduplicated with
+// singleflight), a sharded LRU route cache invalidated on topology
+// mutations, and a batch engine fanning requests across a worker pool.
+//
+//	svc := wasn.NewService()
+//	name, _ := svc.Deploy("", wasn.DeploymentSpec{Model: wasn.FA, N: 500, Seed: 42})
+//	res, cached, _ := svc.Route(name, string(wasn.SLGF2), 3, 441)
+//	_ = svc.Fail(name, []wasn.NodeID{17})   // kills node 17, invalidates cached routes
+//	http.ListenAndServe(":8080", svc.Handler())
+//
+// cmd/wasnd serves the same service over HTTP/JSON (/deploy, /route,
+// /batch, /fail, /stats) and ships a load-generator mode (wasnd -load)
+// reporting routes/sec and latency percentiles.
 package wasn
 
 import (
@@ -24,6 +42,7 @@ import (
 	"github.com/straightpath/wasn/internal/expt"
 	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -126,6 +145,40 @@ func (s *Sim) Route(alg Algorithm, src, dst NodeID) Result {
 func (s *Sim) Algorithms() []Algorithm {
 	return []Algorithm{GF, LGF, SLGF, SLGF2, GPSR, IdealHop, IdealLen}
 }
+
+// Service is the concurrent routing service: deployment registry,
+// sharded LRU route cache, batch engine, and HTTP handlers. All methods
+// are safe for concurrent use. See the "Serving routes" section above.
+type Service = serve.Service
+
+// ServiceConfig tunes a Service; the zero value is production-ready.
+type ServiceConfig = serve.Config
+
+// DeploymentSpec names a reproducible deployment for Service.Deploy.
+type DeploymentSpec = serve.Spec
+
+// RouteRequest is one query of a Service.Batch call.
+type RouteRequest = serve.RouteRequest
+
+// RouteResponse is the outcome of one batched query.
+type RouteResponse = serve.RouteResponse
+
+// ServiceStats is a snapshot of the service counters.
+type ServiceStats = serve.Stats
+
+// NewService builds a routing service. With no arguments the default
+// configuration is used; pass one ServiceConfig to tune the cache and
+// worker pool.
+func NewService(cfg ...ServiceConfig) *Service {
+	var c ServiceConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	return serve.New(c)
+}
+
+// ServiceAlgorithms lists the algorithm names a Service routes with.
+func ServiceAlgorithms() []string { return serve.Algorithms() }
 
 // RunFigure regenerates one paper figure (5, 6, or 7) for the given
 // model and returns the table as text. networks and pairs scale the

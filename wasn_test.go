@@ -58,6 +58,50 @@ func TestNewSimValidation(t *testing.T) {
 	}
 }
 
+// TestFacadeService checks the wasn.NewService wrappers: a service
+// route must agree exactly with the same query against a hand-built Sim,
+// and the cache/batch/stats plumbing must be reachable from the facade.
+func TestFacadeService(t *testing.T) {
+	svc := NewService()
+	name, err := svc.Deploy("", DeploymentSpec{Model: FA, N: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(FA, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := topo.RoutablePairs(dep.Net, 1, 80)
+	if len(ps) == 0 {
+		t.Skip("no connected pair")
+	}
+	src, dst := ps[0][0], ps[0][1]
+	for _, alg := range ServiceAlgorithms() {
+		got, _, err := svc.Route(name, alg, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sim.Route(Algorithm(alg), src, dst)
+		if got.Hops() != want.Hops() || got.Length != want.Length || got.Delivered != want.Delivered {
+			t.Errorf("%s: service %+v != sim %+v", alg, got, want)
+		}
+	}
+	if _, cached, _ := svc.Route(name, string(SLGF2), src, dst); !cached {
+		t.Error("second facade route missed the cache")
+	}
+	res := svc.Batch([]RouteRequest{{Deployment: name, Algorithm: string(SLGF2), Src: src, Dst: dst}})
+	if len(res) != 1 || !res[0].Delivered {
+		t.Errorf("facade batch = %+v", res)
+	}
+	if st := svc.Stats(); st.Deployments != 1 || st.Routes == 0 {
+		t.Errorf("facade stats = %+v", st)
+	}
+}
+
 func TestRunFigure(t *testing.T) {
 	out, err := RunFigure(6, IA, 1, 3)
 	if err != nil {
