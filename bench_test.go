@@ -191,11 +191,76 @@ func BenchmarkRoutePerAlgorithm(b *testing.B) {
 	}
 }
 
+// Per-algorithm route benches over a fixed 600-node FA network, driving
+// RouteInto with a reused path buffer: steady-state routing must stay at
+// 0 allocs/op (b.ReportAllocs makes regressions visible).
+
+func benchRouteAlg(b *testing.B, alg Algorithm) {
+	b.Helper()
+	dep, err := Deploy(FA, 600, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.Router(alg)
+	if r == nil {
+		b.Fatalf("unknown algorithm %v", alg)
+	}
+	pairs := topo.RoutablePairs(dep.Net, 64, 60)
+	if len(pairs) == 0 {
+		b.Fatal("no connected pairs")
+	}
+	buf := make([]NodeID, 0, 4*dep.Net.N())
+	// Warm the route pools so the measured loop sees steady state.
+	for _, p := range pairs {
+		res := r.RouteInto(p[0], p[1], buf)
+		buf = res.Path[:0]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		res := r.RouteInto(p[0], p[1], buf)
+		hops += res.Hops()
+		buf = res.Path[:0]
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/route")
+}
+
+func BenchmarkRouteGF(b *testing.B)        { benchRouteAlg(b, GF) }
+func BenchmarkRouteLGF(b *testing.B)       { benchRouteAlg(b, LGF) }
+func BenchmarkRouteSLGF(b *testing.B)      { benchRouteAlg(b, SLGF) }
+func BenchmarkRouteSLGF2(b *testing.B)     { benchRouteAlg(b, SLGF2) }
+func BenchmarkRouteGPSR(b *testing.B)      { benchRouteAlg(b, GPSR) }
+func BenchmarkRouteIdealHops(b *testing.B) { benchRouteAlg(b, IdealHop) }
+func BenchmarkRouteIdealLen(b *testing.B)  { benchRouteAlg(b, IdealLen) }
+
 // Substrate micro benches.
 
 func BenchmarkDeploy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Deploy(FA, 800, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeploymentBuild measures the full substrate pipeline — node
+// placement, CSR adjacency, safety model, BOUNDHOLE boundaries, Gabriel
+// graph — on an 800-node FA network, the wall time /deploy pays when a
+// registered deployment is first routed.
+func BenchmarkDeploymentBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dep, err := Deploy(FA, 800, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewSim(dep); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -67,11 +67,17 @@ func FindHoles(net *topo.Network) *Boundaries {
 
 	// Boundaries longer than this are walk artifacts, not hole rims: a
 	// genuine hole boundary cannot involve more than a fraction of the
-	// network. They would only mislead detours, so they are dropped.
+	// network. They would only mislead detours, so they are dropped —
+	// and traceBoundary aborts as soon as a walk exceeds the cap rather
+	// than burning its full step budget on a cycle that cannot be kept.
 	maxLen := net.N() / 4
 	if maxLen < 16 {
 		maxLen = 16
 	}
+	// tr holds the walk scratch (cycle buffer, visited-edge set) reused
+	// across every trace; walks are serial, only the TENT scan above and
+	// the per-trace sweeps run concurrently inside topo.
+	tr := newTracer(net, maxLen)
 	for i := range net.Nodes {
 		u := topo.NodeID(i)
 		res, ok := stuck[u]
@@ -79,20 +85,21 @@ func FindHoles(net *topo.Network) *Boundaries {
 			continue
 		}
 		for _, iv := range res.Intervals {
-			cycle := traceBoundary(net, u, iv)
-			if len(cycle) < 3 || len(cycle) > maxLen {
+			cycle := tr.trace(u, iv)
+			if len(cycle) < 3 {
 				continue
 			}
 			b.MessageCount += len(cycle)
 			if claimed(seenEdge, cycle) {
 				continue
 			}
-			hole := &Hole{ID: len(b.Holes), Cycle: cycle, BBox: cycleBBox(net, cycle)}
+			kept := append([]topo.NodeID(nil), cycle...)
+			hole := &Hole{ID: len(b.Holes), Cycle: kept, BBox: cycleBBox(net, kept)}
 			b.Holes = append(b.Holes, hole)
-			for _, v := range cycle {
+			for _, v := range kept {
 				b.byNode[v] = append(b.byNode[v], hole)
 			}
-			claim(seenEdge, cycle)
+			claim(seenEdge, kept)
 		}
 	}
 	return b
@@ -126,28 +133,57 @@ func cycleBBox(net *topo.Network, cycle []topo.NodeID) geom.Rect {
 	return bb
 }
 
-// traceBoundary walks the hole boundary starting at stuck node t0, heading
-// into the stuck angular gap and sweeping clockwise (keeping the hole on
-// the left), until the walk returns to t0. Returns nil when no closed
+// tracer holds the reusable scratch of BOUNDHOLE traversals: the cycle
+// buffer and the visited directed-edge set, allocated once for all the
+// traces of one FindHoles run.
+type tracer struct {
+	net    *topo.Network
+	maxLen int
+	cycle  []topo.NodeID
+	walked map[[2]topo.NodeID]bool
+}
+
+func newTracer(net *topo.Network, maxLen int) *tracer {
+	return &tracer{
+		net:    net,
+		maxLen: maxLen,
+		cycle:  make([]topo.NodeID, 0, maxLen+1),
+		walked: make(map[[2]topo.NodeID]bool, 4*maxLen),
+	}
+}
+
+// trace walks the hole boundary starting at stuck node t0, heading into
+// the stuck angular gap and sweeping clockwise (keeping the hole on the
+// left), until the walk returns to t0. Returns nil when no closed
 // boundary forms: the original protocol's edge-crossing refinement is
-// approximated by aborting on any repeated directed edge — a repeat means
-// the walk fell into a sub-cycle that can never close at t0.
-func traceBoundary(net *topo.Network, t0 topo.NodeID, iv StuckInterval) []topo.NodeID {
+// approximated by aborting on any repeated directed edge — a repeat
+// means the walk fell into a sub-cycle that can never close at t0.
+// Walks exceeding maxLen abort immediately (FindHoles would discard the
+// cycle anyway). The returned slice aliases the tracer's buffer and is
+// only valid until the next trace call.
+func (tr *tracer) trace(t0 topo.NodeID, iv StuckInterval) []topo.NodeID {
+	net := tr.net
 	// First hop: sweep CW from the middle of the stuck gap; the first
 	// neighbor hit is the gap's boundary node.
 	first := sweepCW(net, t0, iv.MidDirection(), topo.NoNode)
 	if first == topo.NoNode {
 		return nil
 	}
-	cycle := []topo.NodeID{t0}
-	walked := map[[2]topo.NodeID]bool{{t0, first}: true}
+	cycle := append(tr.cycle[:0], t0)
+	clear(tr.walked)
+	tr.walked[[2]topo.NodeID{t0, first}] = true
 	prev, cur := t0, first
 	budget := maxBoundarySteps(net)
 	for step := 0; step < budget; step++ {
 		if cur == t0 {
+			tr.cycle = cycle[:0]
 			return cycle
 		}
 		cycle = append(cycle, cur)
+		if len(cycle) > tr.maxLen {
+			tr.cycle = cycle[:0]
+			return nil // overlong: FindHoles would drop it
+		}
 		// Sweep CW from the back-edge direction: the next boundary edge
 		// is the first neighbor encountered rotating clockwise from
 		// cur→prev, excluding an immediate bounce unless forced.
@@ -157,27 +193,32 @@ func traceBoundary(net *topo.Network, t0 topo.NodeID, iv StuckInterval) []topo.N
 			next = prev // dead end: bounce back
 		}
 		edge := [2]topo.NodeID{cur, next}
-		if walked[edge] {
+		if tr.walked[edge] {
+			tr.cycle = cycle[:0]
 			return nil // sub-cycle: the walk cannot close at t0
 		}
-		walked[edge] = true
+		tr.walked[edge] = true
 		prev, cur = cur, next
 	}
+	tr.cycle = cycle[:0]
 	return nil
 }
 
 // sweepCW returns the neighbor of u whose direction is first reached when
 // rotating clockwise from the angle `from`, skipping `exclude` (pass
-// topo.NoNode to allow all neighbors).
+// topo.NoNode to allow all neighbors). It runs on the network's
+// precomputed edge bearings, so a sweep step performs no trigonometry.
 func sweepCW(net *topo.Network, u topo.NodeID, from float64, exclude topo.NodeID) topo.NodeID {
-	up := net.Pos(u)
+	row := net.AdjacencyRow(u)
+	angs := net.AdjacencyAngles(u)
+	checkAlive := net.DeadCount() > 0
 	best := topo.NoNode
 	bestDelta := geom.TwoPi + 1
-	for _, v := range net.Neighbors(u) {
-		if v == exclude {
+	for j, v := range row {
+		if v == exclude || (checkAlive && !net.Alive(v)) {
 			continue
 		}
-		delta := geom.CWDelta(from, geom.Angle(up, net.Pos(v)))
+		delta := geom.CWDelta(from, angs[j])
 		if delta < 1e-12 {
 			delta = geom.TwoPi
 		}

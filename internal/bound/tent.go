@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -74,8 +75,14 @@ func Tent(net *topo.Network, u topo.NodeID) TentResult {
 		dist2 float64
 	}
 	var dirs []dirNbr
-	for _, v := range net.Neighbors(u) {
-		a := geom.Angle(up, net.Pos(v))
+	row := net.AdjacencyRow(u)
+	angs := net.AdjacencyAngles(u)
+	checkAlive := net.DeadCount() > 0
+	for j, v := range row {
+		if checkAlive && !net.Alive(v) {
+			continue
+		}
+		a := angs[j]
 		d2 := geom.Dist2(up, net.Pos(v))
 		merged := false
 		for i := range dirs {
@@ -135,18 +142,26 @@ func stuckBetween(net *topo.Network, up geom.Point, v1, v2 topo.NodeID) bool {
 }
 
 // StuckNodes runs the TENT rule on every alive node and returns the
-// results of the stuck ones, index by node in the second return.
+// results of the stuck ones, index by node in the second return. The
+// per-node tests are independent and fan out across GOMAXPROCS; the
+// returned list stays in ascending node order.
 func StuckNodes(net *topo.Network) ([]TentResult, map[topo.NodeID]TentResult) {
+	perNode := make([]TentResult, net.N())
+	par.For(net.N(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := topo.NodeID(i)
+			if !net.Alive(u) {
+				continue
+			}
+			perNode[i] = Tent(net, u)
+		}
+	})
 	var list []TentResult
 	byNode := make(map[topo.NodeID]TentResult)
-	for i := range net.Nodes {
-		u := topo.NodeID(i)
-		if !net.Alive(u) {
-			continue
-		}
-		if r := Tent(net, u); r.Stuck() {
+	for i := range perNode {
+		if r := perNode[i]; r.Stuck() {
 			list = append(list, r)
-			byNode[u] = r
+			byNode[topo.NodeID(i)] = r
 		}
 	}
 	return list, byNode

@@ -2,12 +2,23 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"github.com/straightpath/wasn/internal/geom"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
 // state is the per-packet routing state shared by all algorithms.
+//
+// # Pooled-scratch contract
+//
+// States are pooled: drive acquires one from statePool, resets the
+// per-route fields, and returns it when the route completes. The two
+// maps (tried, failedHoles) are retained across routes and cleared on
+// reuse, so their buckets are allocated once per pool entry and
+// steady-state routing performs no map allocations. Nothing in a state
+// may escape a Route call: algorithms must copy anything they want to
+// keep into the Result before drive returns.
 type state struct {
 	net    *topo.Network
 	src    topo.NodeID
@@ -17,10 +28,11 @@ type state struct {
 	cur  topo.NodeID
 	prev topo.NodeID
 
-	// tried[u] records the successors already attempted from u by
-	// detour sweeps, the paper's "untried node" bookkeeping. Allocated
-	// lazily: greedy-only routes never touch it.
-	tried map[topo.NodeID]map[topo.NodeID]bool
+	// tried records the successor pairs (u, v) already attempted by
+	// detour sweeps, the paper's "untried node" bookkeeping, keyed
+	// u<<32|v. Retained across routes (cleared on reuse); greedy-only
+	// routes never touch it.
+	tried map[uint64]struct{}
 
 	// hand is the committed hand rule (HandNone until a detour starts).
 	hand Hand
@@ -55,35 +67,57 @@ type state struct {
 	detourSteps int
 	// failedHoles records holes whose boundary walk did not help this
 	// packet; they are not retried (one header bit per visited hole).
-	failedHoles map[int]bool
+	// Retained across routes, cleared on reuse.
+	failedHoles map[int]struct{}
 }
 
-func newState(net *topo.Network, src, dst topo.NodeID) *state {
+var statePool = sync.Pool{New: func() any {
 	return &state{
-		net:        net,
-		src:        src,
-		dst:        dst,
-		dstPos:     net.Pos(dst),
-		cur:        src,
-		prev:       topo.NoNode,
-		detourHole: -1,
+		tried:       make(map[uint64]struct{}),
+		failedHoles: make(map[int]struct{}),
 	}
+}}
+
+// acquireState returns a reset pooled state for one route.
+func acquireState(net *topo.Network, src, dst topo.NodeID) *state {
+	st := statePool.Get().(*state)
+	clear(st.tried)
+	clear(st.failedHoles)
+	st.net = net
+	st.src = src
+	st.dst = dst
+	st.dstPos = net.Pos(dst)
+	st.cur = src
+	st.prev = topo.NoNode
+	st.hand = HandNone
+	st.phase = 0
+	st.perimeterActive = false
+	st.backupActive = false
+	st.backupDist = 0
+	st.backupBudget = 0
+	st.stuckDist = 0
+	st.detourHole = -1
+	st.detourDir = 0
+	st.detourSteps = 0
+	return st
+}
+
+func releaseState(st *state) {
+	st.net = nil
+	statePool.Put(st)
+}
+
+func triedKey(u, v topo.NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
 func (st *state) markTried(u, v topo.NodeID) {
-	if st.tried == nil {
-		st.tried = make(map[topo.NodeID]map[topo.NodeID]bool)
-	}
-	m := st.tried[u]
-	if m == nil {
-		m = make(map[topo.NodeID]bool)
-		st.tried[u] = m
-	}
-	m[v] = true
+	st.tried[triedKey(u, v)] = struct{}{}
 }
 
 func (st *state) wasTried(u, v topo.NodeID) bool {
-	return st.tried != nil && st.tried[u][v]
+	_, ok := st.tried[triedKey(u, v)]
+	return ok
 }
 
 // algorithm is the per-hop decision procedure each router implements.
@@ -93,11 +127,19 @@ type algorithm interface {
 	step(st *state) topo.NodeID
 }
 
-// drive runs the per-hop loop for one packet.
-func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int) Result {
-	res := Result{PhaseHops: make(map[Phase]int)}
+// defaultPathCap sizes the path allocation of buffer-less Route calls;
+// typical delivered routes on the paper's networks stay well under it.
+const defaultPathCap = 64
+
+// drive runs the per-hop loop for one packet, appending the traveled
+// path into pathBuf[:0] (allocating a fresh buffer when pathBuf is nil).
+func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int, pathBuf []topo.NodeID) Result {
+	var res Result
 	if !net.Alive(src) || !net.Alive(dst) {
 		res.Reason = DropNoCandidate
+		// Hand the caller's buffer back (empty) so the reuse idiom
+		// `buf = res.Path[:0]` survives routes to dead endpoints.
+		res.Path = pathBuf[:0]
 		return res
 	}
 	if ttlFactor <= 0 {
@@ -105,25 +147,35 @@ func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int
 	}
 	ttl := ttlFactor * net.N()
 
-	st := newState(net, src, dst)
-	res.Path = append(res.Path, src)
+	st := acquireState(net, src, dst)
+	defer releaseState(st)
+	path := pathBuf
+	if path == nil {
+		path = make([]topo.NodeID, 0, defaultPathCap)
+	} else {
+		path = path[:0]
+	}
+	path = append(path, src)
 	for st.cur != dst {
-		if res.Hops() >= ttl {
+		if len(path)-1 >= ttl {
 			res.Reason = DropTTL
+			res.Path = path
 			return res
 		}
 		next := alg.step(st)
 		if next == topo.NoNode {
 			res.Reason = DropNoCandidate
+			res.Path = path
 			return res
 		}
 		res.Length += net.Dist(st.cur, next)
 		res.PhaseHops[st.phase]++
 		st.prev = st.cur
 		st.cur = next
-		res.Path = append(res.Path, next)
+		path = append(path, next)
 	}
 	res.Delivered = true
+	res.Path = path
 	return res
 }
 
@@ -149,6 +201,9 @@ func (st *state) perimeterDone() bool {
 // the destination, or topo.NoNode. filter, when non-nil, restricts
 // candidates (used by the safety-based algorithms); prefer, when non-nil,
 // supersedes: if any candidate satisfies it, only those are considered.
+//
+// The filter/prefer funcs are only invoked, never stored, so closures
+// passed here stay on the caller's stack (no per-hop allocation).
 func greedyInRequestZone(st *state, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
 	up := st.net.Pos(st.cur)
 	best := topo.NoNode
@@ -250,10 +305,16 @@ func sweepUntried(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool)
 func sweepPeek(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) (topo.NodeID, float64) {
 	up := st.net.Pos(st.cur)
 	from := geom.Angle(up, st.dstPos)
+	row := st.net.AdjacencyRow(st.cur)
+	angs := st.net.AdjacencyAngles(st.cur)
+	checkAlive := st.net.DeadCount() > 0
 	best := topo.NoNode
 	bestPreferred := false
 	bestDelta := math.MaxFloat64
-	for _, v := range st.net.Neighbors(st.cur) {
+	for j, v := range row {
+		if checkAlive && !st.net.Alive(v) {
+			continue
+		}
 		if st.wasTried(st.cur, v) {
 			continue
 		}
@@ -261,7 +322,7 @@ func sweepPeek(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) (t
 			continue
 		}
 		pref := prefer == nil || prefer(v)
-		delta := hand.sweepDelta(from, geom.Angle(up, st.net.Pos(v)))
+		delta := hand.sweepDelta(from, angs[j])
 		switch {
 		case pref && !bestPreferred:
 			best, bestDelta, bestPreferred = v, delta, true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/geom"
 	"github.com/straightpath/wasn/internal/topo"
@@ -32,12 +34,24 @@ func (r *GF) Name() string { return "GF" }
 
 // Route implements Router.
 func (r *GF) Route(src, dst topo.NodeID) Result {
-	return drive(r.net, &gfAlg{b: r.b}, src, dst, r.TTLFactor)
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router.
+func (r *GF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	a := gfAlgPool.Get().(*gfAlg)
+	a.b = r.b
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	a.b = nil
+	gfAlgPool.Put(a)
+	return res
 }
 
 type gfAlg struct {
 	b *bound.Boundaries
 }
+
+var gfAlgPool = sync.Pool{New: func() any { return new(gfAlg) }}
 
 func (a *gfAlg) step(st *state) topo.NodeID {
 	if neighborOfDst(st) {
@@ -78,7 +92,7 @@ func (a *gfAlg) step(st *state) topo.NodeID {
 	st.stuckDist = geom.Dist(st.net.Pos(st.cur), st.dstPos)
 	if a.b != nil {
 		for _, h := range a.b.HolesAt(st.cur) {
-			if st.failedHoles[h.ID] {
+			if _, failed := st.failedHoles[h.ID]; failed {
 				continue
 			}
 			st.detourHole = h.ID
@@ -131,10 +145,7 @@ func (a *gfAlg) detourStep(st *state) topo.NodeID {
 // abandonDetour switches from a failed boundary walk to the persistent
 // untried ray sweep, blacklisting the hole for this packet.
 func (a *gfAlg) abandonDetour(st *state) topo.NodeID {
-	if st.failedHoles == nil {
-		st.failedHoles = make(map[int]bool)
-	}
-	st.failedHoles[st.detourHole] = true
+	st.failedHoles[st.detourHole] = struct{}{}
 	st.detourHole = -1
 	st.enterPerimeter()
 	return sweepUntried(st, RightHand, nil, nil)

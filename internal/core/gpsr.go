@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/straightpath/wasn/internal/geom"
 	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/topo"
@@ -31,7 +33,21 @@ func (r *GPSR) Name() string { return "GPSR" }
 
 // Route implements Router.
 func (r *GPSR) Route(src, dst topo.NodeID) Result {
-	return drive(r.net, &gpsrAlg{g: r.g}, src, dst, r.TTLFactor)
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router.
+func (r *GPSR) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	a := gpsrAlgPool.Get().(*gpsrAlg)
+	a.g = r.g
+	a.perimeter = false
+	a.stuckPos = geom.Point{}
+	a.stuckDist = 0
+	clear(a.visited)
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	a.g = nil
+	gpsrAlgPool.Put(a)
+	return res
 }
 
 type gpsrAlg struct {
@@ -42,9 +58,14 @@ type gpsrAlg struct {
 	stuckDist float64
 	// visited records directed planar edges walked in the current
 	// perimeter phase; repeating one means the destination is
-	// unreachable from this face structure.
+	// unreachable from this face structure. Retained across pooled
+	// routes, cleared per perimeter phase.
 	visited map[[2]topo.NodeID]bool
 }
+
+var gpsrAlgPool = sync.Pool{New: func() any {
+	return &gpsrAlg{visited: make(map[[2]topo.NodeID]bool)}
+}}
 
 func (a *gpsrAlg) step(st *state) topo.NodeID {
 	if neighborOfDst(st) {
@@ -66,7 +87,7 @@ func (a *gpsrAlg) step(st *state) topo.NodeID {
 	a.perimeter = true
 	a.stuckPos = st.net.Pos(st.cur)
 	a.stuckDist = geom.Dist(a.stuckPos, st.dstPos)
-	a.visited = make(map[[2]topo.NodeID]bool)
+	clear(a.visited)
 	st.phase = PhasePerimeter
 	next := a.g.FaceStep(st.cur, topo.NoNode, geom.Angle(a.stuckPos, st.dstPos))
 	return a.claimEdge(st.cur, next)

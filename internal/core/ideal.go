@@ -38,15 +38,25 @@ func (r *Ideal) Name() string {
 
 // Route implements Router.
 func (r *Ideal) Route(src, dst topo.NodeID) Result {
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router. The searches run over pooled scratch
+// (topo's search pool), so with a reused path buffer the reference
+// routes are allocation-free too.
+func (r *Ideal) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
 	var path []topo.NodeID
 	if r.kind == IdealMinLength {
-		path = topo.ShortestEuclideanPath(r.net, src, dst)
+		path = topo.ShortestEuclideanPathInto(r.net, src, dst, pathBuf)
 	} else {
-		path = topo.ShortestHopPath(r.net, src, dst)
+		path = topo.ShortestHopPathInto(r.net, src, dst, pathBuf)
 	}
-	res := Result{PhaseHops: make(map[Phase]int)}
+	var res Result
 	if path == nil {
 		res.Reason = DropNoCandidate
+		// Hand the caller's buffer back (empty) so the reuse idiom
+		// `buf = res.Path[:0]` survives unreachable queries.
+		res.Path = pathBuf[:0]
 		return res
 	}
 	res.Path = path

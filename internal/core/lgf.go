@@ -25,7 +25,13 @@ func (r *LGF) Name() string { return "LGF" }
 
 // Route implements Router.
 func (r *LGF) Route(src, dst topo.NodeID) Result {
-	return drive(r.net, lgfAlg{}, src, dst, r.TTLFactor)
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router. lgfAlg is stateless and zero-size, so the
+// interface conversion does not allocate.
+func (r *LGF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	return drive(r.net, lgfAlg{}, src, dst, r.TTLFactor, pathBuf)
 }
 
 type lgfAlg struct{}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// poolTestRouters builds every router over one FA network.
+func poolTestRouters(t testing.TB) (*topo.Network, []Router) {
+	t.Helper()
+	dep, err := topo.Deploy(topo.DefaultDeployConfig(topo.ModelFA, 300, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	m := safety.Build(net)
+	b := bound.FindHoles(net)
+	g := planar.Build(net, planar.GabrielGraph)
+	return net, []Router{
+		NewGF(net, b),
+		NewLGF(net),
+		NewSLGF(net, m),
+		NewSLGF2(net, m),
+		NewGPSR(net, g),
+		NewIdeal(net, IdealMinHop),
+		NewIdeal(net, IdealMinLength),
+	}
+}
+
+// TestConcurrentRoutesOverPooledState drives every algorithm from many
+// goroutines at once (run under -race in CI): the pooled per-route
+// scratch must neither race nor leak state between routes. Every
+// concurrent result must equal the serial reference bit-for-bit.
+func TestConcurrentRoutesOverPooledState(t *testing.T) {
+	net, routers := poolTestRouters(t)
+	pairs := topo.RoutablePairs(net, 24, 40)
+	if len(pairs) == 0 {
+		t.Fatal("no routable pairs")
+	}
+
+	// Serial reference, computed once per (router, pair).
+	ref := make([][]Result, len(routers))
+	for ri, r := range routers {
+		ref[ri] = make([]Result, len(pairs))
+		for pi, p := range pairs {
+			ref[ri][pi] = r.Route(p[0], p[1])
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]topo.NodeID, 0, 128)
+			for round := 0; round < rounds; round++ {
+				for ri, r := range routers {
+					for pi, p := range pairs {
+						useBuf := (g+round)%2 != 0
+						var got Result
+						if useBuf {
+							got = r.RouteInto(p[0], p[1], buf)
+						} else {
+							got = r.Route(p[0], p[1])
+						}
+						want := ref[ri][pi]
+						if !reflect.DeepEqual(got, want) {
+							errs <- r.Name()
+							return
+						}
+						if useBuf {
+							// Reusable once the result is consumed.
+							buf = got.Path[:0]
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for name := range errs {
+		t.Fatalf("%s: concurrent result diverged from serial reference", name)
+	}
+}
+
+// TestRouteIntoReusesBuffer pins the RouteInto contract: the returned
+// path aliases the provided buffer's backing array (when capacity
+// suffices) and repeated calls with the same buffer stay correct.
+func TestRouteIntoReusesBuffer(t *testing.T) {
+	net, routers := poolTestRouters(t)
+	pairs := topo.RoutablePairs(net, 8, 40)
+	if len(pairs) == 0 {
+		t.Fatal("no routable pairs")
+	}
+	for _, r := range routers {
+		buf := make([]topo.NodeID, 0, 4*net.N())
+		for _, p := range pairs {
+			want := r.Route(p[0], p[1])
+			got := r.RouteInto(p[0], p[1], buf)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: RouteInto diverged from Route", r.Name())
+			}
+			if len(got.Path) > 0 && cap(buf) >= len(got.Path) && &got.Path[0] != &buf[:1][0] {
+				t.Fatalf("%s: RouteInto did not write into the provided buffer", r.Name())
+			}
+		}
+	}
+}
+
+// TestPooledStateIsolation interleaves routes that exercise detour
+// bookkeeping (tried sets, failed holes, face walks) and checks a
+// pooled state reused across routes cannot leak markings: routing the
+// same pair twice in a row must give identical results.
+func TestPooledStateIsolation(t *testing.T) {
+	net, routers := poolTestRouters(t)
+	pairs := topo.RoutablePairs(net, 16, 60)
+	if len(pairs) < 2 {
+		t.Skip("not enough routable pairs")
+	}
+	for _, r := range routers {
+		first := make([]Result, len(pairs))
+		for i, p := range pairs {
+			first[i] = r.Route(p[0], p[1])
+		}
+		// Second sweep in shuffled order over warm pools.
+		for i := len(pairs) - 1; i >= 0; i-- {
+			p := pairs[i]
+			if got := r.Route(p[0], p[1]); !reflect.DeepEqual(got, first[i]) {
+				t.Fatalf("%s pair %v: warm-pool result diverged", r.Name(), p)
+			}
+		}
+	}
+}

@@ -28,6 +28,9 @@ const (
 	PhaseGreedy Phase = iota + 1
 	PhaseBackup
 	PhasePerimeter
+
+	// NumPhases is the number of distinct phases.
+	NumPhases = int(PhasePerimeter)
 )
 
 // String implements fmt.Stringer.
@@ -68,10 +71,35 @@ func (r DropReason) String() string {
 	}
 }
 
+// PhaseCounts counts hops per phase, indexed by Phase (index 0 is
+// unused; phases start at PhaseGreedy == 1). A fixed array instead of a
+// map keeps Result allocation-free (and PhaseCounts itself comparable).
+type PhaseCounts [NumPhases + 1]int
+
+// Of returns the hop count of phase p — the compatibility accessor for
+// code written against the former map[Phase]int representation. Direct
+// indexing (c[PhaseGreedy]) works identically.
+func (c PhaseCounts) Of(p Phase) int {
+	if p < 0 || int(p) >= len(c) {
+		return 0
+	}
+	return c[p]
+}
+
+// Total returns the hop count across all phases.
+func (c PhaseCounts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
 // Result is the outcome of routing one packet.
 type Result struct {
 	// Path holds every node the packet visited, source first. Nodes can
-	// repeat (perimeter phases may backtrack).
+	// repeat (perimeter phases may backtrack). When the route was issued
+	// through RouteInto, Path aliases the caller's buffer.
 	Path []topo.NodeID
 	// Delivered reports whether the packet reached the destination.
 	Delivered bool
@@ -80,7 +108,7 @@ type Result struct {
 	// Length is the total Euclidean distance traveled.
 	Length float64
 	// PhaseHops counts hops per phase.
-	PhaseHops map[Phase]int
+	PhaseHops PhaseCounts
 }
 
 // Hops returns the hop count of the traveled path.
@@ -93,18 +121,30 @@ func (r Result) Hops() int {
 
 // Router routes single packets between nodes of one fixed network.
 //
-// Every Router in this package is safe for concurrent use: Route
-// allocates all per-packet state afresh (SLGF2's lazy planar substrate
-// is built under a sync.Once), so any number of goroutines may route
-// over one router simultaneously — provided no topology mutation
-// (topo.Network.SetAlive) races with in-flight routes. Callers that
-// fail nodes at runtime must serialize mutations against routing; the
-// serve package does so with a per-deployment RWMutex.
+// Every Router in this package is safe for concurrent use: all
+// per-packet scratch lives in pooled per-route state (SLGF2's lazy
+// planar substrate is built under a sync.Once), so any number of
+// goroutines may route over one router simultaneously — provided no
+// topology mutation (topo.Network.SetAlive) races with in-flight routes.
+// Callers that fail nodes at runtime must serialize mutations against
+// routing; the serve package does so with a per-deployment RWMutex.
+//
+// Steady-state routing performs zero allocations per hop decision: the
+// visited bookkeeping, queues, and candidate buffers come from
+// sync.Pool-managed scratch that is cleared and reused across routes.
+// Route allocates only the Result's path slice; RouteInto with a reused
+// buffer eliminates that too.
 type Router interface {
 	// Name identifies the algorithm ("GF", "LGF", "SLGF", "SLGF2", ...).
 	Name() string
 	// Route routes one packet from src to dst.
 	Route(src, dst topo.NodeID) Result
+	// RouteInto routes one packet from src to dst, appending the
+	// traveled path into pathBuf[:0] (the Result's Path then aliases
+	// pathBuf's backing array, which must not be reused until the
+	// Result is consumed). A nil pathBuf behaves like Route. Passing a
+	// reused buffer makes steady-state routing allocation-free.
+	RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result
 }
 
 // Hand selects the ray-rotation direction of detour sweeps. The paper's

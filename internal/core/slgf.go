@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -31,12 +33,24 @@ func (r *SLGF) Name() string { return "SLGF" }
 
 // Route implements Router.
 func (r *SLGF) Route(src, dst topo.NodeID) Result {
-	return drive(r.net, &slgfAlg{m: r.m}, src, dst, r.TTLFactor)
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router.
+func (r *SLGF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	a := slgfAlgPool.Get().(*slgfAlg)
+	a.m = r.m
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	a.m = nil
+	slgfAlgPool.Put(a)
+	return res
 }
 
 type slgfAlg struct {
 	m *safety.Model
 }
+
+var slgfAlgPool = sync.Pool{New: func() any { return new(slgfAlg) }}
 
 func (a *slgfAlg) step(st *state) topo.NodeID {
 	if neighborOfDst(st) {

@@ -68,6 +68,13 @@ func WithoutBackup() SLGF2Option {
 	return func(r *SLGF2) { r.disableBackup = true }
 }
 
+// WithPlanarGraph injects an already-built Gabriel graph for the
+// perimeter phase's face walk, so callers that build one anyway (for
+// GPSR, say) avoid the lazy duplicate build. A nil graph is ignored.
+func WithPlanarGraph(g *planar.Graph) SLGF2Option {
+	return func(r *SLGF2) { r.planarG = g }
+}
+
 // NewSLGF2 returns the paper's routing over net using the prebuilt
 // safety information model.
 func NewSLGF2(net *topo.Network, m *safety.Model, opts ...SLGF2Option) *SLGF2 {
@@ -94,17 +101,26 @@ func (r *SLGF2) Name() string {
 	}
 }
 
-// planar returns the lazily built Gabriel graph.
+// planar returns the Gabriel graph, building it lazily unless one was
+// injected via WithPlanarGraph at construction.
 func (r *SLGF2) planar() *planar.Graph {
 	r.planarOnce.Do(func() {
-		r.planarG = planar.Build(r.net, planar.GabrielGraph)
+		if r.planarG == nil {
+			r.planarG = planar.Build(r.net, planar.GabrielGraph)
+		}
 	})
 	return r.planarG
 }
 
 // Route implements Router.
 func (r *SLGF2) Route(src, dst topo.NodeID) Result {
-	alg := &slgf2Alg{r: r}
+	return r.RouteInto(src, dst, nil)
+}
+
+// RouteInto implements Router.
+func (r *SLGF2) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	alg := slgf2AlgPool.Get().(*slgf2Alg)
+	alg.reset(r)
 	if !r.disableShapeInfo && r.net.Alive(src) && r.net.Alive(dst) {
 		// The cautious confined perimeter applies when the source or
 		// destination tuple is (0,0,0,0) (§4: the network may have
@@ -112,7 +128,10 @@ func (r *SLGF2) Route(src, dst topo.NodeID) Result {
 		// the packet orbiting the unsafe area.
 		alg.confine = r.m.AllUnsafe(src) || r.m.AllUnsafe(dst)
 	}
-	return drive(r.net, alg, src, dst, r.TTLFactor)
+	res := drive(r.net, alg, src, dst, r.TTLFactor, pathBuf)
+	alg.r = nil
+	slgf2AlgPool.Put(alg)
+	return res
 }
 
 type slgf2Alg struct {
@@ -125,13 +144,34 @@ type slgf2Alg struct {
 	perimeterLocked bool
 	// faceVisited tracks directed planar edges of the active face walk;
 	// revisiting one means the walk cannot help and the ray-sweep
-	// fallback takes over (faceDead).
+	// fallback takes over (faceDead). Retained across pooled routes,
+	// cleared per walk.
 	faceVisited map[[2]topo.NodeID]bool
 	faceDead    bool
-	// shapes caches the visible estimates at the current node.
+	// shapes caches the visible estimates at the current node; nearby is
+	// the unfiltered collection buffer. Both backing arrays are retained
+	// across pooled routes.
 	shapes    []safety.ShapeAt
+	nearby    []safety.ShapeAt
 	shapesFor topo.NodeID
 	shapesOK  bool
+}
+
+var slgf2AlgPool = sync.Pool{New: func() any {
+	return &slgf2Alg{faceVisited: make(map[[2]topo.NodeID]bool)}
+}}
+
+// reset readies a pooled alg for one route, retaining the map buckets
+// and the shapes backing array.
+func (a *slgf2Alg) reset(r *SLGF2) {
+	a.r = r
+	a.confine = false
+	a.perimeterLocked = false
+	clear(a.faceVisited)
+	a.faceDead = false
+	a.shapes = a.shapes[:0]
+	a.shapesFor = topo.NoNode
+	a.shapesOK = false
 }
 
 func (a *slgf2Alg) step(st *state) topo.NodeID {
@@ -142,7 +182,19 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 		return st.dst
 	}
 
-	prefer := a.preference(st)
+	// The superseding either-hand preference: candidates must avoid the
+	// forbidden region of every visible estimate whose critical region
+	// holds the destination. Only estimates that actually block the
+	// corridor to the destination arm the preference — an unsafe area
+	// off the packet's way must not divert it. The closure is created
+	// here (not returned from a helper) so escape analysis keeps it on
+	// the stack.
+	var prefer func(topo.NodeID) bool
+	if shapes := a.blockingShapes(st); len(shapes) > 0 {
+		prefer = func(v topo.NodeID) bool {
+			return m.AvoidsForbidden(shapes, st.dstPos, st.net.Pos(v))
+		}
+	}
 
 	// An active perimeter phase persists until the packet beats the
 	// stuck node's distance; the hand stays locked regardless ("stick
@@ -202,7 +254,7 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 		}
 		st.enterPerimeter()
 		// Fresh face walk per perimeter phase; the hand stays locked.
-		a.faceVisited = make(map[[2]topo.NodeID]bool)
+		clear(a.faceVisited)
 		a.faceDead = false
 	}
 
@@ -214,9 +266,6 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 	a.commitHand(st, nil)
 	a.perimeterLocked = true
 	st.phase = PhasePerimeter
-	if a.faceVisited == nil {
-		a.faceVisited = make(map[[2]topo.NodeID]bool)
-	}
 	if !a.faceDead {
 		g := a.r.planar()
 		prev := st.prev
@@ -247,23 +296,6 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 	return sweepUntried(st, st.hand, nil, perimeterPrefer)
 }
 
-// preference returns the superseding either-hand predicate: candidates
-// must avoid the forbidden region of every visible estimate whose
-// critical region holds the destination. Only estimates that actually
-// block the corridor to the destination arm the preference — an unsafe
-// area off the packet's way must not divert it. nil when shape info is
-// disabled or no blocking estimate is visible.
-func (a *slgf2Alg) preference(st *state) func(topo.NodeID) bool {
-	shapes := a.blockingShapes(st)
-	if len(shapes) == 0 {
-		return nil
-	}
-	m := a.r.m
-	return func(v topo.NodeID) bool {
-		return m.AvoidsForbidden(shapes, st.dstPos, st.net.Pos(v))
-	}
-}
-
 // blockingShapes returns the visible estimates whose rectangle intersects
 // the straight corridor from the current node to the destination and is
 // at least one radio range across. Smaller estimates are flattened by a
@@ -277,7 +309,8 @@ func (a *slgf2Alg) blockingShapes(st *state) []safety.ShapeAt {
 		a.shapes = a.shapes[:0]
 		up := st.net.Pos(st.cur)
 		r2 := st.net.Radius * st.net.Radius
-		for _, s := range a.r.m.NearbyShapes(st.cur, st.dstPos) {
+		a.nearby = a.r.m.AppendNearbyShapes(a.nearby[:0], st.cur, st.dstPos)
+		for _, s := range a.nearby {
 			w, h := s.Rect.Width(), s.Rect.Height()
 			if w*w+h*h < r2 {
 				continue

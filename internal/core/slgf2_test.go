@@ -184,7 +184,8 @@ func TestBackupBudgetFloor(t *testing.T) {
 	m := safety.Build(net)
 	r := NewSLGF2(net, m)
 	alg := &slgf2Alg{r: r}
-	st := newState(net, 0, topo.NodeID(net.N()-1))
+	st := acquireState(net, 0, topo.NodeID(net.N()-1))
+	defer releaseState(st)
 	if got := alg.backupBudget(st); got < 8 {
 		t.Errorf("backup budget %d below floor", got)
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// BuildSubstrates constructs the routing substrates the algorithm table
+// needs — the safety information model, the BOUNDHOLE boundaries, and
+// the Gabriel graph — concurrently (each build is also internally
+// parallel across GOMAXPROCS). Unneeded substrates are skipped by
+// passing false and returned nil. edgeRule overrides the safety model's
+// edge-node rule (nil for the default). This is the one fan-out the
+// facade, the serving layer, and the experiment harness all share.
+//
+// A panic in any build is re-raised on the calling goroutine, so a
+// build bug surfaces where the caller's recover machinery (e.g.
+// net/http's handler recovery in wasnd) can contain it.
+func BuildSubstrates(net *topo.Network, needSafety, needBounds, needPlanar bool, edgeRule safety.EdgeRule) (*safety.Model, *bound.Boundaries, *planar.Graph) {
+	var (
+		m         *safety.Model
+		b         *bound.Boundaries
+		g         *planar.Graph
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	run := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			f()
+		}()
+	}
+	if needSafety {
+		run(func() {
+			if edgeRule != nil {
+				m = safety.Build(net, safety.WithEdgeRule(edgeRule))
+			} else {
+				m = safety.Build(net)
+			}
+		})
+	}
+	if needBounds {
+		run(func() { b = bound.FindHoles(net) })
+	}
+	if needPlanar {
+		run(func() { g = planar.Build(net, planar.GabrielGraph) })
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return m, b, g
+}

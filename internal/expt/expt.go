@@ -13,10 +13,8 @@ import (
 	"sync"
 	"time"
 
-	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/core"
 	"github.com/straightpath/wasn/internal/metrics"
-	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -154,8 +152,8 @@ func Run(cfg Config) (*Sweep, error) {
 
 	type job struct{ nIdx, netIdx int }
 	type cellDelta struct {
-		nIdx  int
-		stats map[AlgID]*AlgStats
+		nIdx, netIdx int
+		stats        map[AlgID]*AlgStats
 	}
 
 	jobs := make(chan job)
@@ -167,8 +165,9 @@ func Run(cfg Config) (*Sweep, error) {
 			defer wg.Done()
 			for j := range jobs {
 				results <- cellDelta{
-					nIdx:  j.nIdx,
-					stats: runNetwork(cfg, cfg.NodeCounts[j.nIdx], j.netIdx),
+					nIdx:   j.nIdx,
+					netIdx: j.netIdx,
+					stats:  runNetwork(cfg, cfg.NodeCounts[j.nIdx], j.netIdx),
 				}
 			}
 		}()
@@ -184,16 +183,27 @@ func Run(cfg Config) (*Sweep, error) {
 		close(results)
 	}()
 
+	// Workers finish in scheduling order, but the running-moment merge
+	// (metrics.Summary) is float-order-dependent — collect every cell
+	// delta first and fold them in deterministic (nIdx, netIdx) order so
+	// identical configs always produce bit-identical sweeps.
+	deltas := make([][]map[AlgID]*AlgStats, len(cfg.NodeCounts))
+	for i := range deltas {
+		deltas[i] = make([]map[AlgID]*AlgStats, cfg.Networks)
+	}
+	for delta := range results {
+		deltas[delta.nIdx][delta.netIdx] = delta.stats
+	}
 	rows := make([]Row, len(cfg.NodeCounts))
 	for i, n := range cfg.NodeCounts {
 		rows[i] = Row{N: n, Stats: make(map[AlgID]*AlgStats, len(cfg.Algorithms))}
 		for _, alg := range cfg.Algorithms {
 			rows[i].Stats[alg] = &AlgStats{}
 		}
-	}
-	for delta := range results {
-		for alg, st := range delta.stats {
-			rows[delta.nIdx].Stats[alg].merge(st)
+		for _, stats := range deltas[i] {
+			for alg, st := range stats {
+				rows[i].Stats[alg].merge(st)
+			}
 		}
 	}
 	return &Sweep{Config: cfg, Rows: rows, Elapsed: time.Since(start)}, nil
@@ -272,22 +282,10 @@ func buildRouters(cfg Config, net *topo.Network) map[AlgID]core.Router {
 			needPlanar = true
 		}
 	}
-	var m *safety.Model
-	if needSafety {
-		if cfg.EdgeRule != nil {
-			m = safety.Build(net, safety.WithEdgeRule(cfg.EdgeRule))
-		} else {
-			m = safety.Build(net)
-		}
-	}
-	var b *bound.Boundaries
-	if needBounds {
-		b = bound.FindHoles(net)
-	}
-	var g *planar.Graph
-	if needPlanar {
-		g = planar.Build(net, planar.GabrielGraph)
-	}
+	// The needed substrates build concurrently: the sweep already runs
+	// one network per worker, but a sweep's tail (last networks of the
+	// largest node count) leaves cores idle that the fan-out reclaims.
+	m, b, g := core.BuildSubstrates(net, needSafety, needBounds, needPlanar, cfg.EdgeRule)
 
 	routers := make(map[AlgID]core.Router, len(cfg.Algorithms))
 	for _, alg := range cfg.Algorithms {
@@ -305,19 +303,19 @@ func buildRouters(cfg Config, net *topo.Network) map[AlgID]core.Router {
 			r.TTLFactor = cfg.TTLFactor
 			routers[alg] = r
 		case AlgSLGF2:
-			r := core.NewSLGF2(net, m)
+			r := core.NewSLGF2(net, m, core.WithPlanarGraph(g))
 			r.TTLFactor = cfg.TTLFactor
 			routers[alg] = r
 		case AlgSLGF2NoShape:
-			r := core.NewSLGF2(net, m, core.WithoutShapeInfo())
+			r := core.NewSLGF2(net, m, core.WithoutShapeInfo(), core.WithPlanarGraph(g))
 			r.TTLFactor = cfg.TTLFactor
 			routers[alg] = r
 		case AlgSLGF2RightHand:
-			r := core.NewSLGF2(net, m, core.WithoutEitherHand())
+			r := core.NewSLGF2(net, m, core.WithoutEitherHand(), core.WithPlanarGraph(g))
 			r.TTLFactor = cfg.TTLFactor
 			routers[alg] = r
 		case AlgSLGF2NoBackup:
-			r := core.NewSLGF2(net, m, core.WithoutBackup())
+			r := core.NewSLGF2(net, m, core.WithoutBackup(), core.WithPlanarGraph(g))
 			r.TTLFactor = cfg.TTLFactor
 			routers[alg] = r
 		case AlgGPSR:

@@ -1,0 +1,68 @@
+// Package par provides the minimal data-parallel primitive the build
+// pipeline shares: a chunked parallel for over an index range. It exists
+// so the substrate builders (CSR adjacency, safety labeling, planar
+// graph, TENT rule) can fan work across GOMAXPROCS without each package
+// re-growing its own worker-pool boilerplate.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minChunk is the smallest index range worth a goroutine; below it the
+// scheduling overhead outweighs the work for the per-node computations
+// this repo parallelizes (tens of ns to a few µs per index).
+const minChunk = 64
+
+// For splits [0, n) into contiguous chunks and calls fn(lo, hi) for each,
+// in parallel across up to GOMAXPROCS goroutines. fn must be safe to run
+// concurrently with itself on disjoint ranges. Small ranges (or
+// GOMAXPROCS=1) run inline on the calling goroutine, so For adds no
+// overhead where parallelism cannot help. For returns when every chunk
+// has completed.
+//
+// A panic in any chunk is re-raised on the calling goroutine once all
+// chunks have finished, so callers (and their recover machinery, e.g.
+// net/http's per-connection handler recovery) see build bugs exactly as
+// they would from a serial loop instead of crashing the process from an
+// unrecoverable worker goroutine.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (n+minChunk-1)/minChunk {
+		workers = (n + minChunk - 1) / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -45,37 +46,59 @@ type Graph struct {
 	Net  *topo.Network
 	Kind Kind
 	// adj[u] lists u's planar neighbors sorted counter-clockwise by the
-	// angle of the edge u->v.
+	// angle of the edge u->v; ang[u] holds those angles index-aligned,
+	// so face steps rotate without recomputing atan2.
 	adj [][]topo.NodeID
+	ang [][]float64
 }
 
 // Build computes the planar subgraph of net under rule k. Dead nodes are
-// excluded. O(sum_u deg(u)^2).
+// excluded. O(sum_u deg(u)^2). Every node's witness test and row sort
+// are independent, so the build fans out across GOMAXPROCS.
 func Build(net *topo.Network, k Kind) *Graph {
 	g := &Graph{
 		Net:  net,
 		Kind: k,
 		adj:  make([][]topo.NodeID, net.N()),
+		ang:  make([][]float64, net.N()),
 	}
-	for i := range net.Nodes {
-		u := topo.NodeID(i)
-		if !net.Alive(u) {
-			continue
-		}
-		nbrs := net.Neighbors(u)
-		var kept []topo.NodeID
-		for _, v := range nbrs {
-			if keepEdge(net, k, u, v, nbrs) {
-				kept = append(kept, v)
+	par.For(net.N(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := topo.NodeID(i)
+			if !net.Alive(u) {
+				continue
 			}
+			nbrs := net.Neighbors(u)
+			var kept []topo.NodeID
+			for _, v := range nbrs {
+				if keepEdge(net, k, u, v, nbrs) {
+					kept = append(kept, v)
+				}
+			}
+			up := net.Pos(u)
+			angles := make([]float64, len(kept))
+			for j, v := range kept {
+				angles[j] = geom.Angle(up, net.Pos(v))
+			}
+			sort.Sort(&byAngle{ids: kept, ang: angles})
+			g.adj[u] = kept
+			g.ang[u] = angles
 		}
-		up := net.Pos(u)
-		sort.Slice(kept, func(a, b int) bool {
-			return geom.Angle(up, net.Pos(kept[a])) < geom.Angle(up, net.Pos(kept[b]))
-		})
-		g.adj[u] = kept
-	}
+	})
 	return g
+}
+
+// byAngle sorts a planar row and its angle cache together.
+type byAngle struct {
+	ids []topo.NodeID
+	ang []float64
+}
+
+func (s *byAngle) Len() int           { return len(s.ids) }
+func (s *byAngle) Less(i, j int) bool { return s.ang[i] < s.ang[j] }
+func (s *byAngle) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.ang[i], s.ang[j] = s.ang[j], s.ang[i]
 }
 
 // keepEdge applies the witness test. Any witness for uv lies within range
@@ -138,17 +161,17 @@ func (g *Graph) NextCCW(u topo.NodeID, fromAngle float64) topo.NodeID {
 	if len(nbrs) == 0 {
 		return topo.NoNode
 	}
-	up := g.Net.Pos(u)
+	angs := g.ang[u]
 	best := topo.NoNode
 	bestDelta := geom.TwoPi + 1
-	for _, v := range nbrs {
-		delta := geom.CCWDelta(fromAngle, geom.Angle(up, g.Net.Pos(v)))
+	for j := range nbrs {
+		delta := geom.CCWDelta(fromAngle, angs[j])
 		if delta < 1e-12 {
 			delta = geom.TwoPi // the in-edge itself sorts last
 		}
 		if delta < bestDelta {
 			bestDelta = delta
-			best = v
+			best = nbrs[j]
 		}
 	}
 	return best
@@ -171,17 +194,17 @@ func (g *Graph) NextCW(u topo.NodeID, fromAngle float64) topo.NodeID {
 	if len(nbrs) == 0 {
 		return topo.NoNode
 	}
-	up := g.Net.Pos(u)
+	angs := g.ang[u]
 	best := topo.NoNode
 	bestDelta := geom.TwoPi + 1
-	for _, v := range nbrs {
-		delta := geom.CWDelta(fromAngle, geom.Angle(up, g.Net.Pos(v)))
+	for j := range nbrs {
+		delta := geom.CWDelta(fromAngle, angs[j])
 		if delta < 1e-12 {
 			delta = geom.TwoPi // the in-edge itself sorts last
 		}
 		if delta < bestDelta {
 			bestDelta = delta
-			best = v
+			best = nbrs[j]
 		}
 	}
 	return best
@@ -200,10 +223,26 @@ func (g *Graph) FaceStep(u, prev topo.NodeID, refAngle float64) topo.NodeID {
 // left-hand rule.
 func (g *Graph) FaceStepHand(u, prev topo.NodeID, refAngle float64, ccw bool) topo.NodeID {
 	if prev != topo.NoNode {
-		refAngle = geom.Angle(g.Net.Pos(u), g.Net.Pos(prev))
+		// The in-edge u->prev is planar whenever prev came from a face
+		// walk, so its bearing is usually a cache lookup.
+		if a, ok := g.angleTo(u, prev); ok {
+			refAngle = a
+		} else {
+			refAngle = geom.Angle(g.Net.Pos(u), g.Net.Pos(prev))
+		}
 	}
 	if ccw {
 		return g.NextCCW(u, refAngle)
 	}
 	return g.NextCW(u, refAngle)
+}
+
+// angleTo returns the cached bearing of planar edge u->v, if present.
+func (g *Graph) angleTo(u, v topo.NodeID) (float64, bool) {
+	for j, w := range g.adj[u] {
+		if w == v {
+			return g.ang[u][j], true
+		}
+	}
+	return 0, false
 }

@@ -2,8 +2,10 @@ package safety
 
 import (
 	"math/rand/v2"
+	"sync/atomic"
 
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -26,36 +28,47 @@ func (m *Model) hasSafeZoneNeighbor(u topo.NodeID, z geom.ZoneType, safeOf func(
 // is broadcast to all neighbors. Rounds and messages are recorded in
 // m.Cost. The iteration is monotone (statuses only flip safe→unsafe), so
 // it stabilizes after at most 4·|V| changes.
+//
+// Within one round every node's re-evaluation reads only the snapshot
+// and writes only its own Info, so the rounds fan out across GOMAXPROCS
+// — the synchronous semantics (and therefore the resulting labels,
+// round count, and message count) are exactly those of the serial loop.
 func (m *Model) labelSync() {
 	m.Cost = ConstructionCost{}
+	prev := make([]Info, len(m.info))
 	for {
 		// Snapshot of the previous round.
-		prev := make([]Info, len(m.info))
 		copy(prev, m.info)
 		safeOf := func(v topo.NodeID, z geom.ZoneType) bool { return prev[v].Safe[z-1] }
 
-		changed := 0
-		for i := range m.info {
-			u := topo.NodeID(i)
-			if !m.Net.Alive(u) || m.info[i].Pinned {
-				continue
-			}
-			nodeChanged := false
-			for _, z := range geom.AllZones {
-				if !prev[i].Safe[z-1] {
-					continue // already unsafe; monotone
+		var changed, messages atomic.Int64
+		par.For(len(m.info), func(lo, hi int) {
+			localChanged, localMsgs := 0, 0
+			for i := lo; i < hi; i++ {
+				u := topo.NodeID(i)
+				if !m.Net.Alive(u) || m.info[i].Pinned {
+					continue
 				}
-				if !m.hasSafeZoneNeighbor(u, z, safeOf) {
-					m.info[i].Safe[z-1] = false
-					nodeChanged = true
+				nodeChanged := false
+				for _, z := range geom.AllZones {
+					if !prev[i].Safe[z-1] {
+						continue // already unsafe; monotone
+					}
+					if !m.hasSafeZoneNeighbor(u, z, safeOf) {
+						m.info[i].Safe[z-1] = false
+						nodeChanged = true
+					}
+				}
+				if nodeChanged {
+					localChanged++
+					localMsgs += m.Net.Degree(u)
 				}
 			}
-			if nodeChanged {
-				changed++
-				m.Cost.Messages += len(m.Net.Neighbors(u))
-			}
-		}
-		if changed == 0 {
+			changed.Add(int64(localChanged))
+			messages.Add(int64(localMsgs))
+		})
+		m.Cost.Messages += int(messages.Load())
+		if changed.Load() == 0 {
 			break
 		}
 		m.Cost.Rounds++
@@ -104,7 +117,7 @@ func (m *Model) labelWorklist(rng *rand.Rand) {
 			}
 		}
 		if changed {
-			m.Cost.Messages += len(m.Net.Neighbors(u))
+			m.Cost.Messages += m.Net.Degree(u)
 			for _, v := range m.Net.Neighbors(u) {
 				push(v)
 			}
@@ -207,7 +220,7 @@ func (m *Model) repairFrom(seeds []topo.NodeID) {
 			}
 		}
 		if changed {
-			m.Cost.Messages += len(m.Net.Neighbors(u))
+			m.Cost.Messages += m.Net.Degree(u)
 			for _, v := range m.Net.Neighbors(u) {
 				if !inQueue[v] {
 					inQueue[v] = true

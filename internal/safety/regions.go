@@ -70,7 +70,13 @@ func (m *Model) ClassifyPoint(v topo.NodeID, z geom.ZoneType, d, p geom.Point) R
 // paper's "u can collect an unsafe area estimation from its unsafe
 // neighbor v".
 func (m *Model) NearbyShapes(u topo.NodeID, d geom.Point) []ShapeAt {
-	var out []ShapeAt
+	return m.AppendNearbyShapes(nil, u, d)
+}
+
+// AppendNearbyShapes is NearbyShapes appending into dst — the routing
+// hot path calls it once per visited node with a reused buffer, keeping
+// the per-hop shape collection allocation-free.
+func (m *Model) AppendNearbyShapes(dst []ShapeAt, u topo.NodeID, d geom.Point) []ShapeAt {
 	consider := func(v topo.NodeID) {
 		z := geom.ZoneTypeOf(m.Net.Pos(v), d)
 		if m.Safe(v, z) {
@@ -81,25 +87,42 @@ func (m *Model) NearbyShapes(u topo.NodeID, d geom.Point) []ShapeAt {
 			return
 		}
 		far, _ := m.FarCorner(v, z)
-		out = append(out, ShapeAt{Owner: v, Zone: z, Rect: r, Far: far})
+		dst = append(dst, ShapeAt{Owner: v, Zone: z, Rect: r, Far: far})
 	}
 	consider(u)
 	for _, v := range m.Net.Neighbors(u) {
 		consider(v)
 	}
-	return out
+	return dst
+}
+
+// Classify classifies p against the collected estimate s using its
+// cached rectangle and far corner — same result as ClassifyPoint for a
+// ShapeAt returned by NearbyShapes, without re-deriving the shape.
+func (m *Model) Classify(s ShapeAt, d, p geom.Point) Region {
+	pv := m.Net.Pos(s.Owner)
+	if !geom.InForwardingZone(pv, s.Zone, p) {
+		return RegionNeutral
+	}
+	sideD := geom.SideOfRay(pv, s.Far, d)
+	sideP := geom.SideOfRay(pv, s.Far, p)
+	if sideP == geom.Collinear || sideD == geom.Collinear || sideP == sideD {
+		return RegionCritical
+	}
+	return RegionForbidden
 }
 
 // AvoidsForbidden reports whether candidate position p avoids the
 // forbidden region of every visible estimate whose critical region holds
 // the destination — the superseding "either-hand" preference of
-// Algorithm 3 step 3.
+// Algorithm 3 step 3. It runs on the cached shape geometry (Classify),
+// so the per-candidate hot path touches no shape reconstruction.
 func (m *Model) AvoidsForbidden(shapes []ShapeAt, d, p geom.Point) bool {
 	for _, s := range shapes {
-		if m.ClassifyPoint(s.Owner, s.Zone, d, d) != RegionCritical {
+		if m.Classify(s, d, d) != RegionCritical {
 			continue
 		}
-		if m.ClassifyPoint(s.Owner, s.Zone, d, p) == RegionForbidden {
+		if m.Classify(s, d, p) == RegionForbidden {
 			return false
 		}
 	}
@@ -110,27 +133,10 @@ func (m *Model) AvoidsForbidden(shapes []ShapeAt, d, p geom.Point) bool {
 // (inflated by one radio range), the box that confines the cautious
 // perimeter phase when the source or destination tuple is (0,0,0,0)
 // (contribution (c)). ok is false when u holds no estimates at all.
+// Served from the per-node cache maintained by finalizeShapes.
 func (m *Model) ConfinementBox(u topo.NodeID) (geom.Rect, bool) {
-	var box geom.Rect
-	found := false
-	add := func(v topo.NodeID) {
-		for _, z := range geom.AllZones {
-			if r, ok := m.Shape(v, z); ok {
-				if !found {
-					box = r
-					found = true
-				} else {
-					box = box.Union(r)
-				}
-			}
-		}
-	}
-	add(u)
-	for _, v := range m.Net.Neighbors(u) {
-		add(v)
-	}
-	if !found {
+	if !m.confOK[u] {
 		return geom.Rect{}, false
 	}
-	return box.Inflate(m.Net.Radius), true
+	return m.conf[u], true
 }

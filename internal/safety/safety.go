@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -56,6 +57,16 @@ type ConstructionCost struct {
 	Messages int
 }
 
+// shapeCache is the materialized E_z(u) of one (node, zone): the
+// estimate rectangle and its far corner, recomputed whenever the
+// labeling changes (finalizeShapes) so queries on the routing hot path
+// are plain lookups.
+type shapeCache struct {
+	rect geom.Rect
+	far  geom.Point
+	ok   bool
+}
+
 // Model is the stabilized safety information of one network.
 type Model struct {
 	Net  *topo.Network
@@ -65,6 +76,11 @@ type Model struct {
 	info []Info
 	// edge[u] caches the pinned set.
 	edge []bool
+	// shapes[u][z-1] caches Shape/FarCorner per (node, zone).
+	shapes [][geom.NumZones]shapeCache
+	// conf[u] caches ConfinementBox per node.
+	conf   []geom.Rect
+	confOK []bool
 }
 
 // Option configures Build.
@@ -163,8 +179,16 @@ func (m *Model) SafeToward(v topo.NodeID, d geom.Point) bool {
 // type-z unsafe node u: [xu : x_{u(1)}, yu : y_{u(2)}] (with the x/y roles
 // of u(1) and u(2) swapped for the even zone types, whose CCW scan starts
 // on the other axis). ok is false when u is type-z safe or the shape has
-// not stabilized.
+// not stabilized. The rectangle is cached per (node, zone) after every
+// (re)labeling, so this is a plain lookup.
 func (m *Model) Shape(u topo.NodeID, z geom.ZoneType) (geom.Rect, bool) {
+	c := &m.shapes[u][z-1]
+	return c.rect, c.ok
+}
+
+// computeShape derives Shape from the raw u(1)/u(2) state (the
+// finalizeShapes input; Shape itself serves the cached value).
+func (m *Model) computeShape(u topo.NodeID, z geom.ZoneType) (geom.Rect, bool) {
 	in := m.info[u]
 	if in.Safe[z-1] {
 		return geom.Rect{}, false
@@ -197,13 +221,14 @@ func shapeRect(net *topo.Network, u topo.NodeID, z geom.ZoneType, u1, u2 topo.No
 
 // FarCorner returns the corner of E_z(u) diagonally opposite u — the
 // endpoint of the dividing ray of the critical/forbidden split. ok
-// mirrors Shape.
+// mirrors Shape. Served from the per-(node, zone) cache.
 func (m *Model) FarCorner(u topo.NodeID, z geom.ZoneType) (geom.Point, bool) {
-	r, ok := m.Shape(u, z)
-	if !ok {
-		return geom.Point{}, false
-	}
-	pu := m.Net.Pos(u)
+	c := &m.shapes[u][z-1]
+	return c.far, c.ok
+}
+
+// computeFarCorner derives FarCorner from a freshly computed rect.
+func computeFarCorner(pu geom.Point, r geom.Rect) geom.Point {
 	// The far corner is the rect corner not equal to pu in either
 	// coordinate. Because the rect was built FromCorners(pu, far), it is
 	// whichever of Min/Max differs from pu per axis.
@@ -215,7 +240,70 @@ func (m *Model) FarCorner(u topo.NodeID, z geom.ZoneType) (geom.Point, bool) {
 	if pu.Y == r.Min.Y {
 		y = r.Max.Y
 	}
-	return geom.Pt(x, y), true
+	return geom.Pt(x, y)
+}
+
+// finalizeShapes materializes the Shape/FarCorner caches and the
+// per-node confinement boxes from the stabilized labeling. Called after
+// every propagateShapes; the per-node work is independent and fans out
+// across GOMAXPROCS.
+func (m *Model) finalizeShapes() {
+	n := m.Net.N()
+	if m.shapes == nil {
+		m.shapes = make([][geom.NumZones]shapeCache, n)
+		m.conf = make([]geom.Rect, n)
+		m.confOK = make([]bool, n)
+	}
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := topo.NodeID(i)
+			pu := m.Net.Pos(u)
+			for _, z := range geom.AllZones {
+				c := &m.shapes[i][z-1]
+				r, ok := m.computeShape(u, z)
+				if !ok {
+					*c = shapeCache{}
+					continue
+				}
+				c.rect = r
+				c.far = computeFarCorner(pu, r)
+				c.ok = true
+			}
+		}
+	})
+	// Confinement boxes read the neighbors' freshly cached shapes, so
+	// they need a second pass.
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := topo.NodeID(i)
+			box, found := m.unionShapes(geom.Rect{}, false, u)
+			for _, v := range m.Net.Neighbors(u) {
+				box, found = m.unionShapes(box, found, v)
+			}
+			if found {
+				box = box.Inflate(m.Net.Radius)
+			}
+			m.conf[i] = box
+			m.confOK[i] = found
+		}
+	})
+}
+
+// unionShapes folds the cached estimates of v into box.
+func (m *Model) unionShapes(box geom.Rect, found bool, v topo.NodeID) (geom.Rect, bool) {
+	for z := 0; z < geom.NumZones; z++ {
+		c := &m.shapes[v][z]
+		if !c.ok {
+			continue
+		}
+		if !found {
+			box = c.rect
+			found = true
+		} else {
+			box = box.Union(c.rect)
+		}
+	}
+	return box, found
 }
 
 // UnsafeAreaOf returns every node of the connected type-z unsafe area

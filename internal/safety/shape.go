@@ -98,6 +98,7 @@ func (m *Model) propagateShapes() {
 			break
 		}
 	}
+	m.finalizeShapes()
 }
 
 // GreedyRegion returns G_z(u): every type-z unsafe node reachable from u

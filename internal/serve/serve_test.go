@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -234,7 +236,8 @@ func TestFailInvalidatesCacheAndMatchesFreshSim(t *testing.T) {
 	for _, u := range dead {
 		refDep.Net.SetAlive(u, false)
 	}
-	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net))
+	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net),
+		bound.FindHoles(refDep.Net), planar.Build(refDep.Net, planar.GabrielGraph))
 
 	for _, alg := range Algorithms() {
 		for _, p := range pairs {
@@ -321,7 +324,8 @@ func TestConcurrentBatchAndFail(t *testing.T) {
 	for _, u := range dead {
 		refDep.Net.SetAlive(u, false)
 	}
-	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net))
+	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net),
+		bound.FindHoles(refDep.Net), planar.Build(refDep.Net, planar.GabrielGraph))
 	for _, p := range pairs {
 		got, _, err := s.Route(name, "SLGF2", p[0], p[1])
 		if err != nil {

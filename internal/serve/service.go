@@ -188,26 +188,32 @@ func (s *Service) ensureBuilt(d *deployment) error {
 			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
 		}
 		d.dep = dep
-		d.model = safety.Build(dep.Net)
-		d.routers = s.buildRouters(dep.Net, d.model)
+		d.model, d.routers = s.buildSubstrates(dep.Net)
 		s.builds.Inc()
 		d.ready.Store(true)
 		return nil
 	})
 }
 
+// buildSubstrates constructs the three routing substrates — safety
+// model, BOUNDHOLE boundaries, Gabriel graph — concurrently (each is
+// also internally parallel over GOMAXPROCS) and assembles the router
+// set over them.
+func (s *Service) buildSubstrates(net *topo.Network) (*safety.Model, map[string]core.Router) {
+	m, b, g := core.BuildSubstrates(net, true, true, true, nil)
+	return m, s.buildRouters(net, m, b, g)
+}
+
 // buildRouters constructs the full router set over a network, mirroring
 // the facade's Sim (wasn.NewSim) algorithm table.
-func (s *Service) buildRouters(net *topo.Network, m *safety.Model) map[string]core.Router {
-	b := bound.FindHoles(net)
-	g := planar.Build(net, planar.GabrielGraph)
+func (s *Service) buildRouters(net *topo.Network, m *safety.Model, b *bound.Boundaries, g *planar.Graph) map[string]core.Router {
 	gf := core.NewGF(net, b)
 	gf.TTLFactor = s.cfg.TTLFactor
 	lgf := core.NewLGF(net)
 	lgf.TTLFactor = s.cfg.TTLFactor
 	slgf := core.NewSLGF(net, m)
 	slgf.TTLFactor = s.cfg.TTLFactor
-	slgf2 := core.NewSLGF2(net, m)
+	slgf2 := core.NewSLGF2(net, m, core.WithPlanarGraph(g))
 	slgf2.TTLFactor = s.cfg.TTLFactor
 	gpsr := core.NewGPSR(net, g)
 	gpsr.TTLFactor = s.cfg.TTLFactor
@@ -302,7 +308,10 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 		d.failed[u] = true
 	}
 	d.model.OnNodeFailure(fresh...)
-	d.routers = s.buildRouters(net, d.model)
+	// Boundary and planar substrates have no incremental repair; rebuild
+	// them concurrently against the damaged topology.
+	_, b, g := core.BuildSubstrates(net, false, true, true, nil)
+	d.routers = s.buildRouters(net, d.model, b, g)
 	d.epoch.Add(1)
 	if s.cache != nil {
 		s.cache.purgeDeployment(d.name)

@@ -1,0 +1,203 @@
+package topo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+)
+
+// naiveAdjacency is the reference slice-of-slices build the CSR layout
+// replaced: O(n²) pairwise distance tests, rows sorted ascending.
+func naiveAdjacency(net *Network) [][]NodeID {
+	r2 := net.Radius * net.Radius
+	adj := make([][]NodeID, net.N())
+	for i := range net.Nodes {
+		for j := range net.Nodes {
+			if i == j {
+				continue
+			}
+			if geom.Dist2(net.Nodes[i].Pos, net.Nodes[j].Pos) <= r2 {
+				adj[i] = append(adj[i], NodeID(j))
+			}
+		}
+	}
+	return adj
+}
+
+// naiveNeighbors applies the historical alive-filtering semantics to a
+// reference row: nil for a dead node, the full row when every member is
+// alive, a filtered copy otherwise.
+func naiveNeighbors(net *Network, adj [][]NodeID, u NodeID) []NodeID {
+	if !net.Alive(u) {
+		return nil
+	}
+	row := adj[u]
+	out := row[:0:0]
+	for _, v := range row {
+		if net.Alive(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCSRMatchesNaiveAdjacency is the differential test of the CSR
+// layout: across IA and FA deployments and random failure sequences
+// (kills and revivals), Neighbors and Degree must agree element-for-
+// element with the slice-of-slices reference build.
+func TestCSRMatchesNaiveAdjacency(t *testing.T) {
+	for _, model := range []DeployModel{ModelIA, ModelFA} {
+		for _, n := range []int{60, 200, 450} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				dep, err := Deploy(DefaultDeployConfig(model, n, seed))
+				if err != nil {
+					t.Fatalf("%v n=%d seed=%d: %v", model, n, seed, err)
+				}
+				net := dep.Net
+				ref := naiveAdjacency(net)
+
+				check := func(stage string) {
+					t.Helper()
+					for u := 0; u < net.N(); u++ {
+						want := naiveNeighbors(net, ref, NodeID(u))
+						got := net.Neighbors(NodeID(u))
+						if !equalIDs(got, want) {
+							t.Fatalf("%v n=%d seed=%d %s: Neighbors(%d) = %v, want %v",
+								model, n, seed, stage, u, got, want)
+						}
+						if got, want := net.Degree(NodeID(u)), len(want); got != want {
+							t.Fatalf("%v n=%d seed=%d %s: Degree(%d) = %d, want %d",
+								model, n, seed, stage, u, got, want)
+						}
+					}
+				}
+
+				check("fresh")
+
+				// Random failure sequence with interleaved revivals.
+				rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+				var downed []NodeID
+				for step := 0; step < 25; step++ {
+					if len(downed) > 0 && rng.IntN(4) == 0 {
+						k := rng.IntN(len(downed))
+						u := downed[k]
+						downed = append(downed[:k], downed[k+1:]...)
+						net.SetAlive(u, true)
+					} else {
+						u := NodeID(rng.IntN(net.N()))
+						if net.Alive(u) {
+							net.SetAlive(u, false)
+							downed = append(downed, u)
+						}
+					}
+					check("failures")
+				}
+				for _, u := range downed {
+					net.SetAlive(u, true)
+				}
+				if net.DeadCount() != 0 {
+					t.Fatalf("dead count %d after reviving everyone", net.DeadCount())
+				}
+				check("revived")
+			}
+		}
+	}
+}
+
+// TestCSRAggregatesMatchNaive pins EdgeCount and AvgDegree to the
+// reference adjacency under failures.
+func TestCSRAggregatesMatchNaive(t *testing.T) {
+	dep, err := Deploy(DefaultDeployConfig(ModelFA, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	ref := naiveAdjacency(net)
+
+	check := func() {
+		t.Helper()
+		edges, degSum, alive := 0, 0, 0
+		for u := 0; u < net.N(); u++ {
+			d := len(naiveNeighbors(net, ref, NodeID(u)))
+			if net.Alive(NodeID(u)) {
+				alive++
+				degSum += d
+				edges += d
+			}
+		}
+		if got := net.EdgeCount(); got != edges/2 {
+			t.Fatalf("EdgeCount() = %d, want %d", got, edges/2)
+		}
+		wantAvg := 0.0
+		if alive > 0 {
+			wantAvg = float64(degSum) / float64(alive)
+		}
+		if got := net.AvgDegree(); got != wantAvg {
+			t.Fatalf("AvgDegree() = %v, want %v", got, wantAvg)
+		}
+	}
+
+	check()
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 20; i++ {
+		net.SetAlive(NodeID(rng.IntN(net.N())), false)
+		check()
+	}
+}
+
+// TestNeighborsAliasesCSRWhenClean pins the aliasing contract: on a
+// failure-free network consecutive Neighbors calls return the identical
+// backing slice (no copies on the hot path).
+func TestNeighborsAliasesCSRWhenClean(t *testing.T) {
+	dep, err := Deploy(DefaultDeployConfig(ModelIA, 120, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	for u := 0; u < net.N(); u++ {
+		a := net.Neighbors(NodeID(u))
+		b := net.Neighbors(NodeID(u))
+		if len(a) == 0 {
+			continue
+		}
+		if &a[0] != &b[0] {
+			t.Fatalf("Neighbors(%d) copied on a clean network", u)
+		}
+	}
+}
+
+// TestAdjacencyAnglesAligned checks the precomputed edge bearings match
+// a fresh atan2 per CSR row entry.
+func TestAdjacencyAnglesAligned(t *testing.T) {
+	dep, err := Deploy(DefaultDeployConfig(ModelFA, 150, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dep.Net
+	for u := 0; u < net.N(); u++ {
+		row := net.AdjacencyRow(NodeID(u))
+		angs := net.AdjacencyAngles(NodeID(u))
+		if len(row) != len(angs) {
+			t.Fatalf("row/angle length mismatch at %d: %d vs %d", u, len(row), len(angs))
+		}
+		for j, v := range row {
+			want := geom.Angle(net.Pos(NodeID(u)), net.Pos(v))
+			if angs[j] != want {
+				t.Fatalf("angle(%d->%d) = %v, want %v", u, v, angs[j], want)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 )
 
 // Network is the WASN graph G = (V, E): nodes with identical radio range in
@@ -12,15 +13,45 @@ import (
 // precomputed at construction; node failure (SetAlive) filters queries
 // without rebuilding.
 //
+// # Adjacency layout
+//
+// The adjacency is stored in CSR (compressed sparse row) form: one flat
+// backing array of neighbor ids (adjList) plus one offsets array (adjOff,
+// len N+1), so the neighbors of u occupy adjList[adjOff[u]:adjOff[u+1]],
+// sorted ascending. Compared with a slice-of-slices this is one
+// allocation instead of N, and neighbor rows of consecutive nodes are
+// contiguous in memory — the routing hot path walks them with zero
+// pointer chasing.
+//
+// # Aliasing and ownership
+//
+// Neighbors returns a subslice of the internal CSR backing array whenever
+// it can (always while no node has failed, and for rows untouched by
+// failures afterwards). Callers MUST treat the returned slice as
+// immutable and MUST NOT retain it across a SetAlive call. Only rows
+// containing a dead neighbor are filtered into a freshly allocated copy.
+//
 // A Network is safe for concurrent reads after construction as long as no
 // SetAlive calls race with them; the experiment harness builds one network
-// per goroutine.
+// per goroutine and the serve package serializes mutations behind a
+// per-deployment RWMutex.
 type Network struct {
 	Nodes  []Node
 	Radius float64
 	Field  geom.Rect
 
-	adj [][]NodeID
+	// CSR adjacency: neighbors of u are adjList[adjOff[u]:adjOff[u+1]].
+	adjOff  []int32
+	adjList []NodeID
+	// adjAng[i] is the edge bearing atan2-style (geom.Angle) from the
+	// row owner to adjList[i], precomputed so angular sweeps (BOUNDHOLE
+	// walks, the routers' ray rotations, the TENT rule) never call atan2
+	// on the hot path.
+	adjAng []float64
+
+	// dead counts failed nodes network-wide. While it is zero Neighbors
+	// and Degree take the O(1) alias path without scanning liveness.
+	dead int
 }
 
 // NewNetwork builds the unit-disk graph over the given positions.
@@ -38,29 +69,64 @@ func NewNetwork(positions []geom.Point, radius float64, field geom.Rect) (*Netwo
 		Nodes:  nodes,
 		Radius: radius,
 		Field:  field,
-		adj:    make([][]NodeID, len(nodes)),
 	}
 	net.buildAdjacency()
 	return net, nil
 }
 
+// buildAdjacency computes the CSR adjacency in two parallel passes over
+// the spatial hash grid: a counting pass fixing the row offsets, then a
+// fill pass writing each row (sorted ascending) into its slot. Both
+// passes touch disjoint index ranges per worker, so they fan out across
+// GOMAXPROCS via par.For.
 func (net *Network) buildAdjacency() {
+	n := len(net.Nodes)
 	g := newGrid(net.Field, net.Radius, net.Nodes)
 	r2 := net.Radius * net.Radius
-	for i := range net.Nodes {
-		u := &net.Nodes[i]
-		var nbrs []NodeID
-		g.visitNear(u.Pos, net.Radius, func(v NodeID) {
-			if v == u.ID {
-				return
-			}
-			if geom.Dist2(u.Pos, net.Nodes[v].Pos) <= r2 {
-				nbrs = append(nbrs, v)
-			}
-		})
-		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
-		net.adj[i] = nbrs
+
+	// Pass 1: count neighbors per node.
+	counts := make([]int32, n)
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := &net.Nodes[i]
+			var c int32
+			g.visitNear(u.Pos, net.Radius, func(v NodeID) {
+				if v != u.ID && geom.Dist2(u.Pos, net.Nodes[v].Pos) <= r2 {
+					c++
+				}
+			})
+			counts[i] = c
+		}
+	})
+
+	// Prefix-sum the counts into row offsets.
+	net.adjOff = make([]int32, n+1)
+	var total int32
+	for i, c := range counts {
+		net.adjOff[i] = total
+		total += c
 	}
+	net.adjOff[n] = total
+	net.adjList = make([]NodeID, total)
+	net.adjAng = make([]float64, total)
+
+	// Pass 2: fill and sort each row, then compute the edge bearings.
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := &net.Nodes[i]
+			row := net.adjList[net.adjOff[i]:net.adjOff[i]:net.adjOff[i+1]]
+			g.visitNear(u.Pos, net.Radius, func(v NodeID) {
+				if v != u.ID && geom.Dist2(u.Pos, net.Nodes[v].Pos) <= r2 {
+					row = append(row, v)
+				}
+			})
+			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+			ang := net.adjAng[net.adjOff[i]:net.adjOff[i+1]]
+			for j, v := range row {
+				ang[j] = geom.Angle(u.Pos, net.Nodes[v].Pos)
+			}
+		}
+	})
 }
 
 // N returns the number of nodes (alive or not).
@@ -74,17 +140,54 @@ func (net *Network) Alive(u NodeID) bool { return net.Nodes[u].Alive }
 
 // SetAlive marks node u alive or failed. Failed nodes disappear from
 // Neighbors and Degree without mutating the precomputed adjacency.
-func (net *Network) SetAlive(u NodeID, alive bool) { net.Nodes[u].Alive = alive }
+func (net *Network) SetAlive(u NodeID, alive bool) {
+	if net.Nodes[u].Alive == alive {
+		return
+	}
+	net.Nodes[u].Alive = alive
+	if alive {
+		net.dead--
+	} else {
+		net.dead++
+	}
+}
+
+// DeadCount returns the number of failed nodes.
+func (net *Network) DeadCount() int { return net.dead }
+
+// row returns the full static CSR row of u (alive and dead neighbors).
+func (net *Network) row(u NodeID) []NodeID {
+	return net.adjList[net.adjOff[u]:net.adjOff[u+1]]
+}
+
+// AdjacencyRow returns the static CSR neighbor row of u — every
+// neighbor, alive or dead, sorted ascending. Callers doing angular
+// sweeps iterate it together with AdjacencyAngles (the two are index
+// aligned) and skip dead entries themselves; DeadCount()==0 means no
+// liveness check is needed. The slice aliases internal storage and must
+// not be modified.
+func (net *Network) AdjacencyRow(u NodeID) []NodeID { return net.row(u) }
+
+// AdjacencyAngles returns the precomputed edge bearings (geom.Angle
+// from u to each neighbor) aligned index-for-index with AdjacencyRow(u).
+// The slice aliases internal storage and must not be modified.
+func (net *Network) AdjacencyAngles(u NodeID) []float64 {
+	return net.adjAng[net.adjOff[u]:net.adjOff[u+1]]
+}
 
 // Neighbors returns N(u): the alive neighbors of u. When u itself is dead
-// it has no neighbors. The returned slice must not be modified; when no
-// node has failed it aliases the internal adjacency (hot path), otherwise
-// it is a fresh filtered copy.
+// it has no neighbors. The returned slice must not be modified and must
+// not be retained across SetAlive: while no node has failed it aliases
+// the internal CSR row (O(1), the hot path), after failures rows with a
+// dead member are returned as fresh filtered copies.
 func (net *Network) Neighbors(u NodeID) []NodeID {
+	all := net.row(u)
+	if net.dead == 0 {
+		return all
+	}
 	if !net.Nodes[u].Alive {
 		return nil
 	}
-	all := net.adj[u]
 	clean := true
 	for _, v := range all {
 		if !net.Nodes[v].Alive {
@@ -104,8 +207,24 @@ func (net *Network) Neighbors(u NodeID) []NodeID {
 	return out
 }
 
-// Degree returns |N(u)| over alive neighbors.
-func (net *Network) Degree(u NodeID) int { return len(net.Neighbors(u)) }
+// Degree returns |N(u)| over alive neighbors without materializing a
+// neighbor slice.
+func (net *Network) Degree(u NodeID) int {
+	all := net.row(u)
+	if net.dead == 0 {
+		return len(all)
+	}
+	if !net.Nodes[u].Alive {
+		return 0
+	}
+	deg := 0
+	for _, v := range all {
+		if net.Nodes[v].Alive {
+			deg++
+		}
+	}
+	return deg
+}
 
 // Dist returns the Euclidean distance between nodes u and v.
 func (net *Network) Dist(u, v NodeID) float64 {
@@ -149,19 +268,20 @@ func (net *Network) PathLength(path []NodeID) float64 {
 	return total
 }
 
-// EdgeCount returns |E| over alive nodes.
+// EdgeCount returns |E| over alive nodes. Allocation-free.
 func (net *Network) EdgeCount() int {
 	total := 0
 	for _, n := range net.Nodes {
 		if !n.Alive {
 			continue
 		}
-		total += len(net.Neighbors(n.ID))
+		total += net.Degree(n.ID)
 	}
 	return total / 2
 }
 
-// AvgDegree returns the mean degree over alive nodes (0 for an empty net).
+// AvgDegree returns the mean degree over alive nodes (0 for an empty
+// net). Allocation-free.
 func (net *Network) AvgDegree() float64 {
 	alive := 0
 	total := 0
@@ -170,7 +290,7 @@ func (net *Network) AvgDegree() float64 {
 			continue
 		}
 		alive++
-		total += len(net.Neighbors(n.ID))
+		total += net.Degree(n.ID)
 	}
 	if alive == 0 {
 		return 0

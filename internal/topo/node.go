@@ -8,6 +8,14 @@
 // uniform model (IA), where holes arise only from sparse deployment, and
 // the forbidden-area model (FA), where randomly placed no-deploy regions
 // create large irregular holes.
+//
+// Adjacency is stored in a flat CSR layout with precomputed per-edge
+// bearings (see Network) and is built in parallel across GOMAXPROCS.
+// Neighbors aliases internal storage on the failure-free hot path —
+// callers must treat returned slices as immutable; see the Network and
+// Neighbors documentation for the exact aliasing/ownership rules. The
+// package's graph searches run over sync.Pool scratch, so Connected and
+// the shortest-path queries are allocation-free in steady state.
 package topo
 
 import (
@@ -27,7 +35,9 @@ type Node struct {
 	ID  NodeID
 	Pos geom.Point
 	// Alive is false after failure injection; dead nodes drop out of
-	// every adjacency query.
+	// every adjacency query. Mutate it only through Network.SetAlive —
+	// the adjacency fast path keys off a network-wide dead counter that
+	// direct writes to this field would leave stale.
 	Alive bool
 }
 

@@ -13,7 +13,7 @@ func sampleResult() core.Result {
 		Path:      []topo.NodeID{3, 7, 9, 12},
 		Delivered: true,
 		Length:    30,
-		PhaseHops: map[core.Phase]int{core.PhaseGreedy: 3},
+		PhaseHops: core.PhaseCounts{core.PhaseGreedy: 3},
 	}
 }
 

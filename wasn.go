@@ -37,10 +37,8 @@ package wasn
 import (
 	"fmt"
 
-	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/core"
 	"github.com/straightpath/wasn/internal/expt"
-	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
@@ -99,15 +97,15 @@ type Sim struct {
 	routers map[Algorithm]core.Router
 }
 
-// NewSim builds all routing substrates over a deployment.
+// NewSim builds all routing substrates over a deployment. The three
+// substrates (safety model, BOUNDHOLE boundaries, Gabriel graph) build
+// concurrently, each internally parallel across GOMAXPROCS.
 func NewSim(dep *Deployment) (*Sim, error) {
 	if dep == nil || dep.Net == nil {
 		return nil, fmt.Errorf("wasn: nil deployment")
 	}
 	net := dep.Net
-	m := safety.Build(net)
-	b := bound.FindHoles(net)
-	g := planar.Build(net, planar.GabrielGraph)
+	m, b, g := core.BuildSubstrates(net, true, true, true, nil)
 	s := &Sim{
 		Dep:    dep,
 		Safety: m,
@@ -115,7 +113,7 @@ func NewSim(dep *Deployment) (*Sim, error) {
 			GF:       core.NewGF(net, b),
 			LGF:      core.NewLGF(net),
 			SLGF:     core.NewSLGF(net, m),
-			SLGF2:    core.NewSLGF2(net, m),
+			SLGF2:    core.NewSLGF2(net, m, core.WithPlanarGraph(g)),
 			GPSR:     core.NewGPSR(net, g),
 			IdealHop: core.NewIdeal(net, core.IdealMinHop),
 			IdealLen: core.NewIdeal(net, core.IdealMinLength),
