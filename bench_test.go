@@ -266,6 +266,60 @@ func BenchmarkDeploymentBuild(b *testing.B) {
 	}
 }
 
+// Failure-repair benches: one node failure on an 800-node FA network,
+// with all three substrates either repaired incrementally
+// (core.RepairSubstrates — the serve /fail and Sim.Fail path) or
+// rebuilt from scratch (the FullRebuildOnFail oracle). Victims fail
+// cumulatively, so later iterations repair progressively damaged
+// networks; the state is rebuilt fresh (off-timer) when half the
+// network is gone.
+
+func benchmarkFail(b *testing.B, incremental bool) {
+	b.Helper()
+	type failState struct {
+		net     *Network
+		m       *safety.Model
+		bs      *bound.Boundaries
+		g       *planar.Graph
+		victims []NodeID
+		idx     int
+	}
+	newState := func() *failState {
+		dep, err := Deploy(FA, 800, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, bs, g := core.BuildSubstrates(dep.Net, true, true, true, nil)
+		st := &failState{net: dep.Net, m: m, bs: bs, g: g}
+		// 131 is coprime with 800, so this walks a permutation of the
+		// node ids: 400 distinct victims spread over the field.
+		for u := 0; u < 400; u++ {
+			st.victims = append(st.victims, NodeID((u*131)%800))
+		}
+		return st
+	}
+	st := newState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.idx >= len(st.victims) {
+			b.StopTimer()
+			st = newState()
+			b.StartTimer()
+		}
+		v := st.victims[st.idx]
+		st.idx++
+		st.net.SetAlive(v, false)
+		if incremental {
+			core.RepairSubstrates(st.m, st.bs, st.g, []topo.NodeID{v})
+		} else {
+			st.m, st.bs, st.g = core.BuildSubstrates(st.net, true, true, true, nil)
+		}
+	}
+}
+
+func BenchmarkFailRepairIncremental(b *testing.B) { benchmarkFail(b, true) }
+func BenchmarkFailFullRebuild(b *testing.B)       { benchmarkFail(b, false) }
+
 func BenchmarkSafetyRelabelIncremental(b *testing.B) {
 	dep, err := Deploy(FA, 600, 13)
 	if err != nil {

@@ -45,6 +45,7 @@ func run(args []string, out *os.File) error {
 		cacheSize = fs.Int("cache", 0, "route cache entries, 0 = default, negative disables")
 		shards    = fs.Int("shards", 0, "route cache shards (0 = default)")
 		workers   = fs.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
+		fullRb    = fs.Bool("full-rebuild", false, "rebuild substrates from scratch on /fail instead of repairing incrementally (differential oracle)")
 
 		load     = fs.Bool("load", false, "run the load generator instead of serving")
 		model    = fs.String("model", "fa", "load: deployment model (ia or fa)")
@@ -58,7 +59,7 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := serve.Config{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers}
+	cfg := serve.Config{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb}
 	if *load {
 		return runLoad(out, cfg, *model, *n, *seed, *alg, *pairs, *requests, *conc)
 	}

@@ -1,0 +1,118 @@
+package wasn
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// docCheckedDirs are the packages whose exported API the docs gate
+// covers: the facade and the two packages downstream users touch
+// through it. The CI docs job runs this test together with go vet and
+// the runnable examples.
+var docCheckedDirs = []string{".", "internal/core", "internal/serve"}
+
+// TestDocComments fails when an exported symbol of the facade,
+// internal/core, or internal/serve lacks a doc comment — the docs
+// regression gate. A grouped declaration's doc covers all its specs.
+func TestDocComments(t *testing.T) {
+	for _, dir := range docCheckedDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDecl(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+func checkDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported %s %s has no doc comment", fset.Position(d.Pos()), declKind(d), funcName(d))
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return // the group doc covers every spec
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported type %s has no doc comment", fset.Position(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						t.Errorf("%s: exported %s has no doc comment", fset.Position(s.Pos()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a function is free-standing or a
+// method on an exported type (methods on unexported types are not part
+// of the documented API).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.IndexExpr: // generic receiver
+			typ = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var b strings.Builder
+	typ := d.Recv.List[0].Type
+	if st, ok := typ.(*ast.StarExpr); ok {
+		typ = st.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+		b.WriteString(".")
+	}
+	b.WriteString(d.Name.Name)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package wasn_test
+
+import (
+	"fmt"
+	"log"
+
+	wasn "github.com/straightpath/wasn"
+)
+
+// ExampleNewService shows the serving path: register a deployment by
+// spec, route a pair (the first request pays the lazy substrate build),
+// and observe the route cache answering the repeat.
+func ExampleNewService() {
+	svc := wasn.NewService()
+	name, err := svc.Deploy("", wasn.DeploymentSpec{Model: wasn.IA, N: 150, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, cached, err := svc.Route(name, string(wasn.SLGF2), 1, 117)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: delivered=%v hops=%d cached=%v\n", name, res.Delivered, res.Hops(), cached)
+
+	res, cached, err = svc.Route(name, string(wasn.SLGF2), 1, 117)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: delivered=%v hops=%d cached=%v\n", name, res.Delivered, res.Hops(), cached)
+	// Output:
+	// IA-150-1: delivered=true hops=8 cached=false
+	// IA-150-1: delivered=true hops=8 cached=true
+}
+
+// ExampleRouter_RouteInto routes several packets through one reusable
+// path buffer: the Result's Path aliases the buffer, and handing it
+// back with res.Path[:0] makes steady-state routing allocation-free.
+func ExampleRouter_RouteInto() {
+	dep, err := wasn.Deploy(wasn.IA, 150, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := wasn.NewSim(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	router := sim.Router(wasn.SLGF2)
+	buf := make([]wasn.NodeID, 0, 64)
+	for _, pair := range [][2]wasn.NodeID{{1, 117}, {2, 144}} {
+		res := router.RouteInto(pair[0], pair[1], buf)
+		fmt.Printf("%d -> %d: %d hops, %.1f m\n", pair[0], pair[1], res.Hops(), res.Length)
+		buf = res.Path[:0] // reuse the buffer for the next route
+	}
+	// Output:
+	// 1 -> 117: 8 hops, 106.5 m
+	// 2 -> 144: 8 hops, 116.1 m
+}
+
+// ExampleService_Fail kills a relay on a served route and routes the
+// same pair again: the failure repairs every substrate incrementally
+// (no from-scratch rebuild) and invalidates the cached route, so the
+// second query is answered fresh over the damaged topology.
+func ExampleService_Fail() {
+	svc := wasn.NewService()
+	name, err := svc.Deploy("", wasn.DeploymentSpec{Model: wasn.IA, N: 150, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, _, err := svc.Route(name, string(wasn.SLGF2), 1, 117)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relay := res.Path[1]
+	fmt.Printf("healthy: %d hops via relay %d\n", res.Hops(), relay)
+
+	if err := svc.Fail(name, []wasn.NodeID{relay}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, cached, err := svc.Route(name, string(wasn.SLGF2), 1, 117)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after failing %d: delivered=%v hops=%d cached=%v\n", relay, res.Delivered, res.Hops(), cached)
+	// Output:
+	// healthy: 8 hops via relay 3
+	// after failing 3: delivered=true hops=7 cached=false
+}

@@ -1,7 +1,9 @@
 // Dynamic: local minima are not only deployment holes — node failures
 // create them at runtime (§1 lists failures, jamming, power exhaustion).
 // This example streams packets while nodes on the active path randomly
-// fail, repairs the safety information incrementally after each failure,
+// fail, repairing every routing substrate incrementally after each
+// failure (Sim.Fail: safety relabeling seeded from the failure
+// neighborhood, local BOUNDHOLE re-traces, planar row recomputation),
 // and shows SLGF2 re-routing around the growing hole.
 package main
 
@@ -11,8 +13,6 @@ import (
 	"math/rand/v2"
 
 	wasn "github.com/straightpath/wasn"
-	"github.com/straightpath/wasn/internal/core"
-	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -22,8 +22,10 @@ func main() {
 		log.Fatal(err)
 	}
 	net := dep.Net
-	m := safety.Build(net)
-	router := core.NewSLGF2(net, m)
+	sim, err := wasn.NewSim(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	labels, _ := topo.Components(net)
 	var src, dst wasn.NodeID = -1, -1
@@ -44,7 +46,7 @@ func main() {
 	fmt.Printf("%5s %6s %10s %9s %s\n", "round", "hops", "length(m)", "relabel", "failed nodes")
 
 	for round := 1; round <= 8; round++ {
-		res := router.Route(src, dst)
+		res := sim.Route(wasn.SLGF2, src, dst)
 		if !res.Delivered {
 			fmt.Printf("%5d  undeliverable (%v) — the failure hole severed the pair\n",
 				round, res.Reason)
@@ -53,23 +55,24 @@ func main() {
 
 		// Fail 1-2 random relays of the path just used (not the
 		// endpoints), as if forwarding drained them.
-		var failed []topo.NodeID
+		var failed []wasn.NodeID
+		picked := map[wasn.NodeID]bool{}
 		relays := res.Path[1 : len(res.Path)-1]
 		for len(failed) < 2 && len(relays) > 0 {
 			v := relays[rng.IntN(len(relays))]
-			if v != src && v != dst && net.Alive(v) {
-				net.SetAlive(v, false)
+			if v != src && v != dst && net.Alive(v) && !picked[v] {
+				picked[v] = true
 				failed = append(failed, v)
 			}
 			if len(failed) >= len(relays) {
 				break
 			}
 		}
-		// Incremental repair of the safety information (worklist from
-		// the failure neighborhood; equivalent to a full rebuild).
-		before := m.Cost.Messages
-		m.OnNodeFailure(failed...)
-		repair := m.Cost.Messages - before
+		// Incremental repair of every substrate; equivalent to — and
+		// roughly an order of magnitude cheaper than — rebuilding the Sim.
+		before := sim.Safety.Cost.Messages
+		sim.Fail(failed...)
+		repair := sim.Safety.Cost.Messages - before
 
 		fmt.Printf("%5d %6d %10.1f %9d %v\n",
 			round, res.Hops(), res.Length, repair, failed)

@@ -1,7 +1,10 @@
 package bound
 
 import (
+	"slices"
+
 	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -30,15 +33,48 @@ func (h *Hole) indexOf(u topo.NodeID) int {
 
 // Boundaries is the output of BOUNDHOLE on a network: every hole found
 // plus a node→holes index, the "boundary information" that §5 constructs
-// for GF routing.
+// for GF routing. It also retains the per-walk cache that lets Repair
+// re-derive the holes after a node failure by re-tracing only the walks
+// that passed through the failure neighborhood.
 type Boundaries struct {
 	Holes []*Hole
 	// byNode maps each boundary node to the holes it belongs to.
 	byNode map[topo.NodeID][]*Hole
 	// MessageCount estimates construction traffic: one message per
 	// traversal step, the cost model used when comparing against the
-	// safety-information construction.
+	// safety-information construction. After a Repair it equals what a
+	// from-scratch run on the mutated network would report.
 	MessageCount int
+
+	// Repair state: the network the boundaries were traced on, the
+	// boundary length cap, the cached TENT results and walk outcomes per
+	// node, and the generation-stamped claimed-edge scratch of assemble.
+	net      *topo.Network
+	maxLen   int
+	recs     []nodeRec
+	claimGen []uint32
+	claimG   uint32
+}
+
+// traceRec caches the outcome of one BOUNDHOLE walk (one stuck interval
+// of one stuck node): the closed cycle (nil when the walk failed to
+// close or was overlong) and the touched set — every node whose
+// neighborhood the walk swept, cycle nodes for a closed walk and the
+// visited prefix for a failed one. A liveness change at node x can only
+// alter sweeps at x or its static neighbors, so a cached walk stays
+// valid exactly while its touched set avoids {x} ∪ N(x).
+type traceRec struct {
+	cycle   []topo.NodeID
+	touched []topo.NodeID
+}
+
+// nodeRec caches the stuck analysis of one node: its TENT result and
+// the walk outcome of each stuck interval (index-aligned with
+// tent.Intervals). The zero value marks a node that is dead or not
+// stuck.
+type nodeRec struct {
+	tent   TentResult
+	traces []traceRec
 }
 
 // HolesAt returns the holes whose boundary contains u (nil if none).
@@ -52,6 +88,20 @@ func (b *Boundaries) OnBoundary(u topo.NodeID) bool { return len(b.byNode[u]) > 
 // trips on pathological float geometry.
 func maxBoundarySteps(net *topo.Network) int { return 4 * net.N() }
 
+// boundaryLenCap bounds the length of a kept boundary. Boundaries longer
+// than this are walk artifacts, not hole rims: a genuine hole boundary
+// cannot involve more than a fraction of the network. They would only
+// mislead detours, so they are dropped — and the tracer aborts as soon
+// as a walk exceeds the cap rather than burning its full step budget on
+// a cycle that cannot be kept.
+func boundaryLenCap(net *topo.Network) int {
+	maxLen := net.N() / 4
+	if maxLen < 16 {
+		maxLen = 16
+	}
+	return maxLen
+}
+
 // FindHoles runs the TENT rule and then BOUNDHOLE from every stuck
 // direction, deduplicating holes that share boundary edges.
 //
@@ -60,68 +110,202 @@ func maxBoundarySteps(net *topo.Network) int { return 4 * net.N() }
 // implementation instead cuts the cycle at the first revisited directed
 // edge, which yields the same closed boundary on the unit-disk graphs used
 // here (the refinement only matters under lossy/asymmetric links).
+//
+// The returned Boundaries retain every walk outcome, so a later Repair
+// after node failures re-traces only the walks whose swept region the
+// failure touched.
 func FindHoles(net *topo.Network) *Boundaries {
-	_, stuck := StuckNodes(net)
-	b := &Boundaries{byNode: make(map[topo.NodeID][]*Hole)}
-	seenEdge := make(map[[2]topo.NodeID]bool) // directed boundary edges already claimed
-
-	// Boundaries longer than this are walk artifacts, not hole rims: a
-	// genuine hole boundary cannot involve more than a fraction of the
-	// network. They would only mislead detours, so they are dropped —
-	// and traceBoundary aborts as soon as a walk exceeds the cap rather
-	// than burning its full step budget on a cycle that cannot be kept.
-	maxLen := net.N() / 4
-	if maxLen < 16 {
-		maxLen = 16
+	b := &Boundaries{
+		net:    net,
+		maxLen: boundaryLenCap(net),
+		recs:   make([]nodeRec, net.N()),
 	}
-	// tr holds the walk scratch (cycle buffer, visited-edge set) reused
-	// across every trace; walks are serial, only the TENT scan above and
-	// the per-trace sweeps run concurrently inside topo.
-	tr := newTracer(net, maxLen)
+	_, stuck := StuckNodes(net)
+	var jobs []traceJob
 	for i := range net.Nodes {
-		u := topo.NodeID(i)
-		res, ok := stuck[u]
+		res, ok := stuck[topo.NodeID(i)]
 		if !ok {
 			continue
 		}
-		for _, iv := range res.Intervals {
-			cycle := tr.trace(u, iv)
-			if len(cycle) < 3 {
-				continue
-			}
-			b.MessageCount += len(cycle)
-			if claimed(seenEdge, cycle) {
-				continue
-			}
-			kept := append([]topo.NodeID(nil), cycle...)
-			hole := &Hole{ID: len(b.Holes), Cycle: kept, BBox: cycleBBox(net, kept)}
-			b.Holes = append(b.Holes, hole)
-			for _, v := range kept {
-				b.byNode[v] = append(b.byNode[v], hole)
-			}
-			claim(seenEdge, kept)
+		b.recs[i] = nodeRec{tent: res, traces: make([]traceRec, len(res.Intervals))}
+		for k := range res.Intervals {
+			jobs = append(jobs, traceJob{u: res.Node, k: k})
 		}
 	}
+	b.runTraces(jobs)
+	b.assemble()
 	return b
 }
 
-// claimed reports whether any directed edge of the cycle is already part
-// of a recorded hole (meaning this traversal found the same hole again
-// from a different stuck node).
-func claimed(seen map[[2]topo.NodeID]bool, cycle []topo.NodeID) bool {
-	for i := 0; i < len(cycle); i++ {
-		j := (i + 1) % len(cycle)
-		if seen[[2]topo.NodeID{cycle[i], cycle[j]}] {
+// traceJob identifies one walk to run: stuck interval k of node u. The
+// destination slot recs[u].traces[k] must already exist.
+type traceJob struct {
+	u topo.NodeID
+	k int
+}
+
+// runTraces executes the walks. Every walk is independent (it reads the
+// network and writes only its own trace slot), so the jobs fan out
+// across GOMAXPROCS with one tracer — the walk scratch — per chunk.
+func (b *Boundaries) runTraces(jobs []traceJob) {
+	par.For(len(jobs), func(lo, hi int) {
+		tr := newTracer(b.net, b.maxLen)
+		for i := lo; i < hi; i++ {
+			j := jobs[i]
+			rec := &b.recs[j.u]
+			rec.traces[j.k] = traceOne(tr, j.u, rec.tent.Intervals[j.k])
+		}
+	})
+}
+
+// traceOne runs one walk and copies its outcome out of the tracer
+// scratch. A closed walk sweeps exactly its cycle nodes, so the touched
+// set shares the cycle slice.
+func traceOne(tr *tracer, u topo.NodeID, iv StuckInterval) traceRec {
+	cycle, touched := tr.trace(u, iv)
+	if cycle != nil {
+		kept := append([]topo.NodeID(nil), cycle...)
+		return traceRec{cycle: kept, touched: kept}
+	}
+	return traceRec{touched: append([]topo.NodeID(nil), touched...)}
+}
+
+// assemble rebuilds Holes, the node index, and MessageCount from the
+// cached walks, replaying the discovery order of a from-scratch run:
+// nodes ascending, intervals in TENT order, first claim of a directed
+// edge wins. An incremental Repair therefore assigns the same hole ids,
+// cycles, and message counts as FindHoles on the mutated network.
+func (b *Boundaries) assemble() {
+	b.Holes = nil
+	b.byNode = make(map[topo.NodeID][]*Hole)
+	b.MessageCount = 0
+	// Claimed directed boundary edges live in a generation-stamped array
+	// indexed by CSR edge slot — O(1) to reset, no hashing per edge.
+	if b.claimGen == nil {
+		b.claimGen = make([]uint32, b.net.AdjSlots())
+	}
+	b.claimG++
+	if b.claimG == 0 {
+		clear(b.claimGen)
+		b.claimG = 1
+	}
+	for i := range b.recs {
+		for _, t := range b.recs[i].traces {
+			if len(t.cycle) < 3 {
+				continue
+			}
+			b.MessageCount += len(t.cycle)
+			if b.claimed(t.cycle) {
+				continue
+			}
+			hole := &Hole{ID: len(b.Holes), Cycle: t.cycle, BBox: cycleBBox(b.net, t.cycle)}
+			b.Holes = append(b.Holes, hole)
+			for _, v := range t.cycle {
+				b.byNode[v] = append(b.byNode[v], hole)
+			}
+			b.claim(t.cycle)
+		}
+	}
+}
+
+// Repair incrementally re-derives the boundaries after the liveness of
+// the given nodes changed (topo.Network.SetAlive already applied; both
+// failures and revivals are handled). The TENT rule re-runs only on the
+// changed nodes and their static neighbors — the only nodes whose
+// angular gaps moved — and only walks whose swept region intersects
+// that dirty set are re-traced; every other walk replays from the
+// cache. The resulting hole set is identical to FindHoles on the
+// mutated network at a small fraction of the cost: repair work scales
+// with the failure neighborhood and the boundaries through it, not with
+// the network.
+func (b *Boundaries) Repair(changed []topo.NodeID) {
+	// Two dirt notions. tentDirty marks nodes whose TENT analysis must
+	// re-run: the changed nodes and their static neighbors (TENT reads
+	// the full neighborhood). walkDirty marks nodes whose presence in a
+	// walk's touched set invalidates the walk — and is finer for
+	// failures: a CW sweep's outcome changes on candidate removal only
+	// if the removed node was the sweep's winner, i.e. the walk's next
+	// hop, so a failed node deflects exactly the walks that visited it.
+	// A revived node can newly win any sweep at its neighbors, so it
+	// dirties its whole neighborhood.
+	tentDirty := make([]bool, b.net.N())
+	walkDirty := make([]bool, b.net.N())
+	for _, x := range changed {
+		tentDirty[x] = true
+		walkDirty[x] = true
+		revived := b.net.Alive(x)
+		for _, v := range b.net.AdjacencyRow(x) {
+			tentDirty[v] = true
+			if revived {
+				walkDirty[v] = true
+			}
+		}
+	}
+	var jobs []traceJob
+	for i := range b.recs {
+		u := topo.NodeID(i)
+		if tentDirty[i] {
+			if !b.net.Alive(u) {
+				b.recs[i] = nodeRec{}
+				continue
+			}
+			res := Tent(b.net, u)
+			if !res.Stuck() {
+				b.recs[i] = nodeRec{}
+				continue
+			}
+			// When the stuck intervals survived the change, the cached
+			// walks stay valid too (walk outcomes depend on the seed
+			// interval and the swept sweeps only); fall through to the
+			// per-walk check. Otherwise every walk re-runs.
+			if !slices.Equal(res.Intervals, b.recs[i].tent.Intervals) {
+				b.recs[i] = nodeRec{tent: res, traces: make([]traceRec, len(res.Intervals))}
+				for k := range res.Intervals {
+					jobs = append(jobs, traceJob{u: u, k: k})
+				}
+				continue
+			}
+			b.recs[i].tent = res
+		}
+		// Re-trace only the walks that swept a walk-dirty node.
+		for k := range b.recs[i].traces {
+			if touchesDirty(b.recs[i].traces[k].touched, walkDirty) {
+				jobs = append(jobs, traceJob{u: u, k: k})
+			}
+		}
+	}
+	b.runTraces(jobs)
+	b.assemble()
+}
+
+// touchesDirty reports whether any of the nodes is marked dirty.
+func touchesDirty(nodes []topo.NodeID, dirty []bool) bool {
+	for _, v := range nodes {
+		if dirty[v] {
 			return true
 		}
 	}
 	return false
 }
 
-func claim(seen map[[2]topo.NodeID]bool, cycle []topo.NodeID) {
+// claimed reports whether any directed edge of the cycle is already part
+// of a recorded hole (meaning this traversal found the same hole again
+// from a different stuck node). Walk cycles move along adjacency edges,
+// so every directed edge has a CSR slot.
+func (b *Boundaries) claimed(cycle []topo.NodeID) bool {
 	for i := 0; i < len(cycle); i++ {
 		j := (i + 1) % len(cycle)
-		seen[[2]topo.NodeID{cycle[i], cycle[j]}] = true
+		if b.claimGen[b.net.AdjSlotOf(cycle[i], cycle[j])] == b.claimG {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Boundaries) claim(cycle []topo.NodeID) {
+	for i := 0; i < len(cycle); i++ {
+		j := (i + 1) % len(cycle)
+		b.claimGen[b.net.AdjSlotOf(cycle[i], cycle[j])] = b.claimG
 	}
 }
 
@@ -134,74 +318,104 @@ func cycleBBox(net *topo.Network, cycle []topo.NodeID) geom.Rect {
 }
 
 // tracer holds the reusable scratch of BOUNDHOLE traversals: the cycle
-// buffer and the visited directed-edge set, allocated once for all the
-// traces of one FindHoles run.
+// buffer and the visited directed-edge stamps, allocated once per walk
+// worker and reused across its traces. Visited edges live in a
+// generation-stamped array indexed by CSR edge slot, so starting a new
+// walk is a counter bump and each step costs one array write instead of
+// a map insert.
 type tracer struct {
-	net    *topo.Network
-	maxLen int
-	cycle  []topo.NodeID
-	walked map[[2]topo.NodeID]bool
+	net     *topo.Network
+	maxLen  int
+	cycle   []topo.NodeID
+	edgeGen []uint32
+	gen     uint32
 }
 
 func newTracer(net *topo.Network, maxLen int) *tracer {
 	return &tracer{
-		net:    net,
-		maxLen: maxLen,
-		cycle:  make([]topo.NodeID, 0, maxLen+1),
-		walked: make(map[[2]topo.NodeID]bool, 4*maxLen),
+		net:     net,
+		maxLen:  maxLen,
+		cycle:   make([]topo.NodeID, 0, maxLen+1),
+		edgeGen: make([]uint32, net.AdjSlots()),
 	}
+}
+
+// beginWalk starts a fresh visited-edge generation.
+func (tr *tracer) beginWalk() {
+	tr.gen++
+	if tr.gen == 0 {
+		clear(tr.edgeGen)
+		tr.gen = 1
+	}
+}
+
+// walkEdge stamps the directed edge u→v as walked, reporting whether it
+// had already been walked this generation.
+func (tr *tracer) walkEdge(u, v topo.NodeID) (again bool) {
+	slot := tr.net.AdjSlotOf(u, v)
+	if tr.edgeGen[slot] == tr.gen {
+		return true
+	}
+	tr.edgeGen[slot] = tr.gen
+	return false
 }
 
 // trace walks the hole boundary starting at stuck node t0, heading into
 // the stuck angular gap and sweeping clockwise (keeping the hole on the
-// left), until the walk returns to t0. Returns nil when no closed
+// left), until the walk returns to t0. cycle is nil when no closed
 // boundary forms: the original protocol's edge-crossing refinement is
 // approximated by aborting on any repeated directed edge — a repeat
 // means the walk fell into a sub-cycle that can never close at t0.
-// Walks exceeding maxLen abort immediately (FindHoles would discard the
-// cycle anyway). The returned slice aliases the tracer's buffer and is
+// Walks exceeding maxLen abort immediately (assemble would discard the
+// cycle anyway).
+//
+// touched is every node visited by the walk — a superset of the nodes
+// whose neighborhoods were swept — and is returned for both closed and
+// failed walks so Repair can tell which liveness changes invalidate
+// this outcome. Both returned slices alias the tracer's buffer and are
 // only valid until the next trace call.
-func (tr *tracer) trace(t0 topo.NodeID, iv StuckInterval) []topo.NodeID {
+func (tr *tracer) trace(t0 topo.NodeID, iv StuckInterval) (cycle, touched []topo.NodeID) {
 	net := tr.net
+	buf := append(tr.cycle[:0], t0)
 	// First hop: sweep CW from the middle of the stuck gap; the first
 	// neighbor hit is the gap's boundary node.
 	first := sweepCW(net, t0, iv.MidDirection(), topo.NoNode)
 	if first == topo.NoNode {
-		return nil
+		tr.cycle = buf[:0]
+		return nil, buf
 	}
-	cycle := append(tr.cycle[:0], t0)
-	clear(tr.walked)
-	tr.walked[[2]topo.NodeID{t0, first}] = true
+	tr.beginWalk()
+	tr.walkEdge(t0, first)
 	prev, cur := t0, first
 	budget := maxBoundarySteps(net)
 	for step := 0; step < budget; step++ {
 		if cur == t0 {
-			tr.cycle = cycle[:0]
-			return cycle
+			tr.cycle = buf[:0]
+			return buf, buf
 		}
-		cycle = append(cycle, cur)
-		if len(cycle) > tr.maxLen {
-			tr.cycle = cycle[:0]
-			return nil // overlong: FindHoles would drop it
+		buf = append(buf, cur)
+		if len(buf) > tr.maxLen {
+			tr.cycle = buf[:0]
+			return nil, buf // overlong: assemble would drop it
 		}
 		// Sweep CW from the back-edge direction: the next boundary edge
 		// is the first neighbor encountered rotating clockwise from
-		// cur→prev, excluding an immediate bounce unless forced.
-		from := geom.Angle(net.Pos(cur), net.Pos(prev))
+		// cur→prev, excluding an immediate bounce unless forced. The
+		// walk arrived over edge prev→cur, so the back-edge bearing is a
+		// precomputed CSR lookup, not an atan2.
+		from, _ := net.EdgeBearing(cur, prev)
 		next := sweepCW(net, cur, from, prev)
 		if next == topo.NoNode {
 			next = prev // dead end: bounce back
 		}
-		edge := [2]topo.NodeID{cur, next}
-		if tr.walked[edge] {
-			tr.cycle = cycle[:0]
-			return nil // sub-cycle: the walk cannot close at t0
+		if tr.walkEdge(cur, next) {
+			tr.cycle = buf[:0]
+			return nil, buf // sub-cycle: the walk cannot close at t0
 		}
-		tr.walked[edge] = true
 		prev, cur = cur, next
 	}
-	tr.cycle = cycle[:0]
-	return nil
+	tr.cycle = buf[:0]
+	return nil, buf
 }
 
 // sweepCW returns the neighbor of u whose direction is first reached when

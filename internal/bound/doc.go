@@ -1,0 +1,34 @@
+// Package bound implements the hole-boundary machinery of Fang, Gao and
+// Guibas, "Locating and Bypassing Routing Holes in Sensor Networks"
+// (INFOCOM 2004) — the paper's reference [5]. The experimental section of
+// the reproduced paper constructs this "boundary information ... for GF
+// routings" before measuring routing performance, so the GF baseline here
+// consults these boundaries when it hits a local minimum.
+//
+// Two pieces: the TENT rule ([Tent], [StuckNodes]), a local geometric
+// test marking nodes that can be stuck (local minima of greedy
+// forwarding) in some direction, and BOUNDHOLE ([FindHoles]), a
+// traversal that walks the closed boundary of the hole adjoining each
+// stuck direction.
+//
+// # Lifecycle: build once, repair on failure
+//
+// [FindHoles] is the full build: TENT on every node (parallel across
+// GOMAXPROCS), one boundary walk per stuck interval (serial, over
+// shared scratch), then an assembly pass that deduplicates holes
+// claiming the same directed boundary edges. The returned [Boundaries]
+// retain every walk outcome together with the set of nodes each walk
+// swept.
+//
+// When nodes fail (or revive) at runtime, [Boundaries.Repair] exploits
+// that both TENT and the walks are neighborhood-local: a liveness
+// change at x can only alter the stuck analysis of x and its static
+// neighbors, and can only deflect walks that swept one of those nodes.
+// Repair re-runs exactly those pieces, replays the assembly from the
+// cache, and yields boundaries identical to a from-scratch FindHoles on
+// the mutated network — hole ids, cycles, bounding boxes, and message
+// counts included — at a cost that scales with the failure
+// neighborhood, not the network. The serving layer's /fail endpoint and
+// the facade's Sim.Fail route through this repair via
+// core.RepairSubstrates.
+package bound

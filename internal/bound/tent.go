@@ -1,14 +1,3 @@
-// Package bound implements the hole-boundary machinery of Fang, Gao and
-// Guibas, "Locating and Bypassing Routing Holes in Sensor Networks"
-// (INFOCOM 2004) — the paper's reference [5]. The experimental section of
-// the reproduced paper constructs this "boundary information ... for GF
-// routings" before measuring routing performance, so the GF baseline here
-// consults these boundaries when it hits a local minimum.
-//
-// Two pieces: the TENT rule, a local geometric test marking nodes that can
-// be stuck (local minima of greedy forwarding) in some direction, and
-// BOUNDHOLE, a traversal that walks the closed boundary of the hole
-// adjoining each stuck direction.
 package bound
 
 import (

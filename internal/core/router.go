@@ -111,10 +111,13 @@ type Result struct {
 	PhaseHops PhaseCounts
 }
 
-// Hops returns the hop count of the traveled path.
+// Hops returns the hop count of the traveled path. Results whose Path
+// has been dropped (the serve layer's route cache stores only the
+// aggregate outcome) still report the true count via the per-phase
+// totals, which every router maintains hop-for-hop.
 func (r Result) Hops() int {
 	if len(r.Path) == 0 {
-		return 0
+		return r.PhaseHops.Total()
 	}
 	return len(r.Path) - 1
 }

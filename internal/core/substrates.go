@@ -22,14 +22,70 @@ import (
 // net/http's handler recovery in wasnd) can contain it.
 func BuildSubstrates(net *topo.Network, needSafety, needBounds, needPlanar bool, edgeRule safety.EdgeRule) (*safety.Model, *bound.Boundaries, *planar.Graph) {
 	var (
-		m         *safety.Model
-		b         *bound.Boundaries
-		g         *planar.Graph
+		m *safety.Model
+		b *bound.Boundaries
+		g *planar.Graph
+	)
+	var tasks []func()
+	if needSafety {
+		tasks = append(tasks, func() {
+			if edgeRule != nil {
+				m = safety.Build(net, safety.WithEdgeRule(edgeRule))
+			} else {
+				m = safety.Build(net)
+			}
+		})
+	}
+	if needBounds {
+		tasks = append(tasks, func() { b = bound.FindHoles(net) })
+	}
+	if needPlanar {
+		tasks = append(tasks, func() { g = planar.Build(net, planar.GabrielGraph) })
+	}
+	fanOut(tasks)
+	return m, b, g
+}
+
+// RepairSubstrates incrementally repairs previously built substrates
+// after the liveness of the given nodes changed (topo.Network.SetAlive
+// already applied): the safety model relabels from the failure
+// neighborhood, BOUNDHOLE re-traces only the boundary walks that swept
+// it, and the planar graph recomputes only the rows whose witness sets
+// changed. Nil substrates are skipped. The three repairs run
+// concurrently like BuildSubstrates (same panic propagation).
+//
+// Each repaired substrate is identical to what a from-scratch
+// BuildSubstrates on the mutated network would produce — the
+// differential oracle the serving layer keeps behind its
+// FullRebuildOnFail flag — but the work scales with the failure
+// neighborhood instead of the network. Repairs happen in place, so
+// routers already holding these substrate pointers serve the mutated
+// topology immediately and need not be rebuilt; callers must serialize
+// repairs against in-flight routes exactly as they do SetAlive (see
+// Router).
+func RepairSubstrates(m *safety.Model, b *bound.Boundaries, g *planar.Graph, changed []topo.NodeID) {
+	var tasks []func()
+	if m != nil {
+		tasks = append(tasks, func() { m.Repair(changed...) })
+	}
+	if b != nil {
+		tasks = append(tasks, func() { b.Repair(changed) })
+	}
+	if g != nil {
+		tasks = append(tasks, func() { g.Repair(changed) })
+	}
+	fanOut(tasks)
+}
+
+// fanOut runs the tasks concurrently, waits for all of them, and
+// re-raises the first panic on the calling goroutine.
+func fanOut(tasks []func()) {
+	var (
 		wg        sync.WaitGroup
 		panicOnce sync.Once
 		panicVal  any
 	)
-	run := func(f func()) {
+	for _, f := range tasks {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -41,24 +97,8 @@ func BuildSubstrates(net *topo.Network, needSafety, needBounds, needPlanar bool,
 			f()
 		}()
 	}
-	if needSafety {
-		run(func() {
-			if edgeRule != nil {
-				m = safety.Build(net, safety.WithEdgeRule(edgeRule))
-			} else {
-				m = safety.Build(net)
-			}
-		})
-	}
-	if needBounds {
-		run(func() { b = bound.FindHoles(net) })
-	}
-	if needPlanar {
-		run(func() { g = planar.Build(net, planar.GabrielGraph) })
-	}
 	wg.Wait()
 	if panicVal != nil {
 		panic(panicVal)
 	}
-	return m, b, g
 }

@@ -13,8 +13,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/core"
 	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -66,6 +68,13 @@ type Config struct {
 	EdgeRule safety.EdgeRule
 	// Forbidden overrides FA hole generation (default when zero).
 	Forbidden topo.ForbiddenConfig
+	// FailNodes, when positive, additionally measures routing under
+	// damage: after the healthy pass, each network kills FailNodes
+	// random alive relays (never a sampled endpoint), repairs the
+	// substrates incrementally (core.RepairSubstrates), and routes the
+	// same pairs again into the same aggregates. Zero keeps the paper's
+	// original static sweep.
+	FailNodes int
 }
 
 // PaperNodeCounts is the §5 x-axis: 400 to 800 in increments of 50.
@@ -256,11 +265,39 @@ func runNetwork(cfg Config, n, netIdx int) map[AlgID]*AlgStats {
 	}
 	net := dep.Net
 
-	routers := buildRouters(cfg, net)
+	routers, m, b, g := buildRouters(cfg, net)
 	pairs := samplePairs(net, cfg.Pairs, seed^0xabcdef12345)
 	for _, p := range pairs {
 		for _, alg := range cfg.Algorithms {
 			out[alg].observe(routers[alg].Route(p[0], p[1]))
+		}
+	}
+
+	// Optional damage pass: kill random relays, repair the substrates
+	// incrementally in place (the routers keep serving them), and route
+	// the same pairs over the wounded network.
+	if cfg.FailNodes > 0 {
+		endpoint := make(map[topo.NodeID]bool, 2*len(pairs))
+		for _, p := range pairs {
+			endpoint[p[0]], endpoint[p[1]] = true, true
+		}
+		rng := rand.New(rand.NewPCG(seed^0x5bf03635, seed^0xc5227d1e))
+		failed := make([]topo.NodeID, 0, cfg.FailNodes)
+		for tries := 8 * cfg.FailNodes; len(failed) < cfg.FailNodes && tries > 0; tries-- {
+			u := topo.NodeID(rng.IntN(net.N()))
+			if endpoint[u] || !net.Alive(u) {
+				continue
+			}
+			net.SetAlive(u, false)
+			failed = append(failed, u)
+		}
+		if len(failed) > 0 {
+			core.RepairSubstrates(m, b, g, failed)
+			for _, p := range pairs {
+				for _, alg := range cfg.Algorithms {
+					out[alg].observe(routers[alg].Route(p[0], p[1]))
+				}
+			}
 		}
 	}
 	return out
@@ -268,7 +305,9 @@ func runNetwork(cfg Config, n, netIdx int) map[AlgID]*AlgStats {
 
 // buildRouters constructs the configured routers, sharing substrate
 // artifacts (safety model, boundaries, planar graph) across algorithms.
-func buildRouters(cfg Config, net *topo.Network) map[AlgID]core.Router {
+// The substrates are returned alongside so the failure pass can repair
+// them in place (unneeded ones are nil).
+func buildRouters(cfg Config, net *topo.Network) (map[AlgID]core.Router, *safety.Model, *bound.Boundaries, *planar.Graph) {
 	needSafety := false
 	needBounds := false
 	needPlanar := false
@@ -332,7 +371,7 @@ func buildRouters(cfg Config, net *topo.Network) map[AlgID]core.Router {
 			panic(fmt.Sprintf("expt: unknown algorithm id %q", alg))
 		}
 	}
-	return routers
+	return routers, m, b, g
 }
 
 // maxPairTries bounds rejection sampling of connected pairs.

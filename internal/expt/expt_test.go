@@ -229,3 +229,38 @@ func TestSamplePairsConnected(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSweepWithFailures exercises the damage pass: every network
+// kills FailNodes relays, repairs the substrates incrementally, and
+// routes the same pairs again — doubling the attempt counts, with
+// delivery allowed to degrade but not collapse.
+func TestRunSweepWithFailures(t *testing.T) {
+	cfg := smallConfig(topo.ModelIA)
+	cfg.NodeCounts = []int{450}
+	cfg.FailNodes = 10
+	sweep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range PaperAlgorithms {
+		st := sweep.Rows[0].Stats[alg]
+		if st.Attempted != 30 { // 3 networks x 5 pairs x 2 passes
+			t.Errorf("%s attempted = %d, want 30", alg, st.Attempted)
+		}
+		if st.DeliveryRate() < 0.5 {
+			t.Errorf("%s delivery = %.2f collapsed under damage", alg, st.DeliveryRate())
+		}
+	}
+
+	// The damage pass is as deterministic as the healthy sweep.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range PaperAlgorithms {
+		a, b := sweep.Rows[0].Stats[alg], again.Rows[0].Stats[alg]
+		if a.Delivered != b.Delivered || a.Hops.Mean() != b.Hops.Mean() {
+			t.Errorf("%s damage pass not deterministic", alg)
+		}
+	}
+}

@@ -14,8 +14,19 @@ func Angle(a, b Point) float64 {
 	return NormAngle(math.Atan2(b.Y-a.Y, b.X-a.X))
 }
 
-// NormAngle maps any angle to [0, 2π).
+// NormAngle maps any angle to [0, 2π). The angular hot paths (router
+// sweeps, BOUNDHOLE walks, face steps) call this on differences of
+// already-normalized bearings, which always land in (-2π, 2π) — for
+// those math.Mod returns its argument unchanged, so the fast paths
+// below are bit-identical to the Mod-based reduction while skipping
+// its cost.
 func NormAngle(t float64) float64 {
+	if 0 <= t && t < TwoPi {
+		return t
+	}
+	if -TwoPi <= t && t < 0 {
+		return t + TwoPi
+	}
 	t = math.Mod(t, TwoPi)
 	if t < 0 {
 		t += TwoPi

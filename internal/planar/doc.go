@@ -1,0 +1,24 @@
+// Package planar derives planar subgraphs of the unit-disk network and
+// walks their faces. This is the substrate behind the "right-hand rule"
+// perimeter routing of Bose–Morin–Stojmenović (the paper's reference [2])
+// and of GPSR, which this repository ships as an additional baseline.
+//
+// Two classical localized planarizations are provided: the Gabriel graph
+// (edge uv survives iff the disk with diameter uv is empty) and the
+// relative neighborhood graph (edge uv survives iff no witness w is closer
+// to both u and v than they are to each other). Both preserve connectivity
+// of the unit-disk graph and are computable from one-hop neighbor
+// information only.
+//
+// # Lifecycle: build once, repair on failure
+//
+// [Build] computes every node's row in parallel across GOMAXPROCS. Both
+// planarization rules are witness-local — any witness for edge uv lies
+// within radio range of u and of v — so a liveness change at node x can
+// only affect the rows of x and of x's static neighbors.
+// [Graph.Repair] recomputes exactly those rows in place after failures
+// or revivals, leaving a graph identical to a from-scratch Build on the
+// mutated network; routers holding the graph observe the repair without
+// being rebuilt. The serving layer's /fail endpoint and the facade's
+// Sim.Fail route through this repair via core.RepairSubstrates.
+package planar

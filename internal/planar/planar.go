@@ -1,14 +1,3 @@
-// Package planar derives planar subgraphs of the unit-disk network and
-// walks their faces. This is the substrate behind the "right-hand rule"
-// perimeter routing of Bose–Morin–Stojmenović (the paper's reference [2])
-// and of GPSR, which this repository ships as an additional baseline.
-//
-// Two classical localized planarizations are provided: the Gabriel graph
-// (edge uv survives iff the disk with diameter uv is empty) and the
-// relative neighborhood graph (edge uv survives iff no witness w is closer
-// to both u and v than they are to each other). Both preserve connectivity
-// of the unit-disk graph and are computable from one-hop neighbor
-// information only.
 package planar
 
 import (
@@ -64,28 +53,66 @@ func Build(net *topo.Network, k Kind) *Graph {
 	}
 	par.For(net.N(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u := topo.NodeID(i)
-			if !net.Alive(u) {
-				continue
-			}
-			nbrs := net.Neighbors(u)
-			var kept []topo.NodeID
-			for _, v := range nbrs {
-				if keepEdge(net, k, u, v, nbrs) {
-					kept = append(kept, v)
-				}
-			}
-			up := net.Pos(u)
-			angles := make([]float64, len(kept))
-			for j, v := range kept {
-				angles[j] = geom.Angle(up, net.Pos(v))
-			}
-			sort.Sort(&byAngle{ids: kept, ang: angles})
-			g.adj[u] = kept
-			g.ang[u] = angles
+			g.rebuildRow(topo.NodeID(i))
 		}
 	})
 	return g
+}
+
+// rebuildRow recomputes u's planar adjacency from its current alive
+// neighborhood — the per-node unit of work shared by Build and Repair.
+// Dead nodes get empty rows.
+func (g *Graph) rebuildRow(u topo.NodeID) {
+	if !g.Net.Alive(u) {
+		g.adj[u], g.ang[u] = nil, nil
+		return
+	}
+	net := g.Net
+	nbrs := net.Neighbors(u)
+	var kept []topo.NodeID
+	for _, v := range nbrs {
+		if keepEdge(net, g.Kind, u, v, nbrs) {
+			kept = append(kept, v)
+		}
+	}
+	up := net.Pos(u)
+	angles := make([]float64, len(kept))
+	for j, v := range kept {
+		angles[j] = geom.Angle(up, net.Pos(v))
+	}
+	sort.Sort(&byAngle{ids: kept, ang: angles})
+	g.adj[u] = kept
+	g.ang[u] = angles
+}
+
+// Repair recomputes the planar rows invalidated by the liveness changes
+// of the given nodes (topo.Network.SetAlive already applied; failures
+// and revivals both work). Both rules are witness-local: any witness
+// for edge uv lies within range of u and of v, so the liveness of x can
+// only affect rows of x itself and of x's static neighbors — those rows
+// are rebuilt, every other row is provably unchanged. The result is
+// identical to Build on the mutated network at O(|N(x)| · deg²) cost
+// instead of O(n · deg²).
+func (g *Graph) Repair(changed []topo.NodeID) {
+	touched := make([]bool, g.Net.N())
+	var ids []topo.NodeID
+	add := func(u topo.NodeID) {
+		if !touched[u] {
+			touched[u] = true
+			ids = append(ids, u)
+		}
+	}
+	for _, x := range changed {
+		add(x)
+		for _, v := range g.Net.AdjacencyRow(x) {
+			add(v)
+		}
+	}
+	par.For(len(ids), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.rebuildRow(ids[i])
+		}
+	})
 }
 
 // byAngle sorts a planar row and its angle cache together.

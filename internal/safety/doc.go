@@ -1,0 +1,37 @@
+// Package safety implements the paper's safety information model (§3):
+// the four-type safe/unsafe labeling process of Definition 1 / Algorithm 2,
+// the estimated-shape information E_i(u) built from the farthest reachable
+// nodes u(1) and u(2), the critical/forbidden region split derived from
+// those shapes, and the construction-cost accounting used to compare
+// against BOUNDHOLE.
+//
+// A node u is type-i unsafe when every neighbor in its type-i forwarding
+// zone Q_i(u) is itself type-i unsafe (vacuously so when the zone is
+// empty); edge nodes of the interest area are pinned safe, tuple
+// (1,1,1,1). The connected unsafe nodes of one type form an unsafe area,
+// whose shape each member estimates as the rectangle spanned by itself and
+// the farthest nodes on its first and last greedy forwarding paths.
+//
+// # Lifecycle: build once, repair on failure
+//
+// [Build] labels every node with the synchronous rounds of Algorithm 2
+// (each round parallel across GOMAXPROCS) and propagates the shape
+// information; [BuildAsync] reaches the same unique fixpoint through
+// the event-driven worklist the paper sketches as the asynchronous
+// extension.
+//
+// When nodes fail at runtime, [Model.Repair] (and its failure-only
+// alias [Model.OnNodeFailure]) exploits that failures are monotone —
+// statuses only flip safe→unsafe — by re-running the worklist from the
+// current labels, seeded with just the failed nodes' static
+// neighborhoods: the only nodes whose Definition 1 condition changed.
+// Two rare events break that monotonicity and trigger a full relabel
+// instead: a node revival, and a failure that exposes a new
+// interest-area edge node that was not already fully safe. Either way
+// the repaired labels, shape estimates, and confinement boxes are
+// exactly those of a from-scratch Build on the mutated network; only
+// the Cost counters are path-dependent, accumulating the messages each
+// repair actually exchanged. The serving layer's /fail endpoint and the
+// facade's Sim.Fail route through this repair via
+// core.RepairSubstrates.
+package safety

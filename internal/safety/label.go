@@ -147,51 +147,96 @@ func BuildAsync(net *topo.Network, seed uint64, opts ...Option) *Model {
 }
 
 // OnNodeFailure incrementally repairs the model after the given nodes
-// fail (callers must have already called net.SetAlive(id, false)).
-// Failures only flip statuses safe→unsafe, so re-running the worklist
-// from the current state converges to exactly the from-scratch labeling;
-// the pinned set is recomputed first because a dead hull node changes the
-// interest-area edge.
-func (m *Model) OnNodeFailure(failed ...topo.NodeID) {
-	m.edge = m.Edge.EdgeNodes(m.Net)
+// fail (callers must have already called net.SetAlive(id, false)). It is
+// the failure-only entry point kept for compatibility; Repair is the
+// general one (and what OnNodeFailure now runs).
+func (m *Model) OnNodeFailure(failed ...topo.NodeID) { m.Repair(failed...) }
+
+// Repair incrementally re-derives the model after the liveness of the
+// given nodes changed (topo.Network.SetAlive already applied). The
+// result is always exactly the from-scratch labeling of the mutated
+// network; only the amount of work depends on the kind of change.
+//
+// Failures are the fast path. They only flip statuses safe→unsafe, so
+// running the monotone worklist from the current state — seeded with
+// just the failed nodes' static neighborhoods, the only nodes whose
+// Definition 1 condition changed — converges to exactly the
+// from-scratch fixpoint. Two rare events break that monotonicity and
+// force a full relabel instead: a revival (an unsafe node may need to
+// flip back to safe), and a failure exposing a new interest-area edge
+// node that is not already fully safe (a dead hull vertex can uncover
+// interior nodes, and a newly pinned node must present the (1,1,1,1)
+// tuple the paper prescribes for edge nodes — a safe→safe pin is free,
+// an unsafe→pinned flip is not expressible by the monotone worklist).
+func (m *Model) Repair(changed ...topo.NodeID) {
+	newEdge := m.Edge.EdgeNodes(m.Net)
+	full := false
+	for _, x := range changed {
+		if m.Net.Alive(x) { // revival: labels may need to flip unsafe→safe
+			full = true
+			break
+		}
+	}
+	if !full {
+		for i, e := range newEdge {
+			if e && !m.edge[i] && m.Net.Alive(topo.NodeID(i)) && !m.fullySafe(i) {
+				full = true // newly exposed edge node was unsafe
+				break
+			}
+		}
+	}
+	m.edge = newEdge
+	if full {
+		m.reset()
+		m.labelWorklist(nil)
+		m.propagateShapes()
+		return
+	}
+
+	// Failure-only repair. Update pins and mark the dead unsafe; seed
+	// the worklist from the failed nodes' static neighbor rows (the CSR
+	// adjacency retains dead nodes' rows, so no geometric scan is
+	// needed). A previously pinned node that lost its pin — impossible
+	// under the default hull/border rules, but a custom EdgeRule may
+	// shrink — must re-evaluate too.
+	seeds := make([]topo.NodeID, 0, len(changed)*8)
+	inSeeds := make(map[topo.NodeID]bool, len(changed)*8)
+	push := func(v topo.NodeID) {
+		if m.Net.Alive(v) && !inSeeds[v] {
+			inSeeds[v] = true
+			seeds = append(seeds, v)
+		}
+	}
 	for i := range m.info {
 		u := topo.NodeID(i)
 		alive := m.Net.Alive(u)
+		wasPinned := m.info[i].Pinned
 		m.info[i].Pinned = m.edge[i] && alive
 		if !alive {
 			for z := 0; z < geom.NumZones; z++ {
 				m.info[i].Safe[z] = false
 			}
+		} else if wasPinned && !m.info[i].Pinned {
+			push(u)
 		}
 	}
-	// Seed the worklist with the failure neighborhood: only nodes whose
-	// zone condition may have changed. labelWorklist pushes transitively.
-	queue := make([]topo.NodeID, 0, len(failed)*8)
-	seen := make(map[topo.NodeID]bool, len(failed)*8)
-	for _, f := range failed {
-		// Dead nodes have no Neighbors; use the static adjacency via
-		// positions: scan all alive nodes in range.
-		for i := range m.info {
-			v := topo.NodeID(i)
-			if m.Net.Alive(v) && m.Net.InRange(f, v) && !seen[v] {
-				seen[v] = true
-				queue = append(queue, v)
-			}
+	for _, f := range changed {
+		for _, v := range m.Net.AdjacencyRow(f) {
+			push(v)
 		}
 	}
-	// Un-pinned survivors (hull changed) must also re-evaluate.
-	for i := range m.info {
-		u := topo.NodeID(i)
-		if m.Net.Alive(u) && !m.info[i].Pinned && !seen[u] && m.AnySafe(u) {
-			// Cheap filter: only nodes near the failure set or with a
-			// changed pin state matter, but re-evaluating every safe
-			// node costs one zone scan and keeps the repair exact.
-			seen[u] = true
-			queue = append(queue, u)
-		}
-	}
-	m.repairFrom(queue)
+	m.repairFrom(seeds)
 	m.propagateShapes()
+}
+
+// fullySafe reports whether node i holds the (1,1,1,1) tuple.
+func (m *Model) fullySafe(i int) bool {
+	for _, s := range m.info[i].Safe {
+		if !s {
+			return false
+		}
+	}
+	return true
 }
 
 // repairFrom runs the monotone worklist starting from the given seeds.

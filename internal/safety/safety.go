@@ -1,16 +1,3 @@
-// Package safety implements the paper's safety information model (§3):
-// the four-type safe/unsafe labeling process of Definition 1 / Algorithm 2,
-// the estimated-shape information E_i(u) built from the farthest reachable
-// nodes u(1) and u(2), the critical/forbidden region split derived from
-// those shapes, and the construction-cost accounting used to compare
-// against BOUNDHOLE.
-//
-// A node u is type-i unsafe when every neighbor in its type-i forwarding
-// zone Q_i(u) is itself type-i unsafe (vacuously so when the zone is
-// empty); edge nodes of the interest area are pinned safe, tuple
-// (1,1,1,1). The connected unsafe nodes of one type form an unsafe area,
-// whose shape each member estimates as the rectangle spanned by itself and
-// the farthest nodes on its first and last greedy forwarding paths.
 package safety
 
 import (

@@ -49,9 +49,15 @@ func toResponse(res core.Result, cached, withPath bool) RouteResponse {
 
 // Batch routes every request and returns the responses in request order.
 // The requests fan out across the service worker pool (Config.Workers);
-// each worker runs the same cached Route path, so a batch warms the
+// each worker runs the same cached route path, so a batch warms the
 // cache for subsequent traffic and profits from it in turn. Requests
 // may mix deployments and algorithms freely.
+//
+// Each worker owns one reusable path buffer and routes through
+// Router.RouteInto, so a warm batch performs no per-route path
+// allocation: cache hits return the stored aggregate outcome, cache
+// misses append the traveled path into the worker's buffer (batch
+// responses never carry paths, and the cache strips them on insert).
 func (s *Service) Batch(reqs []RouteRequest) []RouteResponse {
 	s.batches.Inc()
 	out := make([]RouteResponse, len(reqs))
@@ -68,16 +74,22 @@ func (s *Service) Batch(reqs []RouteRequest) []RouteResponse {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			buf := make([]topo.NodeID, 0, 256)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(reqs) {
 					return
 				}
 				req := reqs[i]
-				res, cached, err := s.Route(req.Deployment, req.Algorithm, req.Src, req.Dst)
+				res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, buf, false)
 				if err != nil {
 					out[i] = RouteResponse{Err: err.Error()}
 					continue
+				}
+				if res.Path != nil {
+					// Keep the (possibly grown) buffer for the next route;
+					// cache hits return no path and leave buf untouched.
+					buf = res.Path[:0]
 				}
 				out[i] = toResponse(res, cached, false)
 			}

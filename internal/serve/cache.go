@@ -110,8 +110,13 @@ func (c *routeCache) get(k cacheKey) (core.Result, bool) {
 }
 
 // put stores a result, evicting the least recently used entry of the
-// shard when it is full.
+// shard when it is full. The path is stripped before storing: entries
+// keep only the aggregate outcome (Result.Hops stays correct via the
+// phase counts), which keeps cache memory flat, makes entries safe to
+// share across goroutines, and never retains a caller's reusable path
+// buffer.
 func (c *routeCache) put(k cacheKey, res core.Result) {
+	res.Path = nil
 	sh := c.shard(k)
 	sh.mu.Lock()
 	if el, ok := sh.m[k]; ok {

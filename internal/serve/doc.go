@@ -1,0 +1,38 @@
+// Package serve is the routing-as-a-service layer: a long-lived,
+// concurrent service that answers many route queries over shared
+// deployed-network state, the workload the paper's §1 streaming
+// application implies. It stacks four pieces:
+//
+//   - a deployment registry of named (model, n, seed) deployments whose
+//     routing substrates (safety model, BOUNDHOLE boundaries, Gabriel
+//     graph, routers) are built lazily and deduplicated with
+//     singleflight, so a stampede of first requests builds each
+//     substrate exactly once;
+//   - a sharded LRU route cache keyed by (deployment, epoch, algorithm,
+//     src, dst) with hit/miss/eviction counters — entries store the
+//     aggregate outcome only (no paths), keeping cache memory flat;
+//   - a batch engine fanning request slices across a worker pool while
+//     preserving request order, each worker routing into its own
+//     reusable path buffer (Router.RouteInto), so a warm batch performs
+//     no per-route allocation;
+//   - HTTP/JSON handlers (see handler.go) that cmd/wasnd serves — the
+//     endpoint reference with curl examples lives in cmd/wasnd/README.md.
+//
+// # Failure handling
+//
+// Topology mutations (node failures via Fail) take a per-deployment
+// write lock and repair all three substrates incrementally in place
+// through core.RepairSubstrates: the safety relabeling is seeded from
+// the failure neighborhood, BOUNDHOLE re-traces only the boundary walks
+// that swept it, and the Gabriel graph recomputes only the incident
+// rows. The routers hold pointers into the substrates and observe the
+// repair without being rebuilt. Repair latency therefore scales with
+// the failure neighborhood, not the deployment size; the
+// Config.FullRebuildOnFail flag retains the from-scratch rebuild as a
+// differential oracle (the results are identical).
+//
+// After the repair the deployment epoch is bumped — the epoch is part
+// of every cache key, so all previously cached routes of the deployment
+// become unreachable at once — and the stale entries are purged
+// eagerly.
+package serve

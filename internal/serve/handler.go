@@ -119,7 +119,10 @@ func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
 
 type routeRequest struct {
 	RouteRequest
-	// Path asks for the full node path in the response.
+	// Path asks for the full node path in the response. Cached entries
+	// store no paths, so a path:true request bypasses the cache read
+	// and computes a fresh route (its aggregate outcome is still cached
+	// for later pathless readers).
 	Path bool `json:"path"`
 }
 
@@ -128,7 +131,7 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, cached, err := s.Route(req.Deployment, req.Algorithm, req.Src, req.Dst)
+	res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, nil, req.Path)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

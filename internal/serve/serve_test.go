@@ -114,6 +114,15 @@ func TestRouteCachedSecondTime(t *testing.T) {
 	if !cached {
 		t.Fatal("second route missed the cache")
 	}
+	// Cached results drop the path but keep every aggregate, including
+	// the hop count (served from the phase totals).
+	if second.Path != nil {
+		t.Fatalf("cached result carries a path: %v", second.Path)
+	}
+	if second.Hops() != first.Hops() {
+		t.Fatalf("cached hops = %d, want %d", second.Hops(), first.Hops())
+	}
+	first.Path = nil
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("cached result differs:\nfirst  %+v\nsecond %+v", first, second)
 	}
@@ -208,8 +217,10 @@ func TestFailInvalidatesCacheAndMatchesFreshSim(t *testing.T) {
 		baseline[p] = res.Hops()
 	}
 
-	// Fail two interior nodes on the first route's path.
-	first, _, err := s.Route(name, "SLGF2", pairs[0][0], pairs[0][1])
+	// Fail two interior nodes on the first route's path. The pair is
+	// cached (pathless) by now, so route past the cache for the path,
+	// like the HTTP layer's path:true does.
+	first, _, err := s.route(name, "SLGF2", pairs[0][0], pairs[0][1], nil, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,11 +338,16 @@ func TestConcurrentBatchAndFail(t *testing.T) {
 	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net),
 		bound.FindHoles(refDep.Net), planar.Build(refDep.Net, planar.GabrielGraph))
 	for _, p := range pairs {
-		got, _, err := s.Route(name, "SLGF2", p[0], p[1])
+		got, cached, err := s.Route(name, "SLGF2", p[0], p[1])
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := refRouters["SLGF2"].Route(p[0], p[1])
+		// The storm may have left this pair cached (pathless); compare
+		// the aggregates, and the path too when one was computed.
+		if cached {
+			want.Path = nil
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("post-storm %v diverges from fresh substrate:\nserve %+v\nfresh %+v", p, got, want)
 		}

@@ -1,23 +1,3 @@
-// Package serve is the routing-as-a-service layer: a long-lived,
-// concurrent service that answers many route queries over shared
-// deployed-network state, the workload the paper's §1 streaming
-// application implies. It stacks four pieces:
-//
-//   - a deployment registry of named (model, n, seed) deployments whose
-//     routing substrates (safety model, BOUNDHOLE boundaries, Gabriel
-//     graph, routers) are built lazily and deduplicated with
-//     singleflight, so a stampede of first requests builds each
-//     substrate exactly once;
-//   - a sharded LRU route cache keyed by (deployment, epoch, algorithm,
-//     src, dst) with hit/miss/eviction counters;
-//   - a batch engine fanning request slices across a worker pool while
-//     preserving request order;
-//   - HTTP/JSON handlers (see handler.go) that cmd/wasnd serves.
-//
-// Topology mutations (node failures) take a per-deployment write lock,
-// repair the safety model incrementally via safety.OnNodeFailure,
-// rebuild the boundary and planar substrates, and bump the deployment
-// epoch so every previously cached route becomes unreachable.
 package serve
 
 import (
@@ -62,6 +42,12 @@ type Config struct {
 	// TTLFactor overrides the per-packet hop budget of every router
 	// (core.DefaultTTLFactor when 0).
 	TTLFactor int
+	// FullRebuildOnFail makes Fail rebuild every substrate from scratch
+	// instead of repairing incrementally — the differential oracle for
+	// the repair path (wasnd -full-rebuild). Keep it off in production:
+	// the results are identical and the rebuild is orders of magnitude
+	// slower.
+	FullRebuildOnFail bool
 }
 
 // ErrBuild marks substrate build failures: a server-side fault, not a
@@ -104,11 +90,16 @@ type deployment struct {
 	name string
 	spec Spec
 
-	mu      sync.RWMutex
-	epoch   atomic.Uint64
-	ready   atomic.Bool
-	dep     *topo.Deployment
+	mu    sync.RWMutex
+	epoch atomic.Uint64
+	ready atomic.Bool
+	dep   *topo.Deployment
+	// The three substrates are retained so Fail can repair them in
+	// place (core.RepairSubstrates); the routers hold pointers into
+	// them and observe repairs without being rebuilt.
 	model   *safety.Model
+	bounds  *bound.Boundaries
+	planarg *planar.Graph
 	routers map[string]core.Router
 	failed  map[topo.NodeID]bool
 }
@@ -188,20 +179,15 @@ func (s *Service) ensureBuilt(d *deployment) error {
 			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
 		}
 		d.dep = dep
-		d.model, d.routers = s.buildSubstrates(dep.Net)
+		// The three substrates — safety model, BOUNDHOLE boundaries,
+		// Gabriel graph — build concurrently (each also internally
+		// parallel over GOMAXPROCS); the router set shares them.
+		d.model, d.bounds, d.planarg = core.BuildSubstrates(dep.Net, true, true, true, nil)
+		d.routers = s.buildRouters(dep.Net, d.model, d.bounds, d.planarg)
 		s.builds.Inc()
 		d.ready.Store(true)
 		return nil
 	})
-}
-
-// buildSubstrates constructs the three routing substrates — safety
-// model, BOUNDHOLE boundaries, Gabriel graph — concurrently (each is
-// also internally parallel over GOMAXPROCS) and assembles the router
-// set over them.
-func (s *Service) buildSubstrates(net *topo.Network) (*safety.Model, map[string]core.Router) {
-	m, b, g := core.BuildSubstrates(net, true, true, true, nil)
-	return m, s.buildRouters(net, m, b, g)
 }
 
 // buildRouters constructs the full router set over a network, mirroring
@@ -230,7 +216,25 @@ func (s *Service) buildRouters(net *topo.Network, m *safety.Model, b *bound.Boun
 
 // Route answers one route query, consulting the cache first. The second
 // return reports whether the result came from the cache.
+//
+// Cached results carry no Path: the cache stores only the aggregate
+// outcome (delivered, hops, length, phase counts), which keeps cache
+// memory flat and lets the batch engine route into reused buffers.
+// Result.Hops and the rest remain valid either way; callers that need
+// the traveled path of a possibly cached pair use the HTTP API's
+// path:true (which computes a fresh route) or a Router directly.
 func (s *Service) Route(deployment, algorithm string, src, dst topo.NodeID) (core.Result, bool, error) {
+	return s.route(deployment, algorithm, src, dst, nil, false)
+}
+
+// route is the shared single-route path behind Route, the batch
+// engine, and the HTTP handlers. pathBuf, when non-nil, is handed to
+// Router.RouteInto so the traveled path is appended into it (batch
+// workers pass one reusable buffer each, making a warm batch
+// allocation-free per route). skipCacheRead bypasses the cache lookup
+// — for callers that need the full path even for cached pairs — while
+// still caching the computed result for later pathless readers.
+func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, pathBuf []topo.NodeID, skipCacheRead bool) (core.Result, bool, error) {
 	d, err := s.lookup(deployment)
 	if err != nil {
 		return core.Result{}, false, err
@@ -253,27 +257,32 @@ func (s *Service) Route(deployment, algorithm string, src, dst topo.NodeID) (cor
 	r := d.routers[algorithm]
 
 	key := cacheKey{dep: d.name, epoch: d.epoch.Load(), alg: algorithm, src: src, dst: dst}
-	if s.cache != nil {
+	if s.cache != nil && !skipCacheRead {
 		if res, hit := s.cache.get(key); hit {
 			s.routes.Inc()
 			return res, true, nil
 		}
 	}
-	res := r.Route(src, dst)
+	res := r.RouteInto(src, dst, pathBuf)
 	if s.cache != nil {
 		// Still under RLock: the epoch in key cannot have been bumped,
-		// so the entry matches the topology it was computed on.
+		// so the entry matches the topology it was computed on. put
+		// strips the path, so caching never retains pathBuf.
 		s.cache.put(key, res)
 	}
 	s.routes.Inc()
 	return res, false, nil
 }
 
-// Fail marks the given nodes dead in the named deployment, repairs the
-// safety information incrementally (safety.OnNodeFailure), rebuilds the
-// boundary/planar substrates so every router sees the damaged topology
-// exactly as a from-scratch Sim would, and invalidates all cached routes
-// of the deployment by bumping its epoch.
+// Fail marks the given nodes dead in the named deployment, repairs all
+// three substrates incrementally in place (core.RepairSubstrates: the
+// safety relabeling is seeded from the failure neighborhood, BOUNDHOLE
+// re-traces only boundary walks through it, the Gabriel graph
+// recomputes only the incident rows), and invalidates all cached routes
+// of the deployment by bumping its epoch. The repaired substrates are
+// identical to a from-scratch build over the damaged topology — the
+// Config.FullRebuildOnFail oracle path — so every router serves exactly
+// what a fresh Sim would.
 func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 	d, err := s.lookup(deployment)
 	if err != nil {
@@ -307,11 +316,13 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, false)
 		d.failed[u] = true
 	}
-	d.model.OnNodeFailure(fresh...)
-	// Boundary and planar substrates have no incremental repair; rebuild
-	// them concurrently against the damaged topology.
-	_, b, g := core.BuildSubstrates(net, false, true, true, nil)
-	d.routers = s.buildRouters(net, d.model, b, g)
+	if s.cfg.FullRebuildOnFail {
+		d.model, d.bounds, d.planarg = core.BuildSubstrates(net, true, true, true, nil)
+		d.routers = s.buildRouters(net, d.model, d.bounds, d.planarg)
+	} else {
+		// In-place repair: the routers keep their substrate pointers.
+		core.RepairSubstrates(d.model, d.bounds, d.planarg, fresh)
+	}
 	d.epoch.Add(1)
 	if s.cache != nil {
 		s.cache.purgeDeployment(d.name)

@@ -175,6 +175,35 @@ func (net *Network) AdjacencyAngles(u NodeID) []float64 {
 	return net.adjAng[net.adjOff[u]:net.adjOff[u+1]]
 }
 
+// AdjSlots returns the number of directed CSR edge slots (the length of
+// the flat adjacency array). Together with AdjSlotOf it lets callers
+// keep O(1)-clearable per-edge state in flat arrays instead of maps —
+// the BOUNDHOLE walker stamps visited edges this way.
+func (net *Network) AdjSlots() int { return len(net.adjList) }
+
+// AdjSlotOf returns the global CSR slot index of the directed edge u→v,
+// or -1 when v is not a static neighbor of u. The slot identifies the
+// edge uniquely across the network and indexes arrays of AdjSlots()
+// length.
+func (net *Network) AdjSlotOf(u, v NodeID) int {
+	for i := int(net.adjOff[u]); i < int(net.adjOff[u+1]); i++ {
+		if net.adjList[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// EdgeBearing returns the precomputed bearing of the directed edge u→v
+// (geom.Angle from u to v), or ok=false when v is not a static neighbor
+// of u. Callers walking along edges use it to avoid recomputing atan2.
+func (net *Network) EdgeBearing(u, v NodeID) (float64, bool) {
+	if slot := net.AdjSlotOf(u, v); slot >= 0 {
+		return net.adjAng[slot], true
+	}
+	return 0, false
+}
+
 // Neighbors returns N(u): the alive neighbors of u. When u itself is dead
 // it has no neighbors. The returned slice must not be modified and must
 // not be retained across SetAlive: while no node has failed it aliases

@@ -29,16 +29,26 @@
 //	_ = svc.Fail(name, []wasn.NodeID{17})   // kills node 17, invalidates cached routes
 //	http.ListenAndServe(":8080", svc.Handler())
 //
+// Node failures (Service.Fail, Sim.Fail) repair the routing substrates
+// incrementally in place — work scales with the failure neighborhood,
+// not the network — and are differentially tested to match a
+// from-scratch rebuild.
+//
 // cmd/wasnd serves the same service over HTTP/JSON (/deploy, /route,
 // /batch, /fail, /stats) and ships a load-generator mode (wasnd -load)
-// reporting routes/sec and latency percentiles.
+// reporting routes/sec and latency percentiles; see cmd/wasnd/README.md
+// for the endpoint reference with curl examples, and ARCHITECTURE.md at
+// the repository root for the package graph, the substrate
+// build/repair lifecycle, and the cache invalidation story.
 package wasn
 
 import (
 	"fmt"
 
+	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/core"
 	"github.com/straightpath/wasn/internal/expt"
+	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
@@ -74,6 +84,12 @@ type NodeID = topo.NodeID
 // Result is a routing outcome.
 type Result = core.Result
 
+// Router routes single packets between nodes of one fixed network. Every
+// router obtained from a Sim or Service is safe for concurrent use and
+// routes with zero steady-state allocations; see the interface docs for
+// the full concurrency and buffer-reuse (RouteInto) contract.
+type Router = core.Router
+
 // Network is the deployed WASN graph.
 type Network = topo.Network
 
@@ -89,11 +105,13 @@ func Deploy(model Model, n int, seed uint64) (*Deployment, error) {
 
 // Sim bundles one network with every prebuilt routing substrate: the
 // safety information model, the BOUNDHOLE boundaries, and the Gabriel
-// graph.
+// graph. The substrates are retained so Fail can repair them in place.
 type Sim struct {
 	Dep    *Deployment
 	Safety *safety.Model
 
+	bounds  *bound.Boundaries
+	planarg *planar.Graph
 	routers map[Algorithm]core.Router
 }
 
@@ -107,8 +125,10 @@ func NewSim(dep *Deployment) (*Sim, error) {
 	net := dep.Net
 	m, b, g := core.BuildSubstrates(net, true, true, true, nil)
 	s := &Sim{
-		Dep:    dep,
-		Safety: m,
+		Dep:     dep,
+		Safety:  m,
+		bounds:  b,
+		planarg: g,
 		routers: map[Algorithm]core.Router{
 			GF:       core.NewGF(net, b),
 			LGF:      core.NewLGF(net),
@@ -120,6 +140,32 @@ func NewSim(dep *Deployment) (*Sim, error) {
 		},
 	}
 	return s, nil
+}
+
+// Fail kills the given nodes and repairs every substrate incrementally
+// (core.RepairSubstrates): the safety relabeling is seeded from the
+// failure neighborhood, BOUNDHOLE re-traces only the boundary walks
+// through it, and the Gabriel graph recomputes only the incident rows.
+// The repaired substrates are identical to rebuilding the Sim from
+// scratch over the damaged topology, and the repairs happen in place,
+// so the Sim's routers serve the new topology immediately. Nodes that
+// are already dead are ignored; nothing happens when none remain.
+//
+// Fail mutates the shared network and substrates and therefore must not
+// run concurrently with Route calls (see the Router contract); the
+// Service layer does this serialization for servers.
+func (s *Sim) Fail(nodes ...NodeID) {
+	fresh := make([]NodeID, 0, len(nodes))
+	for _, u := range nodes {
+		if s.Dep.Net.Alive(u) {
+			s.Dep.Net.SetAlive(u, false)
+			fresh = append(fresh, u)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	core.RepairSubstrates(s.Safety, s.bounds, s.planarg, fresh)
 }
 
 // Net returns the underlying network.

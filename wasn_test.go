@@ -114,3 +114,55 @@ func TestRunFigure(t *testing.T) {
 		t.Error("unknown figure accepted")
 	}
 }
+
+// TestSimFailMatchesFreshSim kills nodes through the facade's
+// incremental repair and asserts every router answers exactly like a
+// Sim built from scratch over the damaged topology.
+func TestSimFailMatchesFreshSim(t *testing.T) {
+	dep, err := Deploy(FA, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topo.RoutablePairs(dep.Net, 6, 60)
+	if len(pairs) == 0 {
+		t.Skip("no routable pairs")
+	}
+	endpoint := make(map[NodeID]bool)
+	for _, p := range pairs {
+		endpoint[p[0]], endpoint[p[1]] = true, true
+	}
+	var dead []NodeID
+	for u := 0; len(dead) < 8; u += 29 {
+		id := NodeID(u % dep.Net.N())
+		if !endpoint[id] && dep.Net.Alive(id) {
+			dead = append(dead, id)
+		}
+	}
+	sim.Fail(dead...)
+	sim.Fail(dead...) // idempotent: already-dead nodes are ignored
+
+	refDep, err := Deploy(FA, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range dead {
+		refDep.Net.SetAlive(u, false)
+	}
+	ref, err := NewSim(refDep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range sim.Algorithms() {
+		for _, p := range pairs {
+			got := sim.Route(alg, p[0], p[1])
+			want := ref.Route(alg, p[0], p[1])
+			if got.Delivered != want.Delivered || got.Hops() != want.Hops() || got.Length != want.Length {
+				t.Errorf("%s %v: repaired sim %+v, fresh sim %+v", alg, p, got, want)
+			}
+		}
+	}
+}
