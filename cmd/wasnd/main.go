@@ -1,8 +1,9 @@
 // Command wasnd serves routes over deployed sensor networks: an
 // HTTP/JSON frontend on the internal/serve routing service (deployment
-// registry, sharded LRU route cache, batch engine).
+// registry, sharded LRU route cache, batch engine, incremental
+// substrate repair).
 //
-// Server mode:
+// Server mode (SIGINT/SIGTERM drain in-flight requests and exit):
 //
 //	wasnd -addr :8080
 //	curl -d '{"model":"fa","n":500,"seed":42,"build":true}' localhost:8080/deploy
@@ -10,25 +11,32 @@
 //	curl -d '{"deployment":"FA-500-42","nodes":[17,23]}' localhost:8080/fail
 //	curl localhost:8080/stats
 //
-// Load-generator mode benchmarks the service in-process, reporting
-// routes/sec and latency percentiles for the uncached and cached paths:
+// Load mode is a thin shim over the internal/workload scenario engine:
+// canned presets or scenario JSON files compose an arrival process
+// (closed-loop, open-loop Poisson, bursty), a traffic matrix (uniform,
+// zipf, convergecast), and a churn schedule, driven either in-process
+// or over HTTP against a running wasnd:
 //
-//	wasnd -load -model fa -n 500 -requests 20000
+//	wasnd -load -preset convergecast
+//	wasnd -load -scenario examples/scenarios/churn-storm.json -out report.json
+//	wasnd -load -preset steady -driver http -target http://localhost:8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
-	"runtime"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"github.com/straightpath/wasn/internal/metrics"
 	"github.com/straightpath/wasn/internal/serve"
-	"github.com/straightpath/wasn/internal/topo"
+	"github.com/straightpath/wasn/internal/workload"
 )
 
 func main() {
@@ -38,165 +46,138 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wasnd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address (server mode)")
 		cacheSize = fs.Int("cache", 0, "route cache entries, 0 = default, negative disables")
 		shards    = fs.Int("shards", 0, "route cache shards (0 = default)")
 		workers   = fs.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
-		fullRb    = fs.Bool("full-rebuild", false, "rebuild substrates from scratch on /fail instead of repairing incrementally (differential oracle)")
+		fullRb    = fs.Bool("full-rebuild", false, "rebuild substrates from scratch on /fail and /revive instead of repairing incrementally (differential oracle)")
 
-		load     = fs.Bool("load", false, "run the load generator instead of serving")
-		model    = fs.String("model", "fa", "load: deployment model (ia or fa)")
-		n        = fs.Int("n", 500, "load: node count")
-		seed     = fs.Uint64("seed", 42, "load: deployment seed")
-		alg      = fs.String("alg", "SLGF2", "load: routing algorithm")
-		pairs    = fs.Int("pairs", 200, "load: distinct source-destination pairs")
-		requests = fs.Int("requests", 20000, "load: route requests per phase")
-		conc     = fs.Int("concurrency", 0, "load: client goroutines (0 = NumCPU)")
+		load     = fs.Bool("load", false, "run the workload engine instead of serving")
+		preset   = fs.String("preset", "steady", "load: canned scenario (steady, hotspot, convergecast, churn-storm)")
+		scenario = fs.String("scenario", "", "load: scenario JSON file (overrides -preset)")
+		driver   = fs.String("driver", "inprocess", "load: inprocess or http")
+		target   = fs.String("target", "", "load: wasnd base URL for -driver http")
+		outFile  = fs.String("out", "", "load: write the JSON report here too")
+
+		model = fs.String("model", "", "load: override the scenario's deployment model")
+		n     = fs.Int("n", 0, "load: override the scenario's node count")
+		seed  = fs.Uint64("seed", 0, "load: override the scenario's deployment seed")
+		alg   = fs.String("alg", "", "load: override the scenario's algorithm")
+		rate  = fs.Float64("rate", 0, "load: override the open-loop arrival rate (req/s)")
+		durMS = fs.Int("duration", 0, "load: override the open-loop duration (ms)")
+		reqs  = fs.Int("requests", 0, "load: override the closed-loop request count")
+		conc  = fs.Int("concurrency", 0, "load: override the client/worker count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := serve.Config{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb}
 	if *load {
-		return runLoad(out, cfg, *model, *n, *seed, *alg, *pairs, *requests, *conc)
-	}
-
-	s := serve.New(cfg)
-	log.Printf("wasnd listening on %s", *addr)
-	return http.ListenAndServe(*addr, s.Handler())
-}
-
-// runLoad benchmarks the uncached and cached route paths over one
-// deployment and reports throughput, latency percentiles, and speedup.
-func runLoad(out *os.File, cfg serve.Config, model string, n int, seed uint64, alg string, pairCount, requests, conc int) error {
-	m, err := topo.ParseDeployModel(model)
-	if err != nil {
-		return err
-	}
-	if conc <= 0 {
-		conc = runtime.NumCPU()
-	}
-	spec := serve.Spec{Model: m, N: n, Seed: seed}
-
-	// Two services over the same deployment: one with the cache disabled
-	// (every request routes from scratch) and one with it enabled.
-	uncachedCfg := cfg
-	uncachedCfg.CacheSize = -1
-	uncached := serve.New(uncachedCfg)
-	cached := serve.New(cfg)
-
-	name := spec.DefaultName()
-	for _, s := range []*serve.Service{uncached, cached} {
-		if _, err := s.Deploy(name, spec); err != nil {
-			return err
-		}
-		if err := s.Build(name); err != nil {
-			return err
-		}
-	}
-
-	reqPairs, err := loadPairs(spec, pairCount)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "wasnd load: %s, algorithm %s, %d pairs, %d requests/phase, %d clients\n",
-		name, alg, len(reqPairs), requests, conc)
-
-	uStat, err := drive(uncached, name, alg, reqPairs, requests, conc)
-	if err != nil {
-		return err
-	}
-	// Warm the cache with one pass over every pair, then measure hits.
-	if _, err := drive(cached, name, alg, reqPairs, len(reqPairs), conc); err != nil {
-		return err
-	}
-	cStat, err := drive(cached, name, alg, reqPairs, requests, conc)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(out, "uncached: %s\n", uStat)
-	fmt.Fprintf(out, "cached:   %s\n", cStat)
-	fmt.Fprintf(out, "speedup:  %.1fx\n", cStat.rate/uStat.rate)
-	st := cached.Stats()
-	fmt.Fprintf(out, "cache:    %d hits / %d misses / %d entries\n",
-		st.CacheHits, st.CacheMisses, st.CacheEntries)
-	return nil
-}
-
-// loadPairs picks routable (same-component, well-separated) pairs from
-// an offline copy of the deployment.
-func loadPairs(spec serve.Spec, want int) ([][2]topo.NodeID, error) {
-	dep, err := topo.Deploy(topo.DefaultDeployConfig(spec.Model, spec.N, spec.Seed))
-	if err != nil {
-		return nil, err
-	}
-	pairs := topo.RoutablePairs(dep.Net, want, 60)
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("no routable pairs in %s", spec.DefaultName())
-	}
-	return pairs, nil
-}
-
-// phaseStat aggregates one measured phase.
-type phaseStat struct {
-	routes  int
-	elapsed time.Duration
-	rate    float64
-	p50     time.Duration
-	p90     time.Duration
-	p99     time.Duration
-}
-
-func (p phaseStat) String() string {
-	return fmt.Sprintf("%d routes in %v = %.0f routes/s  p50=%v p90=%v p99=%v",
-		p.routes, p.elapsed.Round(time.Millisecond), p.rate, p.p50, p.p90, p.p99)
-}
-
-// drive issues `requests` route calls cycling over the pairs from conc
-// goroutines, recording per-request latency.
-func drive(s *serve.Service, dep, alg string, pairs [][2]topo.NodeID, requests, conc int) (phaseStat, error) {
-	lat := make([][]float64, conc)
-	errs := make([]error, conc)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < conc; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			mine := make([]float64, 0, requests/conc+1)
-			for i := w; i < requests; i += conc {
-				p := pairs[i%len(pairs)]
-				t0 := time.Now()
-				if _, _, err := s.Route(dep, alg, p[0], p[1]); err != nil {
-					errs[w] = err
-					return
-				}
-				mine = append(mine, float64(time.Since(t0)))
-			}
-			lat[w] = mine
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
+		sc, err := loadScenario(*scenario, *preset)
 		if err != nil {
-			return phaseStat{}, err
+			return err
 		}
+		applyOverrides(sc, *model, *n, *seed, *alg, *rate, *durMS, *reqs, *conc)
+		return runLoad(out, sc, *driver, *target, *outFile, cfg)
 	}
-	var all []float64
-	for _, l := range lat {
-		all = append(all, l...)
+	return serveHTTP(cfg, *addr)
+}
+
+// serveHTTP runs the server until SIGINT/SIGTERM, then drains in-flight
+// requests via http.Server.Shutdown so HTTP-mode load runs end cleanly.
+func serveHTTP(cfg serve.Config, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: serve.New(cfg).Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("wasnd listening on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills hard
+		log.Printf("wasnd: draining (up to 10s)")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("wasnd: drained cleanly")
+		return nil
 	}
-	return phaseStat{
-		routes:  len(all),
-		elapsed: elapsed,
-		rate:    float64(len(all)) / elapsed.Seconds(),
-		p50:     time.Duration(metrics.Percentile(all, 50)),
-		p90:     time.Duration(metrics.Percentile(all, 90)),
-		p99:     time.Duration(metrics.Percentile(all, 99)),
-	}, nil
+}
+
+// loadScenario resolves -scenario (a JSON file) or -preset.
+func loadScenario(file, preset string) (*workload.Scenario, error) {
+	if file != "" {
+		return workload.ParseFile(file)
+	}
+	return workload.Preset(preset)
+}
+
+// applyOverrides lets the quick-tour flags tweak a canned scenario
+// without writing a JSON file. Zero values leave the scenario as is.
+func applyOverrides(sc *workload.Scenario, model string, n int, seed uint64, alg string, rate float64, durMS, reqs, conc int) {
+	if model != "" {
+		sc.Deployment.Model = model
+	}
+	if n > 0 {
+		sc.Deployment.N = n
+	}
+	if seed != 0 {
+		sc.Deployment.Seed = seed
+	}
+	if alg != "" {
+		sc.Algorithm = alg
+	}
+	if rate > 0 {
+		sc.Arrival.RateHz = rate
+	}
+	if durMS > 0 {
+		sc.Arrival.DurationMS = durMS
+	}
+	if reqs > 0 {
+		sc.Arrival.Requests = reqs
+	}
+	if conc > 0 {
+		sc.Arrival.Concurrency = conc
+	}
+}
+
+// runLoad executes the scenario, prints the human summary, and writes
+// the full JSON report to -out when given.
+func runLoad(out io.Writer, sc *workload.Scenario, driver, target, outFile string, cfg serve.Config) error {
+	drv, err := workload.NewDriver(driver, target, cfg)
+	if err != nil {
+		return err
+	}
+	defer drv.Close()
+	fmt.Fprintf(out, "wasnd load: scenario %s, driver %s\n", sc.Name, drv.Name())
+	rep, err := workload.Run(drv, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", outFile)
+	}
+	return nil
 }

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram layout: values below 2^histSubBits land in exact unit
+// buckets; above that, each power-of-two range is split into
+// 2^histSubBits linear sub-buckets (HdrHistogram's log-linear scheme),
+// bounding the relative quantile error at 1/2^histSubBits ≈ 6%.
+const (
+	histSubBits = 4
+	histSubs    = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range: the exact
+	// head [0,16) plus 16 sub-buckets for each of the 60 remaining
+	// octaves (MSB positions 4..63).
+	histBuckets = histSubs + (64-histSubBits)*histSubs
+)
+
+// Histogram is a goroutine-safe log-bucketed histogram of non-negative
+// int64 samples (the workload engine records latencies as nanoseconds).
+// Observations go to atomic bucket counters, so any number of workers
+// may record concurrently with no lock; quantile reads over a live
+// histogram see a slightly stale but internally consistent view. The
+// zero value is an empty histogram ready to use.
+//
+// Buckets are exact up to 16 and log-linear above (16 sub-buckets per
+// power of two), so reported quantiles carry at most ~6% relative
+// error — plenty for latency percentiles spanning nanoseconds to
+// seconds — at a flat ~8KB per histogram regardless of sample count.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histIndex maps a sample to its bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubs {
+		return int(u)
+	}
+	block := bits.Len64(u) - 1 - histSubBits // octave above the head, >= 0
+	offset := int((u >> uint(block)) & (histSubs - 1))
+	return histSubs + block*histSubs + offset
+}
+
+// histValue returns the midpoint of bucket idx, the representative
+// value quantile reads report.
+func histValue(idx int) int64 {
+	if idx < histSubs {
+		return int64(idx)
+	}
+	block := (idx - histSubs) / histSubs
+	offset := int64((idx - histSubs) % histSubs)
+	lower := (histSubs + offset) << uint(block)
+	width := int64(1) << uint(block)
+	return lower + width/2
+}
+
+// Observe folds one sample into the histogram. Negative samples count
+// as zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest sample observed, exactly (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the midpoint of
+// the bucket holding the nearest rank; ranks landing past every
+// recorded bucket report the exact maximum. 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			if seen >= n { // rank falls in the top occupied bucket
+				return h.max.Load()
+			}
+			return histValue(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Merge folds another histogram into h. Not atomic as a whole: callers
+// merge after the observing goroutines have quiesced (the engine merges
+// per-phase histograms into the run total at report time).
+func (h *Histogram) Merge(o *Histogram) {
+	for i := 0; i < histBuckets; i++ {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		m, om := h.max.Load(), o.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			return
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 //	POST /route  {"deployment", "algorithm", "src", "dst", "path"?}
 //	POST /batch  {"requests": [RouteRequest, ...]}
 //	POST /fail   {"deployment", "nodes": [id, ...]}
+//	POST /revive {"deployment", "nodes": [id, ...]}
 //	GET  /stats
 //
 // Errors are {"error": "..."} with a 4xx/5xx status.
@@ -25,6 +26,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/route", s.handleRoute)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/fail", s.handleFail)
+	mux.HandleFunc("/revive", s.handleRevive)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
@@ -171,6 +173,23 @@ func (s *Service) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Fail(req.Deployment, req.Nodes); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	failed, err := s.Failed(req.Deployment)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, failResponse{Deployment: req.Deployment, Failed: failed})
+}
+
+func (s *Service) handleRevive(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Revive(req.Deployment, req.Nodes); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}

@@ -353,3 +353,90 @@ func TestConcurrentBatchAndFail(t *testing.T) {
 		}
 	}
 }
+
+// TestReviveRestoresAndMatchesFreshSim kills nodes, revives them, and
+// asserts every router agrees with a pristine from-scratch build again
+// (revival drives the safety model's full-relabel repair path).
+func TestReviveRestoresAndMatchesFreshSim(t *testing.T) {
+	s, name := newTestService(t, Config{})
+	pairs := alivePairs(t, s, name, 3)
+	dead := []topo.NodeID{11, 42, 97}
+	if err := s.Fail(name, dead); err != nil {
+		t.Fatal(err)
+	}
+	// Reviving an alive node is a no-op; reviving out of range errors.
+	if err := s.Revive(name, []topo.NodeID{3}); err != nil {
+		t.Fatalf("no-op revive errored: %v", err)
+	}
+	if err := s.Revive(name, []topo.NodeID{topo.NodeID(testSpec.N)}); err == nil {
+		t.Fatal("out-of-range revive accepted")
+	}
+	if err := s.Revive(name, dead); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Failed(name); err != nil || len(got) != 0 {
+		t.Fatalf("Failed() after revive = %v, %v; want empty", got, err)
+	}
+
+	refDep, err := topo.Deploy(topo.DefaultDeployConfig(testSpec.Model, testSpec.N, testSpec.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRouters := s.buildRouters(refDep.Net, safety.Build(refDep.Net),
+		bound.FindHoles(refDep.Net), planar.Build(refDep.Net, planar.GabrielGraph))
+	for _, alg := range Algorithms() {
+		for _, p := range pairs {
+			got, cached, err := s.Route(name, alg, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached {
+				t.Fatalf("%s %v served from cache right after revive", alg, p)
+			}
+			want := refRouters[alg].Route(p[0], p[1])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s %v diverges from pristine substrate after revive:\nserve %+v\nfresh %+v", alg, p, got, want)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.RevivedNodes != int64(len(dead)) {
+		t.Fatalf("RevivedNodes = %d; want %d", st.RevivedNodes, len(dead))
+	}
+	if len(st.PerDeployment) != 1 {
+		t.Fatalf("PerDeployment = %+v; want one entry", st.PerDeployment)
+	}
+	ds := st.PerDeployment[0]
+	// One Fail + one effective Revive = two incremental repairs, two
+	// epoch bumps, no rebuilds, no dead nodes left.
+	if ds.Name != name || !ds.Ready || ds.Repairs != 2 || ds.Rebuilds != 0 || ds.Epoch != 2 || ds.FailedNodes != 0 {
+		t.Fatalf("DeploymentStats = %+v", ds)
+	}
+}
+
+// TestStatsDerivedFields pins the server-side cache hit rate and the
+// rebuild counter under the full-rebuild oracle config.
+func TestStatsDerivedFields(t *testing.T) {
+	s, name := newTestService(t, Config{FullRebuildOnFail: true})
+	pair := alivePairs(t, s, name, 1)[0]
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Route(name, "GF", pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != 3 || st.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d; want 3/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheHitRate != 0.75 {
+		t.Fatalf("CacheHitRate = %v; want 0.75", st.CacheHitRate)
+	}
+	if err := s.Fail(name, []topo.NodeID{5}); err != nil {
+		t.Fatal(err)
+	}
+	ds := s.Stats().PerDeployment[0]
+	if ds.Rebuilds != 1 || ds.Repairs != 0 || ds.FailedNodes != 1 {
+		t.Fatalf("oracle DeploymentStats = %+v; want 1 rebuild", ds)
+	}
+}

@@ -68,6 +68,7 @@ type Service struct {
 	routes   metrics.Counter
 	batches  metrics.Counter
 	failures metrics.Counter
+	revivals metrics.Counter
 }
 
 // New builds a Service.
@@ -102,6 +103,11 @@ type deployment struct {
 	planarg *planar.Graph
 	routers map[string]core.Router
 	failed  map[topo.NodeID]bool
+	// repairs and rebuilds count topology mutations served by the
+	// incremental path vs the from-scratch oracle, exported per
+	// deployment in Stats so workload reports need no client-side math.
+	repairs  atomic.Int64
+	rebuilds atomic.Int64
 }
 
 // Deploy registers a named deployment spec. name may be empty, in which
@@ -316,19 +322,70 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, false)
 		d.failed[u] = true
 	}
+	s.applyTopologyChange(d, fresh)
+	s.failures.Add(int64(len(fresh)))
+	return nil
+}
+
+// Revive brings previously failed nodes of the named deployment back to
+// life — the other half of a churn schedule. Like Fail it repairs the
+// substrates in place (revival takes the safety model's full-relabel
+// path, see core.RepairSubstrates) and invalidates the deployment's
+// cached routes. Reviving a node that is not dead is a no-op.
+func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return err
+	}
+	if err := s.ensureBuilt(d); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	net := d.dep.Net
+	fresh := nodes[:0:0]
+	inCall := make(map[topo.NodeID]bool, len(nodes))
+	for _, u := range nodes {
+		if u < 0 || int(u) >= net.N() {
+			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
+		}
+		if d.failed[u] && !inCall[u] {
+			inCall[u] = true
+			fresh = append(fresh, u)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	for _, u := range fresh {
+		net.SetAlive(u, true)
+		delete(d.failed, u)
+	}
+	s.applyTopologyChange(d, fresh)
+	s.revivals.Add(int64(len(fresh)))
+	return nil
+}
+
+// applyTopologyChange repairs (or, under the FullRebuildOnFail oracle,
+// rebuilds) the substrates after the liveness of changed flipped, bumps
+// the deployment epoch, and purges its cached routes. Callers hold the
+// deployment write lock with SetAlive already applied.
+func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID) {
+	net := d.dep.Net
 	if s.cfg.FullRebuildOnFail {
 		d.model, d.bounds, d.planarg = core.BuildSubstrates(net, true, true, true, nil)
 		d.routers = s.buildRouters(net, d.model, d.bounds, d.planarg)
+		d.rebuilds.Add(1)
 	} else {
 		// In-place repair: the routers keep their substrate pointers.
-		core.RepairSubstrates(d.model, d.bounds, d.planarg, fresh)
+		core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
+		d.repairs.Add(1)
 	}
 	d.epoch.Add(1)
 	if s.cache != nil {
 		s.cache.purgeDeployment(d.name)
 	}
-	s.failures.Add(int64(len(fresh)))
-	return nil
 }
 
 // Failed returns the dead nodes of the named deployment, sorted.
@@ -384,24 +441,47 @@ type Stats struct {
 	Routes         int64 `json:"routes"`
 	Batches        int64 `json:"batches"`
 	FailedNodes    int64 `json:"failed_nodes"`
+	RevivedNodes   int64 `json:"revived_nodes"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
 	CachePurged    int64 `json:"cache_purged"`
 	CacheEntries   int   `json:"cache_entries"`
+	// CacheHitRate is hits/(hits+misses), 0 with no lookups yet —
+	// derived server-side so load reports need no client math.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// PerDeployment breaks the registry down, sorted by name.
+	PerDeployment []DeploymentStats `json:"per_deployment,omitempty"`
+}
+
+// DeploymentStats is the per-deployment slice of Stats: the epoch (how
+// many topology mutations it absorbed), the current dead-node count,
+// and how those mutations were served — incremental repairs vs
+// full-rebuild oracle passes.
+type DeploymentStats struct {
+	Name        string `json:"name"`
+	Ready       bool   `json:"ready"`
+	Epoch       uint64 `json:"epoch"`
+	FailedNodes int    `json:"failed_nodes"`
+	Repairs     int64  `json:"repairs"`
+	Rebuilds    int64  `json:"rebuilds"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.RLock()
-	n := len(s.deps)
+	deps := make([]*deployment, 0, len(s.deps))
+	for _, d := range s.deps {
+		deps = append(deps, d)
+	}
 	s.mu.RUnlock()
 	st := Stats{
-		Deployments: n,
-		Builds:      s.builds.Load(),
-		Routes:      s.routes.Load(),
-		Batches:     s.batches.Load(),
-		FailedNodes: s.failures.Load(),
+		Deployments:  len(deps),
+		Builds:       s.builds.Load(),
+		Routes:       s.routes.Load(),
+		Batches:      s.batches.Load(),
+		FailedNodes:  s.failures.Load(),
+		RevivedNodes: s.revivals.Load(),
 	}
 	if s.cache != nil {
 		st.CacheHits = s.cache.hits.Load()
@@ -409,6 +489,25 @@ func (s *Service) Stats() Stats {
 		st.CacheEvictions = s.cache.evicted.Load()
 		st.CachePurged = s.cache.purged.Load()
 		st.CacheEntries = s.cache.len()
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+		}
 	}
+	for _, d := range deps {
+		d.mu.RLock()
+		failed := len(d.failed)
+		d.mu.RUnlock()
+		st.PerDeployment = append(st.PerDeployment, DeploymentStats{
+			Name:        d.name,
+			Ready:       d.ready.Load(),
+			Epoch:       d.epoch.Load(),
+			FailedNodes: failed,
+			Repairs:     d.repairs.Load(),
+			Rebuilds:    d.rebuilds.Load(),
+		})
+	}
+	sort.Slice(st.PerDeployment, func(i, j int) bool {
+		return st.PerDeployment[i].Name < st.PerDeployment[j].Name
+	})
 	return st
 }

@@ -1,0 +1,30 @@
+// Package workload is the scenario-driven load engine for the routing
+// service: the instrument every scale change is measured with.
+//
+// A Scenario composes four orthogonal pieces:
+//
+//   - an arrival process — closed-loop (fixed concurrency, think
+//     benchmark), open-loop Poisson at a target rate (think sensor
+//     field), or bursty on/off modulation of a Poisson stream (think
+//     event-driven reporting);
+//   - a traffic matrix — uniform random routable pairs, Zipf-skewed
+//     hotspot destinations, or convergecast (every source reports to
+//     its nearest of K sinks, the paper-native many-to-one pattern);
+//   - a churn schedule — timed Fail/Revive events injected mid-run,
+//     driving the incremental substrate-repair path under live load;
+//   - a driver — in-process against a serve.Service, or HTTP against a
+//     running wasnd over keep-alive connections.
+//
+// Run executes a scenario and produces a Report: log-bucketed latency
+// quantiles (p50/p90/p99/p99.9, measured from the request's *intended*
+// arrival time so queueing delay is charged under overload — no
+// coordinated omission), a throughput timeline, per-phase delivery
+// rates split at each churn event, and the server's own counters
+// (cache hit rate, per-deployment repair counts). Reports serialize to
+// JSON for the BENCH_* trajectory files.
+//
+// Scenarios are defined as JSON documents (ParseFile) or taken from
+// the canned presets (Preset): steady, hotspot, convergecast, and
+// churn-storm. cmd/wasnd's -load flag is a thin shim over this
+// package.
+package workload

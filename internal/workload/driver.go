@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Outcome is the per-request result the engine records.
+type Outcome struct {
+	Delivered bool
+	Hops      int
+	Cached    bool
+}
+
+// Driver abstracts where a scenario's requests land: in-process against
+// a serve.Service, or over HTTP against a running wasnd. Route must be
+// safe for concurrent use; Fail/Revive may run concurrently with Route
+// (the serve layer serializes internally — that concurrency is the
+// point of churn-under-load scenarios).
+//
+// A Route error means the request itself failed (unknown deployment,
+// out-of-range node, transport failure) — an *undelivered* route is a
+// successful request whose Outcome.Delivered is false.
+type Driver interface {
+	// Name labels the driver in reports ("inprocess" or "http").
+	Name() string
+	// Deploy registers the deployment and builds its substrates.
+	Deploy(name string, spec DeploymentSpec) (string, error)
+	// Route routes one packet.
+	Route(deployment, algorithm string, src, dst topo.NodeID) (Outcome, error)
+	// Fail kills nodes.
+	Fail(deployment string, nodes []topo.NodeID) error
+	// Revive resurrects nodes.
+	Revive(deployment string, nodes []topo.NodeID) error
+	// Stats snapshots the server counters for the report.
+	Stats() (serve.Stats, error)
+	// Close releases driver resources.
+	Close() error
+}
+
+// InProcess drives a serve.Service directly — no wire, measuring the
+// service layer itself.
+type InProcess struct {
+	svc *serve.Service
+}
+
+// NewInProcess wraps an existing service (the wasnd -load shim passes a
+// freshly configured one).
+func NewInProcess(svc *serve.Service) *InProcess {
+	return &InProcess{svc: svc}
+}
+
+// Name implements Driver.
+func (d *InProcess) Name() string { return "inprocess" }
+
+// Deploy implements Driver.
+func (d *InProcess) Deploy(name string, spec DeploymentSpec) (string, error) {
+	model, err := topo.ParseDeployModel(spec.Model)
+	if err != nil {
+		return "", err
+	}
+	eff, err := d.svc.Deploy(name, serve.Spec{Model: model, N: spec.N, Seed: spec.Seed})
+	if err != nil {
+		return "", err
+	}
+	if err := d.svc.Build(eff); err != nil {
+		return "", err
+	}
+	return eff, nil
+}
+
+// Route implements Driver.
+func (d *InProcess) Route(deployment, algorithm string, src, dst topo.NodeID) (Outcome, error) {
+	res, cached, err := d.svc.Route(deployment, algorithm, src, dst)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Delivered: res.Delivered, Hops: res.Hops(), Cached: cached}, nil
+}
+
+// Fail implements Driver.
+func (d *InProcess) Fail(deployment string, nodes []topo.NodeID) error {
+	return d.svc.Fail(deployment, nodes)
+}
+
+// Revive implements Driver.
+func (d *InProcess) Revive(deployment string, nodes []topo.NodeID) error {
+	return d.svc.Revive(deployment, nodes)
+}
+
+// Stats implements Driver.
+func (d *InProcess) Stats() (serve.Stats, error) { return d.svc.Stats(), nil }
+
+// Close implements Driver.
+func (d *InProcess) Close() error { return nil }
+
+// NewDriver builds the driver a scenario run asks for: "inprocess"
+// (cfg configures the private service) or "http" (target is the wasnd
+// base URL).
+func NewDriver(kind, target string, cfg serve.Config) (Driver, error) {
+	switch kind {
+	case "", "inprocess":
+		return NewInProcess(serve.New(cfg)), nil
+	case "http":
+		if target == "" {
+			return nil, fmt.Errorf("workload: http driver needs a target base URL")
+		}
+		return NewHTTP(target), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown driver %q (want inprocess or http)", kind)
+	}
+}

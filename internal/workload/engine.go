@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// openQueueCap bounds the open-loop dispatch queue. A full queue means
+// the driver cannot absorb the offered rate; further arrivals are shed
+// and counted in Report.Dropped rather than silently deferred (which
+// would turn the open loop back into a closed one).
+const openQueueCap = 1 << 16
+
+// phaseRec accumulates one churn-delimited slice of the run.
+type phaseRec struct {
+	name      string
+	startNS   atomic.Int64 // offset from run start; -1 until activated
+	requests  atomic.Int64
+	delivered atomic.Int64
+	cached    atomic.Int64
+	errors    atomic.Int64
+	hist      metrics.Histogram
+}
+
+// run is the mutable state of one scenario execution.
+type run struct {
+	drv    Driver
+	sc     *Scenario
+	tr     *traffic
+	dep    string
+	start  time.Time
+	phases []*phaseRec
+	cur    atomic.Int64
+	// failed is a copy-on-write snapshot of the dead-node set; pickers
+	// read it lock-free on every draw, the churn goroutine swaps in a
+	// fresh map per event (events are rare, draws are not).
+	failed    atomic.Pointer[map[topo.NodeID]bool]
+	timeline  []atomic.Int64
+	dropped   atomic.Int64
+	errSample atomic.Pointer[string]
+	churn     []AppliedChurn // owned by the churn goroutine
+}
+
+// Run executes one scenario against a driver and returns its report.
+// The scenario is validated (and its defaults filled) first; the
+// deployment is registered and built, warmup requests are routed
+// unrecorded, and then the arrival process runs with the churn
+// schedule firing concurrently.
+func Run(drv Driver, sc *Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := buildTraffic(sc)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := drv.Deploy(sc.Deployment.Name, sc.Deployment)
+	if err != nil {
+		return nil, fmt.Errorf("workload: deploying %s: %w", sc.Name, err)
+	}
+	r := &run{drv: drv, sc: sc, tr: tr, dep: dep}
+	empty := map[topo.NodeID]bool{}
+	r.failed.Store(&empty)
+	if err := r.warmup(); err != nil {
+		return nil, fmt.Errorf("workload: warmup: %w", err)
+	}
+	return r.measure()
+}
+
+func (r *run) alive(u topo.NodeID) bool { return !(*r.failed.Load())[u] }
+
+// routeOnce issues one request and records it into the current phase.
+// t0 is the request's intended start (its arrival time for open loops,
+// charging queueing delay to latency — no coordinated omission).
+func (r *run) routeOnce(t0 time.Time, src, dst topo.NodeID) {
+	out, err := r.drv.Route(r.dep, r.sc.Algorithm, src, dst)
+	ph := r.phases[r.cur.Load()]
+	ph.requests.Add(1)
+	if err != nil {
+		ph.errors.Add(1)
+		msg := err.Error()
+		r.errSample.CompareAndSwap(nil, &msg)
+		return
+	}
+	ph.hist.Observe(int64(time.Since(t0)))
+	if out.Delivered {
+		ph.delivered.Add(1)
+	}
+	if out.Cached {
+		ph.cached.Add(1)
+	}
+	idx := int(time.Since(r.start).Milliseconds()) / r.sc.TimelineBucketMS
+	if idx >= len(r.timeline) {
+		idx = len(r.timeline) - 1
+	}
+	if idx >= 0 {
+		r.timeline[idx].Add(1)
+	}
+}
+
+// warmup routes WarmupRequests without recording: it pays the lazy
+// build (if Deploy didn't) and primes the route cache.
+func (r *run) warmup() error {
+	n := r.sc.WarmupRequests
+	if n == 0 {
+		return nil
+	}
+	conc := min(4, n)
+	var next atomic.Int64
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := r.tr.picker(uint64(1000+w), r.alive)
+			for int(next.Add(1)) <= n {
+				src, dst := pick()
+				if _, err := r.drv.Route(r.dep, r.sc.Algorithm, src, dst); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs the measured portion: arrival process plus churn
+// schedule, then assembles the report.
+func (r *run) measure() (*Report, error) {
+	sc := r.sc
+	r.phases = make([]*phaseRec, len(sc.Churn)+1)
+	for i := range r.phases {
+		r.phases[i] = &phaseRec{name: fmt.Sprintf("phase-%d", i)}
+		r.phases[i].startNS.Store(-1)
+	}
+	r.phases[0].startNS.Store(0)
+
+	buckets := 4096 // closed loop: unknown duration, clamp into the tail
+	if sc.Arrival.Process != ArrivalClosed {
+		buckets = sc.Arrival.DurationMS/sc.TimelineBucketMS + 64
+	}
+	r.timeline = make([]atomic.Int64, buckets)
+
+	r.start = time.Now()
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	if len(sc.Churn) > 0 {
+		go r.runChurn(stopChurn, churnDone)
+	} else {
+		close(churnDone)
+	}
+
+	if sc.Arrival.Process == ArrivalClosed {
+		r.runClosed()
+	} else {
+		r.runOpen()
+	}
+	elapsed := time.Since(r.start)
+	close(stopChurn)
+	<-churnDone
+	return r.report(elapsed)
+}
+
+// runClosed issues exactly Requests requests from Concurrency clients,
+// each starting the next as soon as the last returns.
+func (r *run) runClosed() {
+	sc := r.sc
+	conc := sc.Arrival.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := r.tr.picker(uint64(w), r.alive)
+			for int(next.Add(1)) <= sc.Arrival.Requests {
+				src, dst := pick()
+				r.routeOnce(time.Now(), src, dst)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen paces a Poisson arrival process (optionally on/off modulated)
+// in real time for DurationMS, dispatching arrivals to a worker pool
+// through a bounded queue. Latency is measured from each arrival's
+// scheduled time, so queueing under overload is charged to the request.
+func (r *run) runOpen() {
+	sc := r.sc
+	conc := sc.Arrival.Concurrency
+	if conc <= 0 {
+		conc = 4 * runtime.GOMAXPROCS(0)
+	}
+	queue := make(chan time.Time, openQueueCap)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := r.tr.picker(uint64(w), r.alive)
+			for t0 := range queue {
+				src, dst := pick()
+				r.routeOnce(t0, src, dst)
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewPCG(sc.Seed, 0xa5a5a5a5))
+	duration := time.Duration(sc.Arrival.DurationMS) * time.Millisecond
+	var onTime float64 // cumulative seconds of on-period arrival time
+	for {
+		onTime += rng.ExpFloat64() / sc.Arrival.RateHz
+		offset := r.wallOffset(onTime)
+		if offset >= duration {
+			break
+		}
+		at := r.start.Add(offset)
+		// Sleep coarse, spin fine: time.Sleep routinely oversleeps by
+		// hundreds of microseconds, which would be charged to every
+		// request's latency (t0 is the intended arrival). The final
+		// stretch yields the processor instead of blocking, so workers
+		// keep draining on a single-core box.
+		const spin = 200 * time.Microsecond
+		if d := time.Until(at); d > spin {
+			time.Sleep(d - spin)
+		}
+		for time.Now().Before(at) {
+			runtime.Gosched()
+		}
+		select {
+		case queue <- at:
+		default:
+			r.dropped.Add(1)
+		}
+	}
+	close(queue)
+	wg.Wait()
+}
+
+// wallOffset maps cumulative on-period time to a wall-clock offset:
+// identity for pure Poisson, and stretched around the silent off
+// windows for bursty arrivals (arrivals run at RateHz during on
+// windows, pause during off windows).
+func (r *run) wallOffset(onTime float64) time.Duration {
+	a := r.sc.Arrival
+	if a.Process != ArrivalBursty {
+		return time.Duration(onTime * float64(time.Second))
+	}
+	on := float64(a.OnMS) / 1000
+	cycle := float64(a.OnMS+a.OffMS) / 1000
+	full := int(onTime / on)
+	rem := onTime - float64(full)*on
+	return time.Duration((float64(full)*cycle + rem) * float64(time.Second))
+}
+
+// runChurn fires the schedule: each event fails/revives nodes through
+// the driver, swaps the copy-on-write dead-set snapshot, and opens the
+// next phase.
+func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	rng := rand.New(rand.NewPCG(r.sc.Seed, 0xc0ffee))
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for i, ev := range r.sc.Churn {
+		timer.Reset(time.Duration(ev.AtMS)*time.Millisecond - time.Since(r.start))
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+
+		cur := *r.failed.Load()
+		next := make(map[topo.NodeID]bool, len(cur))
+		for u := range cur {
+			next[u] = true
+		}
+		applied := AppliedChurn{AtMS: ev.AtMS}
+		toFail := append(append([]topo.NodeID{}, ev.Fail...), r.tr.randomVictims(rng, ev.FailRandom, next)...)
+		if len(toFail) > 0 {
+			if err := r.drv.Fail(r.dep, toFail); err != nil {
+				applied.Err = err.Error()
+			} else {
+				applied.Failed = toFail
+				for _, u := range toFail {
+					next[u] = true
+				}
+			}
+		}
+		toRevive := append([]topo.NodeID{}, ev.Revive...)
+		if ev.ReviveAll {
+			for u := range next {
+				toRevive = append(toRevive, u)
+			}
+		}
+		if len(toRevive) > 0 && applied.Err == "" {
+			if err := r.drv.Revive(r.dep, toRevive); err != nil {
+				applied.Err = err.Error()
+			} else {
+				applied.Revived = toRevive
+				for _, u := range toRevive {
+					delete(next, u)
+				}
+			}
+		}
+		r.failed.Store(&next)
+		applied.AppliedMS = float64(time.Since(r.start).Microseconds()) / 1000
+		r.churn = append(r.churn, applied)
+		// Open the next phase: samples recorded from here on belong to
+		// the post-event topology (in-flight requests may straddle the
+		// boundary; with events rare relative to requests the smear is
+		// negligible).
+		r.phases[i+1].startNS.Store(int64(time.Since(r.start)))
+		r.cur.Store(int64(i + 1))
+	}
+}
+
+// report assembles the Report from the accumulated phase records.
+func (r *run) report(elapsed time.Duration) (*Report, error) {
+	sc := r.sc
+	rep := &Report{
+		Scenario:   sc.Name,
+		Driver:     r.drv.Name(),
+		Deployment: r.dep,
+		Algorithm:  sc.Algorithm,
+		Arrival:    sc.Arrival,
+		Traffic:    sc.Traffic,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Dropped:    r.dropped.Load(),
+		Churn:      r.churn,
+	}
+	if sc.Arrival.Process == ArrivalPoisson {
+		rep.OfferedRPS = sc.Arrival.RateHz
+	} else if sc.Arrival.Process == ArrivalBursty {
+		on, off := float64(sc.Arrival.OnMS), float64(sc.Arrival.OffMS)
+		rep.OfferedRPS = sc.Arrival.RateHz * on / (on + off)
+	}
+
+	var total metrics.Histogram
+	var cached int64
+	for i, ph := range r.phases {
+		start := ph.startNS.Load()
+		if start < 0 {
+			continue // churn event never fired (closed loop ended first)
+		}
+		// An event firing in the shutdown window can stamp its phase
+		// just past the measured run; clamp so EndMS >= StartMS.
+		if start > int64(elapsed) {
+			start = int64(elapsed)
+		}
+		end := float64(elapsed)
+		for j := i + 1; j < len(r.phases); j++ {
+			if s := r.phases[j].startNS.Load(); s >= 0 {
+				end = min(float64(s), float64(elapsed))
+				break
+			}
+		}
+		req, del, errs := ph.requests.Load(), ph.delivered.Load(), ph.errors.Load()
+		rep.Requests += req
+		rep.Delivered += del
+		rep.Errors += errs
+		cached += ph.cached.Load()
+		total.Merge(&ph.hist)
+		pr := PhaseReport{
+			Name:      ph.name,
+			StartMS:   float64(start) / 1e6,
+			EndMS:     end / 1e6,
+			Requests:  req,
+			Delivered: del,
+			Errors:    errs,
+			Latency:   latencyFrom(&ph.hist),
+		}
+		if ok := req - errs; ok > 0 {
+			pr.DeliveryRate = float64(del) / float64(ok)
+		}
+		if span := (end - float64(start)) / 1e9; span > 0 {
+			pr.ThroughputRPS = float64(req) / span
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	rep.Latency = latencyFrom(&total)
+	if ok := rep.Requests - rep.Errors; ok > 0 {
+		rep.DeliveryRate = float64(rep.Delivered) / float64(ok)
+		rep.CachedShare = float64(cached) / float64(ok)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / secs
+	}
+	if s := r.errSample.Load(); s != nil {
+		rep.ErrorSample = *s
+	}
+
+	last := len(r.timeline)
+	for last > 0 && r.timeline[last-1].Load() == 0 {
+		last--
+	}
+	for i := 0; i < last; i++ {
+		rep.Timeline = append(rep.Timeline, TimelinePoint{
+			TMS:       int64(i * sc.TimelineBucketMS),
+			Completed: r.timeline[i].Load(),
+		})
+	}
+
+	if st, err := r.drv.Stats(); err == nil {
+		rep.Server = &st
+	}
+
+	if rep.Requests > 0 && rep.Errors == rep.Requests {
+		return rep, fmt.Errorf("workload: every request failed: %s", rep.ErrorSample)
+	}
+	return rep, nil
+}

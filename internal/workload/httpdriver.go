@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// HTTP drives a running wasnd over its JSON API — the service measured
+// over a real wire. The transport keeps connections alive and allows
+// enough idle connections per host that every engine worker reuses its
+// own (connection churn would otherwise dominate small-request
+// latency).
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP builds an HTTP driver against a wasnd base URL, e.g.
+// "http://localhost:8080".
+func NewHTTP(base string) *HTTP {
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTP{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// Name implements Driver.
+func (d *HTTP) Name() string { return "http" }
+
+// post sends one JSON request and decodes the response into out,
+// surfacing the server's {"error": ...} body on non-2xx statuses.
+func (d *HTTP) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("workload: encoding %s request: %w", path, err)
+	}
+	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("workload: POST %s: %w", path, err)
+	}
+	return d.decode(path, resp, out)
+}
+
+func (d *HTTP) decode(path string, resp *http.Response, out any) error {
+	defer func() {
+		// Drain so the keep-alive connection returns to the pool.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("workload: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("workload: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("workload: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Deploy implements Driver.
+func (d *HTTP) Deploy(name string, spec DeploymentSpec) (string, error) {
+	req := map[string]any{
+		"name": name, "model": spec.Model, "n": spec.N, "seed": spec.Seed,
+		"build": true,
+	}
+	var resp struct {
+		Name string `json:"name"`
+	}
+	if err := d.post("/deploy", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.Name, nil
+}
+
+// Route implements Driver.
+func (d *HTTP) Route(deployment, algorithm string, src, dst topo.NodeID) (Outcome, error) {
+	req := serve.RouteRequest{Deployment: deployment, Algorithm: algorithm, Src: src, Dst: dst}
+	var resp serve.RouteResponse
+	if err := d.post("/route", req, &resp); err != nil {
+		return Outcome{}, err
+	}
+	if resp.Err != "" {
+		return Outcome{}, fmt.Errorf("workload: /route: %s", resp.Err)
+	}
+	return Outcome{Delivered: resp.Delivered, Hops: resp.Hops, Cached: resp.Cached}, nil
+}
+
+type churnRequest struct {
+	Deployment string        `json:"deployment"`
+	Nodes      []topo.NodeID `json:"nodes"`
+}
+
+// Fail implements Driver.
+func (d *HTTP) Fail(deployment string, nodes []topo.NodeID) error {
+	return d.post("/fail", churnRequest{Deployment: deployment, Nodes: nodes}, nil)
+}
+
+// Revive implements Driver.
+func (d *HTTP) Revive(deployment string, nodes []topo.NodeID) error {
+	return d.post("/revive", churnRequest{Deployment: deployment, Nodes: nodes}, nil)
+}
+
+// Stats implements Driver.
+func (d *HTTP) Stats() (serve.Stats, error) {
+	resp, err := d.client.Get(d.base + "/stats")
+	if err != nil {
+		return serve.Stats{}, fmt.Errorf("workload: GET /stats: %w", err)
+	}
+	var st serve.Stats
+	if err := d.decode("/stats", resp, &st); err != nil {
+		return serve.Stats{}, err
+	}
+	return st, nil
+}
+
+// Close implements Driver.
+func (d *HTTP) Close() error {
+	d.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Arrival process names.
+const (
+	ArrivalClosed  = "closed"
+	ArrivalPoisson = "poisson"
+	ArrivalBursty  = "bursty"
+)
+
+// Traffic pattern names.
+const (
+	TrafficUniform      = "uniform"
+	TrafficZipf         = "zipf"
+	TrafficConvergecast = "convergecast"
+)
+
+// DeploymentSpec names the deployment a scenario runs against, in the
+// wire vocabulary of the /deploy endpoint.
+type DeploymentSpec struct {
+	// Name is the registry name; empty means the MODEL-N-SEED default.
+	Name string `json:"name,omitempty"`
+	// Model is "ia" or "fa".
+	Model string `json:"model"`
+	// N is the node count.
+	N int `json:"n"`
+	// Seed is the deployment seed.
+	Seed uint64 `json:"seed"`
+}
+
+// Arrival selects and parameterizes the arrival process.
+type Arrival struct {
+	// Process is one of "closed", "poisson", "bursty".
+	Process string `json:"process"`
+	// Requests is the closed-loop total request count.
+	Requests int `json:"requests,omitempty"`
+	// Concurrency is the closed-loop client count, and the worker-pool
+	// size absorbing open-loop arrivals. 0 means GOMAXPROCS for closed
+	// loops and 4x that for open loops (open-loop workers block on the
+	// driver, so the pool must ride out latency spikes to sustain the
+	// offered rate).
+	Concurrency int `json:"concurrency,omitempty"`
+	// RateHz is the open-loop target arrival rate (mean rate of the
+	// Poisson process; the on-period rate for bursty arrivals).
+	RateHz float64 `json:"rate_hz,omitempty"`
+	// DurationMS is the open-loop run length.
+	DurationMS int `json:"duration_ms,omitempty"`
+	// OnMS/OffMS are the bursty on/off period lengths.
+	OnMS  int `json:"on_ms,omitempty"`
+	OffMS int `json:"off_ms,omitempty"`
+}
+
+// Traffic selects and parameterizes the traffic matrix.
+type Traffic struct {
+	// Pattern is one of "uniform", "zipf", "convergecast".
+	Pattern string `json:"pattern"`
+	// Pairs is the uniform pattern's routable-pair pool size (default
+	// 256).
+	Pairs int `json:"pairs,omitempty"`
+	// MinDist is the uniform pattern's minimum source-destination
+	// separation (default 60, the paper's multi-hop regime).
+	MinDist float64 `json:"min_dist,omitempty"`
+	// Hotspots is the zipf pattern's distinct destination count
+	// (default 16); destination popularity is Zipf(ZipfS) over them.
+	Hotspots int `json:"hotspots,omitempty"`
+	// ZipfS is the zipf exponent (> 1, default 1.2).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Sinks is the convergecast sink count (default 4); every other
+	// node sources packets to its nearest sink.
+	Sinks int `json:"sinks,omitempty"`
+}
+
+// ChurnEvent is one timed topology mutation of the schedule.
+type ChurnEvent struct {
+	// AtMS is the event time, an offset from the measured run's start.
+	AtMS int `json:"at_ms"`
+	// Fail lists explicit nodes to kill.
+	Fail []topo.NodeID `json:"fail,omitempty"`
+	// FailRandom kills that many scenario-seeded random alive nodes
+	// (never a convergecast sink or zipf hotspot, so losses measure
+	// the routing fabric, not a dead endpoint).
+	FailRandom int `json:"fail_random,omitempty"`
+	// Revive lists explicit nodes to bring back.
+	Revive []topo.NodeID `json:"revive,omitempty"`
+	// ReviveAll brings back every node failed so far.
+	ReviveAll bool `json:"revive_all,omitempty"`
+}
+
+// Scenario is one complete workload description. The zero value is not
+// runnable; build one via Parse/ParseFile/Preset or fill the fields and
+// Validate.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name       string         `json:"name"`
+	Deployment DeploymentSpec `json:"deployment"`
+	// Algorithm is the routing algorithm under test (serve.Algorithms).
+	Algorithm string  `json:"algorithm"`
+	Arrival   Arrival `json:"arrival"`
+	Traffic   Traffic `json:"traffic"`
+	// Churn is the mutation schedule, sorted by AtMS (Validate sorts).
+	Churn []ChurnEvent `json:"churn,omitempty"`
+	// Seed drives every workload random choice (pair picks, Zipf
+	// draws, FailRandom victims) — same scenario, same traffic.
+	Seed uint64 `json:"seed,omitempty"`
+	// WarmupRequests are routed before measurement starts and are not
+	// recorded (they pay the lazy substrate build and prime the cache).
+	WarmupRequests int `json:"warmup_requests,omitempty"`
+	// TimelineBucketMS is the throughput-timeline resolution (default
+	// 250).
+	TimelineBucketMS int `json:"timeline_bucket_ms,omitempty"`
+}
+
+// Validate checks cross-field consistency, fills defaults, and sorts
+// the churn schedule. It is called by Parse and Run.
+func (sc *Scenario) Validate() error {
+	if _, err := topo.ParseDeployModel(sc.Deployment.Model); err != nil {
+		return fmt.Errorf("workload: deployment: %w", err)
+	}
+	if sc.Deployment.N <= 0 {
+		return fmt.Errorf("workload: deployment: node count must be positive, got %d", sc.Deployment.N)
+	}
+	if sc.Algorithm == "" {
+		return fmt.Errorf("workload: algorithm is required")
+	}
+
+	a := &sc.Arrival
+	switch a.Process {
+	case ArrivalClosed:
+		if a.Requests <= 0 {
+			return fmt.Errorf("workload: closed-loop arrival needs requests > 0")
+		}
+	case ArrivalPoisson, ArrivalBursty:
+		if a.RateHz <= 0 {
+			return fmt.Errorf("workload: %s arrival needs rate_hz > 0", a.Process)
+		}
+		if a.DurationMS <= 0 {
+			return fmt.Errorf("workload: %s arrival needs duration_ms > 0", a.Process)
+		}
+		if a.Process == ArrivalBursty && (a.OnMS <= 0 || a.OffMS <= 0) {
+			return fmt.Errorf("workload: bursty arrival needs on_ms > 0 and off_ms > 0")
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q (want %s, %s, or %s)",
+			a.Process, ArrivalClosed, ArrivalPoisson, ArrivalBursty)
+	}
+
+	tr := &sc.Traffic
+	switch tr.Pattern {
+	case TrafficUniform:
+		if tr.Pairs <= 0 {
+			tr.Pairs = 256
+		}
+		if tr.MinDist <= 0 {
+			tr.MinDist = 60
+		}
+	case TrafficZipf:
+		if tr.Hotspots <= 0 {
+			tr.Hotspots = 16
+		}
+		if tr.ZipfS == 0 {
+			tr.ZipfS = 1.2
+		}
+		if tr.ZipfS <= 1 {
+			return fmt.Errorf("workload: zipf_s must be > 1, got %v", tr.ZipfS)
+		}
+	case TrafficConvergecast:
+		if tr.Sinks <= 0 {
+			tr.Sinks = 4
+		}
+		if tr.Sinks >= sc.Deployment.N {
+			return fmt.Errorf("workload: %d sinks leave no sources among %d nodes", tr.Sinks, sc.Deployment.N)
+		}
+	default:
+		return fmt.Errorf("workload: unknown traffic pattern %q (want %s, %s, or %s)",
+			tr.Pattern, TrafficUniform, TrafficZipf, TrafficConvergecast)
+	}
+
+	for i := range sc.Churn {
+		ev := &sc.Churn[i]
+		if ev.AtMS < 0 {
+			return fmt.Errorf("workload: churn event %d at negative time %d", i, ev.AtMS)
+		}
+		if ev.FailRandom < 0 {
+			return fmt.Errorf("workload: churn event %d: fail_random must be >= 0", i)
+		}
+		if len(ev.Fail) == 0 && len(ev.Revive) == 0 && ev.FailRandom == 0 && !ev.ReviveAll {
+			return fmt.Errorf("workload: churn event %d does nothing", i)
+		}
+		for _, u := range append(append([]topo.NodeID{}, ev.Fail...), ev.Revive...) {
+			if u < 0 || int(u) >= sc.Deployment.N {
+				return fmt.Errorf("workload: churn event %d: node %d out of range [0,%d)", i, u, sc.Deployment.N)
+			}
+		}
+		if a.Process != ArrivalClosed && ev.AtMS >= a.DurationMS {
+			return fmt.Errorf("workload: churn event %d at %dms is past the %dms run", i, ev.AtMS, a.DurationMS)
+		}
+	}
+	sort.SliceStable(sc.Churn, func(i, j int) bool { return sc.Churn[i].AtMS < sc.Churn[j].AtMS })
+
+	if sc.TimelineBucketMS <= 0 {
+		sc.TimelineBucketMS = 250
+	}
+	if sc.WarmupRequests < 0 {
+		return fmt.Errorf("workload: warmup_requests must be >= 0")
+	}
+	return nil
+}
+
+// Parse strictly decodes a scenario JSON document (unknown fields are
+// rejected, like the server's request decoding) and validates it.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("workload: bad scenario JSON: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// ParseFile reads and parses a scenario JSON file.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return sc, nil
+}
+
+// Presets lists the canned scenario names.
+func Presets() []string {
+	return []string{"steady", "hotspot", "convergecast", "churn-storm"}
+}
+
+// Preset returns a canned scenario by name, validated. The presets
+// share one 500-node FA deployment and the paper's SLGF2 router:
+//
+//   - steady: open-loop Poisson at 2000 req/s over uniform pairs — the
+//     baseline operating point.
+//   - hotspot: the same arrivals with Zipf-skewed destinations — a few
+//     nodes absorb most traffic, exercising the route cache.
+//   - convergecast: Poisson many-to-one toward 4 sinks — the
+//     paper-native sensor-field pattern.
+//   - churn-storm: bursty convergecast with nodes dying every second
+//     and a mass revival — the repair path under live load.
+func Preset(name string) (*Scenario, error) {
+	dep := DeploymentSpec{Model: "fa", N: 500, Seed: 42}
+	var sc *Scenario
+	switch name {
+	case "steady":
+		sc = &Scenario{
+			Name:       "steady",
+			Deployment: dep,
+			Algorithm:  "SLGF2",
+			Arrival:    Arrival{Process: ArrivalPoisson, RateHz: 2000, DurationMS: 10000},
+			Traffic:    Traffic{Pattern: TrafficUniform},
+		}
+	case "hotspot":
+		sc = &Scenario{
+			Name:       "hotspot",
+			Deployment: dep,
+			Algorithm:  "SLGF2",
+			Arrival:    Arrival{Process: ArrivalPoisson, RateHz: 2000, DurationMS: 10000},
+			Traffic:    Traffic{Pattern: TrafficZipf},
+		}
+	case "convergecast":
+		sc = &Scenario{
+			Name:       "convergecast",
+			Deployment: dep,
+			Algorithm:  "SLGF2",
+			Arrival:    Arrival{Process: ArrivalPoisson, RateHz: 2000, DurationMS: 10000},
+			Traffic:    Traffic{Pattern: TrafficConvergecast},
+		}
+	case "churn-storm":
+		sc = &Scenario{
+			Name:       "churn-storm",
+			Deployment: dep,
+			Algorithm:  "SLGF2",
+			Arrival:    Arrival{Process: ArrivalBursty, RateHz: 3000, DurationMS: 10000, OnMS: 400, OffMS: 100},
+			Traffic:    Traffic{Pattern: TrafficConvergecast},
+			Churn: []ChurnEvent{
+				{AtMS: 1000, FailRandom: 5},
+				{AtMS: 2000, FailRandom: 5},
+				{AtMS: 3000, FailRandom: 5},
+				{AtMS: 4000, FailRandom: 5},
+				{AtMS: 5000, FailRandom: 5},
+				{AtMS: 6000, FailRandom: 5},
+				{AtMS: 7000, FailRandom: 5},
+				{AtMS: 8000, ReviveAll: true},
+			},
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown preset %q (want one of %v)", name, Presets())
+	}
+	sc.WarmupRequests = 200
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: preset %s: %w", name, err)
+	}
+	return sc, nil
+}

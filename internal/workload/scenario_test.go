@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+func validScenarioJSON() string {
+	return `{
+		"name": "t",
+		"deployment": {"model": "fa", "n": 200, "seed": 7},
+		"algorithm": "SLGF2",
+		"arrival": {"process": "poisson", "rate_hz": 500, "duration_ms": 200},
+		"traffic": {"pattern": "convergecast", "sinks": 3},
+		"churn": [{"at_ms": 100, "fail_random": 2}]
+	}`
+}
+
+func TestParseValidScenario(t *testing.T) {
+	sc, err := Parse([]byte(validScenarioJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Traffic.Sinks != 3 || sc.TimelineBucketMS != 250 {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+}
+
+func TestParseRejectsMalformedAndUnknown(t *testing.T) {
+	cases := map[string]string{
+		"truncated":      `{"name": "x"`,
+		"unknown field":  `{"nope": 1}`,
+		"wrong type":     `{"deployment": {"model": "fa", "n": "many", "seed": 1}}`,
+		"empty document": ``,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"bad model", func(sc *Scenario) { sc.Deployment.Model = "hex" }},
+		{"zero nodes", func(sc *Scenario) { sc.Deployment.N = 0 }},
+		{"no algorithm", func(sc *Scenario) { sc.Algorithm = "" }},
+		{"bad process", func(sc *Scenario) { sc.Arrival.Process = "warp" }},
+		{"poisson no rate", func(sc *Scenario) { sc.Arrival.RateHz = 0 }},
+		{"poisson no duration", func(sc *Scenario) { sc.Arrival.DurationMS = 0 }},
+		{"closed no requests", func(sc *Scenario) { sc.Arrival = Arrival{Process: ArrivalClosed} }},
+		{"bursty no periods", func(sc *Scenario) { sc.Arrival.Process = ArrivalBursty }},
+		{"bad pattern", func(sc *Scenario) { sc.Traffic.Pattern = "broadcast" }},
+		{"zipf exponent", func(sc *Scenario) { sc.Traffic = Traffic{Pattern: TrafficZipf, ZipfS: 0.5} }},
+		{"too many sinks", func(sc *Scenario) { sc.Traffic.Sinks = 200 }},
+		{"empty churn event", func(sc *Scenario) { sc.Churn = []ChurnEvent{{AtMS: 10}} }},
+		{"churn out of range", func(sc *Scenario) { sc.Churn = []ChurnEvent{{AtMS: 10, Fail: []topo.NodeID{999}}} }},
+		{"churn past end", func(sc *Scenario) { sc.Churn = []ChurnEvent{{AtMS: 9999, FailRandom: 1}} }},
+		{"negative churn time", func(sc *Scenario) { sc.Churn = []ChurnEvent{{AtMS: -1, FailRandom: 1}} }},
+	}
+	for _, c := range mutations {
+		sc, err := Parse([]byte(validScenarioJSON()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mut(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestValidateSortsChurn(t *testing.T) {
+	sc, err := Parse([]byte(validScenarioJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Churn = []ChurnEvent{{AtMS: 150, FailRandom: 1}, {AtMS: 50, FailRandom: 1}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Churn[0].AtMS != 50 || sc.Churn[1].AtMS != 150 {
+		t.Fatalf("churn not sorted: %+v", sc.Churn)
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range Presets() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+			continue
+		}
+		if sc.Name != name {
+			t.Errorf("preset %s reports name %q", name, sc.Name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("unknown preset accepted: %v", err)
+	}
+}

@@ -29,17 +29,20 @@
 //	_ = svc.Fail(name, []wasn.NodeID{17})   // kills node 17, invalidates cached routes
 //	http.ListenAndServe(":8080", svc.Handler())
 //
-// Node failures (Service.Fail, Sim.Fail) repair the routing substrates
-// incrementally in place — work scales with the failure neighborhood,
-// not the network — and are differentially tested to match a
-// from-scratch rebuild.
+// Node failures and revivals (Service.Fail, Service.Revive, Sim.Fail)
+// repair the routing substrates incrementally in place — work scales
+// with the failure neighborhood, not the network — and are
+// differentially tested to match a from-scratch rebuild.
 //
 // cmd/wasnd serves the same service over HTTP/JSON (/deploy, /route,
-// /batch, /fail, /stats) and ships a load-generator mode (wasnd -load)
-// reporting routes/sec and latency percentiles; see cmd/wasnd/README.md
-// for the endpoint reference with curl examples, and ARCHITECTURE.md at
-// the repository root for the package graph, the substrate
-// build/repair lifecycle, and the cache invalidation story.
+// /batch, /fail, /revive, /stats) and ships a scenario-driven load
+// mode (wasnd -load, internal/workload): open-loop and bursty arrival
+// processes, uniform/Zipf/convergecast traffic matrices, and timed
+// churn schedules, driven in-process or over HTTP, reporting latency
+// percentiles and per-phase delivery; see cmd/wasnd/README.md for the
+// endpoint reference and scenario format, and ARCHITECTURE.md at the
+// repository root for the package graph, the substrate build/repair
+// lifecycle, and the cache invalidation story.
 package wasn
 
 import (
