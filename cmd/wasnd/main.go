@@ -20,6 +20,18 @@
 //	wasnd -load -preset convergecast
 //	wasnd -load -scenario examples/scenarios/churn-storm.json -out report.json
 //	wasnd -load -preset steady -driver http -target http://localhost:8080
+//
+// Sweep mode runs a scenario at a ladder of offered rates
+// (internal/sweep) and emits a CapacityCurve JSON locating the
+// capacity knee and p99 cliff, optionally gating against a baseline
+// curve; record/replay capture a run's exact (src, dst, intended-at)
+// request stream plus churn firings to a JSONL trace and re-issue it
+// bit-for-bit:
+//
+//	wasnd -sweep examples/scenarios/sweep-capacity.json -out curve.json
+//	wasnd -sweep .github/perf/sweep-ci.json -baseline .github/perf/baseline-curve.json -normalize
+//	wasnd -load -preset steady -record steady.trace.jsonl
+//	wasnd -replay steady.trace.jsonl -verify
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"time"
 
 	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/sweep"
 	"github.com/straightpath/wasn/internal/workload"
 )
 
@@ -58,9 +71,21 @@ func run(args []string, out io.Writer) error {
 		load     = fs.Bool("load", false, "run the workload engine instead of serving")
 		preset   = fs.String("preset", "steady", "load: canned scenario (steady, hotspot, convergecast, churn-storm)")
 		scenario = fs.String("scenario", "", "load: scenario JSON file (overrides -preset)")
-		driver   = fs.String("driver", "inprocess", "load: inprocess or http")
-		target   = fs.String("target", "", "load: wasnd base URL for -driver http")
-		outFile  = fs.String("out", "", "load: write the JSON report here too")
+		driver   = fs.String("driver", "inprocess", "load/sweep/replay: inprocess or http")
+		target   = fs.String("target", "", "load/sweep/replay: wasnd base URL for -driver http")
+		outFile  = fs.String("out", "", "load/sweep/replay: write the JSON report (or capacity curve) here too")
+
+		sweepCfg = fs.String("sweep", "", "run a capacity sweep from this config JSON file instead of serving")
+		baseline = fs.String("baseline", "", "sweep: compare the curve against this baseline curve JSON; regressions exit nonzero")
+		p99Tol   = fs.Float64("p99-tol", 0, "sweep: allowed fractional p99 regression at the baseline knee rung (0 = 0.25)")
+		delTol   = fs.Float64("delivery-tol", 0, "sweep: allowed fractional delivery regression (0 = 0.25)")
+		kneeTol  = fs.Float64("knee-tol", 0, "sweep: allowed fractional capacity-knee shrink (0 = 0.25)")
+		normal   = fs.Bool("normalize", false, "sweep: compare p99 normalized to each curve's lightest rung (machine-speed independent)")
+
+		record  = fs.String("record", "", "load/replay: write the run's (src,dst,at) request + churn trace to this JSONL file")
+		replayF = fs.String("replay", "", "replay this recorded trace instead of serving")
+		verify  = fs.Bool("verify", false, "replay: exit nonzero unless outcome counts match the trace's recorded summary")
+		paced   = fs.Bool("paced", false, "replay: re-issue requests at their recorded arrival times instead of as fast as possible")
 
 		model = fs.String("model", "", "load: override the scenario's deployment model")
 		n     = fs.Int("n", 0, "load: override the scenario's node count")
@@ -75,13 +100,34 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := serve.Config{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb}
-	if *load {
+	// The three run modes are mutually exclusive, and flags a mode
+	// cannot honor are an error, not a silent no-op — a script asking
+	// for a trace must not get a green exit and a missing file.
+	if *sweepCfg != "" && (*load || *replayF != "") {
+		return fmt.Errorf("-sweep is exclusive with -load and -replay")
+	}
+	if *load && *replayF != "" {
+		return fmt.Errorf("-load is exclusive with -replay")
+	}
+	if *sweepCfg != "" && *record != "" {
+		return fmt.Errorf("-record applies to -load and -replay runs, not -sweep")
+	}
+	if (*verify || *paced) && *replayF == "" {
+		return fmt.Errorf("-verify and -paced apply only to -replay")
+	}
+	switch {
+	case *sweepCfg != "":
+		tol := sweep.Tolerance{P99Frac: *p99Tol, DeliveryFrac: *delTol, KneeFrac: *kneeTol, Normalize: *normal}
+		return runSweep(out, *sweepCfg, *driver, *target, *outFile, *baseline, tol, cfg)
+	case *replayF != "":
+		return runReplay(out, *replayF, *driver, *target, *outFile, *record, *verify, *paced, cfg)
+	case *load:
 		sc, err := loadScenario(*scenario, *preset)
 		if err != nil {
 			return err
 		}
 		applyOverrides(sc, *model, *n, *seed, *alg, *rate, *durMS, *reqs, *conc)
-		return runLoad(out, sc, *driver, *target, *outFile, cfg)
+		return runLoad(out, sc, *driver, *target, *outFile, *record, cfg)
 	}
 	return serveHTTP(cfg, *addr)
 }
@@ -154,30 +200,152 @@ func applyOverrides(sc *workload.Scenario, model string, n int, seed uint64, alg
 	}
 }
 
-// runLoad executes the scenario, prints the human summary, and writes
-// the full JSON report to -out when given.
-func runLoad(out io.Writer, sc *workload.Scenario, driver, target, outFile string, cfg serve.Config) error {
+// runLoad executes the scenario, prints the human summary, writes the
+// full JSON report to -out and the trace to -record when given, and
+// exits nonzero when the engine reported request errors or shed load —
+// a smoke job must not pass on a failing run.
+func runLoad(out io.Writer, sc *workload.Scenario, driver, target, outFile, recordFile string, cfg serve.Config) error {
 	drv, err := workload.NewDriver(driver, target, cfg)
 	if err != nil {
 		return err
 	}
 	defer drv.Close()
+	var rec *workload.Recorder
+	if recordFile != "" {
+		rec = workload.NewRecorder(drv)
+		drv = rec
+	}
 	fmt.Fprintf(out, "wasnd load: scenario %s, driver %s\n", sc.Name, drv.Name())
 	rep, err := workload.Run(drv, sc)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, rep.Summary())
+	if err := writeArtifacts(out, rep, rec, outFile, recordFile); err != nil {
+		return err
+	}
+	return reportExitErr(rep)
+}
+
+// runReplay re-issues a recorded trace, optionally verifying the
+// outcome against the trace's summary and re-recording it.
+func runReplay(out io.Writer, traceFile, driver, target, outFile, recordFile string, verify, paced bool, cfg serve.Config) error {
+	tr, err := workload.ReadTraceFile(traceFile)
+	if err != nil {
+		return err
+	}
+	drv, err := workload.NewDriver(driver, target, cfg)
+	if err != nil {
+		return err
+	}
+	defer drv.Close()
+	var rec *workload.Recorder
+	if recordFile != "" {
+		rec = workload.NewRecorder(drv)
+		drv = rec
+	}
+	fmt.Fprintf(out, "wasnd replay: %s (%d events), driver %s\n", traceFile, len(tr.Events), drv.Name())
+	rep, err := workload.Replay(drv, tr, workload.ReplayOptions{Paced: paced})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if err := writeArtifacts(out, rep, rec, outFile, recordFile); err != nil {
+		return err
+	}
+	if verify {
+		// -verify makes summary agreement the exit criterion: a trace
+		// recorded from a run that itself had request errors must exit
+		// zero when the replay reproduces those errors exactly —
+		// that's a faithful reproduction, not a failure.
+		if err := tr.VerifySummary(rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "replay verified: outcome counts match the recorded run")
+		return nil
+	}
+	return reportExitErr(rep)
+}
+
+// runSweep runs the capacity ladder, writes the curve artifact, and
+// gates against a baseline curve when one is given.
+func runSweep(out io.Writer, cfgFile, driver, target, outFile, baselineFile string, tol sweep.Tolerance, svcCfg serve.Config) error {
+	cfg, err := sweep.ParseConfigFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	drv, err := workload.NewDriver(driver, target, svcCfg)
+	if err != nil {
+		return err
+	}
+	defer drv.Close()
+	fmt.Fprintf(out, "wasnd sweep: %s, %d rungs %.0f..%.0f req/s (%s), driver %s\n",
+		cfg.Name, cfg.Steps, cfg.MinRateHz, cfg.MaxRateHz, cfg.Mode, drv.Name())
+	curve, err := sweep.Run(drv, cfg, sweep.Options{Progress: func(r sweep.Rung) {
+		fmt.Fprintf(out, "  rung %7.0f req/s: achieved %7.0f, delivered %.2f%%, p99 %.1fus\n",
+			r.OfferedRPS, r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, curve.Summary())
+	if outFile != "" {
+		if err := curve.WriteFile(outFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "curve written to %s\n", outFile)
+	}
+	if baselineFile != "" {
+		base, err := sweep.ParseCurveFile(baselineFile)
+		if err != nil {
+			return err
+		}
+		if regs := sweep.Compare(curve, base, tol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(out, "REGRESSION: %s\n", r)
+			}
+			return fmt.Errorf("%d perf regression(s) against %s", len(regs), baselineFile)
+		}
+		fmt.Fprintf(out, "no regressions against %s\n", baselineFile)
+	}
+	return nil
+}
+
+// writeArtifacts persists the report (-out) and trace (-record) files.
+func writeArtifacts(out io.Writer, rep *workload.Report, rec *workload.Recorder, outFile, recordFile string) error {
 	if outFile != "" {
 		f, err := os.Create(outFile)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "report written to %s\n", outFile)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(recordFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", recordFile)
+	}
+	return nil
+}
+
+// reportExitErr maps a completed run's failure counters to a nonzero
+// exit: request errors always, shed arrivals because an overloaded
+// open loop is a failed run for CI purposes (the report itself still
+// prints and persists first).
+func reportExitErr(rep *workload.Report) error {
+	if rep.Errors > 0 {
+		return fmt.Errorf("run completed with %d request errors (first: %s)", rep.Errors, rep.ErrorSample)
+	}
+	if rep.Dropped > 0 {
+		return fmt.Errorf("run shed %d arrivals: offered load exceeded what the driver could absorb", rep.Dropped)
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/sweep"
+	"github.com/straightpath/wasn/internal/workload"
+)
+
+// TestReportExitErr pins the -load exit-code contract: request errors
+// and shed load surface as a nonzero exit, a clean run does not.
+func TestReportExitErr(t *testing.T) {
+	if err := reportExitErr(&workload.Report{Requests: 10, Delivered: 10}); err != nil {
+		t.Fatalf("clean run mapped to exit error: %v", err)
+	}
+	err := reportExitErr(&workload.Report{Requests: 10, Errors: 2, ErrorSample: "boom"})
+	if err == nil || !strings.Contains(err.Error(), "2 request errors") {
+		t.Fatalf("request errors not surfaced: %v", err)
+	}
+	err = reportExitErr(&workload.Report{Requests: 10, Dropped: 5})
+	if err == nil || !strings.Contains(err.Error(), "shed 5") {
+		t.Fatalf("shed load not surfaced: %v", err)
+	}
+}
+
+// TestLoadRecordReplayCLI runs the full CLI loop: -load -record a tiny
+// run, then -replay -verify the trace — the perf-gate's replay leg.
+func TestLoadRecordReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.trace.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-load", "-preset", "steady", "-n", "300", "-seed", "7",
+		"-rate", "800", "-duration", "300", "-record", trace}, &out)
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "trace written to") {
+		t.Fatalf("no trace confirmation in output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-replay", trace, "-verify"}, &out); err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay verified") {
+		t.Fatalf("replay did not verify:\n%s", out.String())
+	}
+}
+
+// TestSweepCLI runs a tiny sweep through the CLI, checks the curve
+// artifact, and gates a second sweep against it as its own baseline.
+func TestSweepCLI(t *testing.T) {
+	dir := t.TempDir()
+	cfgFile := filepath.Join(dir, "sweep.json")
+	curveFile := filepath.Join(dir, "curve.json")
+	cfg := `{
+  "name": "cli-tiny",
+  "scenario": {
+    "name": "cli-tiny",
+    "deployment": {"model": "fa", "n": 300, "seed": 7},
+    "algorithm": "SLGF2",
+    "arrival": {"process": "poisson", "rate_hz": 500, "duration_ms": 150},
+    "traffic": {"pattern": "uniform", "pairs": 64},
+    "warmup_requests": 100
+  },
+  "min_rate_hz": 500,
+  "max_rate_hz": 2000,
+  "steps": 3
+}`
+	if err := os.WriteFile(cfgFile, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", cfgFile, "-out", curveFile}, &out); err != nil {
+		t.Fatalf("sweep: %v\n%s", err, out.String())
+	}
+	curve, err := sweep.ParseCurveFile(curveFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Rungs) != 3 {
+		t.Fatalf("curve has %d rungs; want 3", len(curve.Rungs))
+	}
+	// Gate a fresh sweep against the curve we just produced. The p99
+	// band is deliberately huge: open-loop tail latency is scheduler-
+	// noisy on a loaded single-core box, and this test pins the gate
+	// *plumbing* — the band arithmetic itself is pinned in
+	// internal/sweep's Compare tests.
+	out.Reset()
+	if err := run([]string{"-sweep", cfgFile, "-baseline", curveFile, "-p99-tol", "50"}, &out); err != nil {
+		t.Fatalf("self-baseline gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("no gate confirmation in output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance bands a curve comparison. Zero fields default to 0.25
+// (fail on >25% regression), the CI perf-gate band.
+type Tolerance struct {
+	// P99Frac is the allowed fractional p99 increase at the compared
+	// rung.
+	P99Frac float64 `json:"p99_frac,omitempty"`
+	// DeliveryFrac is the allowed fractional delivery-rate decrease.
+	DeliveryFrac float64 `json:"delivery_frac,omitempty"`
+	// KneeFrac is the allowed fractional decrease of the knee rate
+	// (capacity shrink).
+	KneeFrac float64 `json:"knee_frac,omitempty"`
+	// Normalize compares p99 as a multiple of each curve's own first
+	// (lightest) rung instead of absolutely. Absolute microseconds are
+	// machine-speed-dependent; the normalized ratio — how much latency
+	// degrades between light load and the compared rung — is the shape
+	// of the curve and transfers across hosts, so the CI gate uses it.
+	Normalize bool `json:"normalize,omitempty"`
+}
+
+func (t *Tolerance) defaults() {
+	if t.P99Frac <= 0 {
+		t.P99Frac = 0.25
+	}
+	if t.DeliveryFrac <= 0 {
+		t.DeliveryFrac = 0.25
+	}
+	if t.KneeFrac <= 0 {
+		t.KneeFrac = 0.25
+	}
+}
+
+// Compare checks a freshly measured curve against a baseline and
+// returns one message per regression outside the tolerance bands
+// (empty: the gate passes). The comparison anchors at the baseline's
+// knee rung — the last operating point that matters — falling back to
+// the baseline's top rung when the baseline never saturated, and also
+// flags a knee that moved down by more than the knee band.
+func Compare(cur, base *CapacityCurve, tol Tolerance) []string {
+	tol.defaults()
+	var regressions []string
+	if len(base.Rungs) == 0 || len(cur.Rungs) == 0 {
+		return []string{"sweep: empty curve"}
+	}
+
+	anchor := base.KneeRung
+	if anchor < 0 {
+		anchor = len(base.Rungs) - 1
+	}
+	bR := base.Rungs[anchor]
+	cR := matchRung(cur, bR.OfferedRPS)
+	if cR == nil {
+		regressions = append(regressions,
+			fmt.Sprintf("no rung at the baseline's %.0f req/s anchor (ladders diverged)", bR.OfferedRPS))
+		return regressions
+	}
+
+	baseP99, curP99 := bR.Latency.P99us, cR.Latency.P99us
+	unit := "us"
+	if tol.Normalize {
+		b0, c0 := base.Rungs[0].Latency.P99us, cur.Rungs[0].Latency.P99us
+		if b0 > 0 && c0 > 0 {
+			baseP99, curP99 = baseP99/b0, curP99/c0
+			unit = "x light-load p99"
+		}
+	}
+	if baseP99 > 0 && curP99 > baseP99*(1+tol.P99Frac) {
+		regressions = append(regressions,
+			fmt.Sprintf("p99 at %.0f req/s regressed %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
+				bR.OfferedRPS, 100*(curP99/baseP99-1), baseP99, curP99, unit, 100*tol.P99Frac))
+	}
+	if cR.DeliveryRate < bR.DeliveryRate*(1-tol.DeliveryFrac) {
+		regressions = append(regressions,
+			fmt.Sprintf("delivery at %.0f req/s regressed %.1f%% (%.4f -> %.4f, band %.0f%%)",
+				bR.OfferedRPS, 100*(1-cR.DeliveryRate/bR.DeliveryRate), bR.DeliveryRate, cR.DeliveryRate, 100*tol.DeliveryFrac))
+	}
+	// Capacity checks. Delivery above only covers processed requests;
+	// a collapse sheds or under-achieves instead, so the anchor rung
+	// saturating (or shedding) where the baseline's did not is its own
+	// regression — this is the live check when the baseline never
+	// saturated (KneeRung -1) and the knee-shrink band can't anchor.
+	if (cR.Saturated || cR.Dropped > 0) && !bR.Saturated && bR.Dropped == 0 {
+		regressions = append(regressions,
+			fmt.Sprintf("capacity at %.0f req/s collapsed: achieved %.0f, shed %d (baseline achieved %.0f cleanly)",
+				bR.OfferedRPS, cR.AchievedRPS, cR.Dropped, bR.AchievedRPS))
+	}
+	switch {
+	case base.KneeRung < 0 && cur.KneeRung >= 0:
+		regressions = append(regressions,
+			fmt.Sprintf("curve now has a capacity knee at %.0f req/s; the baseline absorbed its whole ladder", cur.KneeRPS))
+	case base.KneeRung >= 0 && cur.KneeRung >= 0 && cur.KneeRPS < base.KneeRPS*(1-tol.KneeFrac):
+		regressions = append(regressions,
+			fmt.Sprintf("capacity knee moved down %.1f%% (%.0f -> %.0f req/s, band %.0f%%)",
+				100*(1-cur.KneeRPS/base.KneeRPS), base.KneeRPS, cur.KneeRPS, 100*tol.KneeFrac))
+	}
+	return regressions
+}
+
+// matchRung finds the rung nearest an offered rate, within 10%
+// relative. Exact for shared geometric ladders; approximate by design
+// for bisect-mode baselines, whose refined rung rates depend on each
+// run's measured saturation bracket and never line up exactly.
+func matchRung(c *CapacityCurve, offered float64) *Rung {
+	var best *Rung
+	bestGap := 0.10 * offered
+	for i := range c.Rungs {
+		if gap := math.Abs(c.Rungs[i].OfferedRPS - offered); gap <= bestGap {
+			best, bestGap = &c.Rungs[i], gap
+		}
+	}
+	return best
+}

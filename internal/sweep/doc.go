@@ -1,0 +1,20 @@
+// Package sweep locates a deployment's capacity envelope: it runs one
+// scenario at a ladder of offered rates through internal/workload,
+// collects each rung's achieved throughput, latency quantiles,
+// delivery rate, and cached share into a CapacityCurve, and detects
+// the two operating-point landmarks a single load run cannot see —
+// the capacity knee (the first rung where achieved throughput falls a
+// tolerance fraction below the offered rate) and the p99 cliff (the
+// first rung whose p99 latency explodes relative to the light-load
+// floor).
+//
+// Ladders are geometric between MinRateHz and MaxRateHz; "bisect" mode
+// additionally refines the knee by adaptive bisection between the last
+// unsaturated and first saturated rung. Curves serialize to one JSON
+// artifact comparable across builds: Compare checks a fresh curve
+// against a checked-in baseline with tolerance bands, which is exactly
+// what the CI perf-gate job does (see .github/workflows/ci.yml).
+//
+// cmd/wasnd exposes the engine as `wasnd -sweep config.json`; a config
+// example lives in examples/scenarios/.
+package sweep

@@ -1,0 +1,268 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/straightpath/wasn/internal/topo"
+	"github.com/straightpath/wasn/internal/workload"
+)
+
+// Ladder modes.
+const (
+	ModeGeometric = "geometric"
+	ModeBisect    = "bisect"
+)
+
+// Config describes one capacity sweep: a base scenario whose open-loop
+// rate is swept over a ladder of offered rates.
+type Config struct {
+	// Name labels the curve artifact.
+	Name string `json:"name"`
+	// Scenario is the base workload; its arrival process must be
+	// open-loop (poisson or bursty — the swept axis is rate_hz).
+	Scenario workload.Scenario `json:"scenario"`
+	// MinRateHz..MaxRateHz bound the ladder.
+	MinRateHz float64 `json:"min_rate_hz"`
+	MaxRateHz float64 `json:"max_rate_hz"`
+	// Steps is the geometric ladder's rung count (>= 2).
+	Steps int `json:"steps"`
+	// Mode is "geometric" (default) or "bisect" — geometric ladder plus
+	// adaptive bisection refining the knee between the last unsaturated
+	// and first saturated rung.
+	Mode string `json:"mode,omitempty"`
+	// BisectIters is the number of bisection refinements (default 3).
+	BisectIters int `json:"bisect_iters,omitempty"`
+	// RungDurationMS overrides the scenario's duration per rung.
+	RungDurationMS int `json:"rung_duration_ms,omitempty"`
+	// KneeTolerance is the saturation band: a rung is saturated when
+	// achieved < offered × (1 − KneeTolerance). Default 0.1.
+	KneeTolerance float64 `json:"knee_tolerance,omitempty"`
+	// CliffFactor flags the p99 cliff: the first rung whose p99 is at
+	// least CliffFactor × the smallest p99 of any earlier rung. Default 3.
+	CliffFactor float64 `json:"cliff_factor,omitempty"`
+	// StopOnCollapse ends the ladder early once a rung achieves less
+	// than half its offered rate — the curve past total collapse only
+	// costs wall-clock. The curve records how many rungs were skipped.
+	StopOnCollapse bool `json:"stop_on_collapse,omitempty"`
+}
+
+// Validate checks the config and fills defaults.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		c.Name = c.Scenario.Name
+	}
+	p := c.Scenario.Arrival.Process
+	if p != workload.ArrivalPoisson && p != workload.ArrivalBursty {
+		return fmt.Errorf("sweep: arrival process %q is not open-loop (the sweep axis is rate_hz)", p)
+	}
+	if c.RungDurationMS > 0 {
+		c.Scenario.Arrival.DurationMS = c.RungDurationMS
+	}
+	if c.Scenario.Arrival.RateHz == 0 {
+		c.Scenario.Arrival.RateHz = c.MinRateHz
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if c.MinRateHz <= 0 || c.MaxRateHz < c.MinRateHz {
+		return fmt.Errorf("sweep: need 0 < min_rate_hz <= max_rate_hz, got [%v, %v]", c.MinRateHz, c.MaxRateHz)
+	}
+	if c.Steps < 2 {
+		return fmt.Errorf("sweep: need steps >= 2, got %d", c.Steps)
+	}
+	switch c.Mode {
+	case "":
+		c.Mode = ModeGeometric
+	case ModeGeometric, ModeBisect:
+	default:
+		return fmt.Errorf("sweep: unknown mode %q (want %s or %s)", c.Mode, ModeGeometric, ModeBisect)
+	}
+	if c.BisectIters <= 0 {
+		c.BisectIters = 3
+	}
+	if c.KneeTolerance <= 0 {
+		c.KneeTolerance = 0.1
+	}
+	if c.CliffFactor <= 1 {
+		c.CliffFactor = 3
+	}
+	return nil
+}
+
+// ParseConfig strictly decodes a sweep config JSON document and
+// validates it.
+func ParseConfig(data []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("sweep: bad config JSON: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// ParseConfigFile reads and parses a sweep config file.
+func ParseConfigFile(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	c, err := ParseConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return c, nil
+}
+
+// Options tune a sweep run.
+type Options struct {
+	// Progress, when non-nil, is called after each rung completes.
+	Progress func(r Rung)
+}
+
+// Run executes the ladder against one driver and assembles the curve.
+// All rungs share the driver (and therefore the deployment and its
+// route cache — the cached share per rung is part of the curve); any
+// churn a rung leaves behind is revived before the next rung so every
+// rung starts from the pristine topology.
+func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	curve := &CapacityCurve{
+		Name:          cfg.Name,
+		Scenario:      cfg.Scenario.Name,
+		Driver:        drv.Name(),
+		Deployment:    cfg.Scenario.Deployment,
+		Algorithm:     cfg.Scenario.Algorithm,
+		Mode:          cfg.Mode,
+		KneeTolerance: cfg.KneeTolerance,
+		CliffFactor:   cfg.CliffFactor,
+	}
+
+	for i, rate := range ladder(cfg.MinRateHz, cfg.MaxRateHz, cfg.Steps) {
+		r, err := runRung(drv, cfg, rate, i)
+		if err != nil {
+			return nil, err
+		}
+		curve.Rungs = append(curve.Rungs, r)
+		if opt.Progress != nil {
+			opt.Progress(r)
+		}
+		if cfg.StopOnCollapse && r.AchievedRPS < rate/2 {
+			curve.SkippedRungs = cfg.Steps - i - 1
+			break
+		}
+	}
+
+	curve.detect()
+	if cfg.Mode == ModeBisect && curve.KneeRung > 0 {
+		if err := bisect(drv, cfg, curve, opt); err != nil {
+			return nil, err
+		}
+	}
+	return curve, nil
+}
+
+// ladder returns the geometric rate ladder, endpoints included.
+func ladder(lo, hi float64, steps int) []float64 {
+	rates := make([]float64, steps)
+	ratio := hi / lo
+	for i := range rates {
+		rates[i] = lo * math.Pow(ratio, float64(i)/float64(steps-1))
+	}
+	rates[steps-1] = hi
+	return rates
+}
+
+// runRung executes the base scenario at one offered rate and distills
+// the rung. The scenario value is copied per rung (Run mutates it);
+// the churn schedule is shared read-only and any nodes it left dead
+// are revived afterwards.
+func runRung(drv workload.Driver, cfg *Config, rate float64, idx int) (Rung, error) {
+	sc := cfg.Scenario // copy
+	sc.Name = fmt.Sprintf("%s@%.0f", cfg.Scenario.Name, rate)
+	sc.Arrival.RateHz = rate
+	sc.Churn = append([]workload.ChurnEvent(nil), cfg.Scenario.Churn...)
+	if idx > 0 {
+		// The first rung paid the build and primed the cache; repeating
+		// the warmup every rung would only re-skew the cached share.
+		sc.WarmupRequests = 0
+	}
+	rep, err := workload.Run(drv, &sc)
+	if err != nil {
+		return Rung{}, fmt.Errorf("sweep: rung at %.0f req/s: %w", rate, err)
+	}
+	if err := reviveResidual(drv, rep); err != nil {
+		return Rung{}, fmt.Errorf("sweep: restoring topology after rung at %.0f req/s: %w", rate, err)
+	}
+	return Rung{
+		OfferedRPS:   rep.OfferedRPS,
+		AchievedRPS:  rep.ThroughputRPS,
+		Requests:     rep.Requests,
+		Dropped:      rep.Dropped,
+		Errors:       rep.Errors,
+		DeliveryRate: rep.DeliveryRate,
+		CachedShare:  rep.CachedShare,
+		Latency:      rep.Latency,
+		ElapsedMS:    rep.ElapsedMS,
+	}, nil
+}
+
+// reviveResidual brings back every node the rung's churn schedule left
+// dead, so rungs stay comparable.
+func reviveResidual(drv workload.Driver, rep *workload.Report) error {
+	dead := map[topo.NodeID]bool{}
+	for _, ev := range rep.Churn {
+		for _, u := range ev.Failed {
+			dead[u] = true
+		}
+		for _, u := range ev.Revived {
+			delete(dead, u)
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	nodes := make([]topo.NodeID, 0, len(dead))
+	for u := range dead {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return drv.Revive(rep.Deployment, nodes)
+}
+
+// bisect refines the knee between the last unsaturated and first
+// saturated rung, re-detecting landmarks after each inserted rung.
+func bisect(drv workload.Driver, cfg *Config, curve *CapacityCurve, opt Options) error {
+	for i := 0; i < cfg.BisectIters; i++ {
+		k := curve.KneeRung
+		if k <= 0 {
+			return nil
+		}
+		lo, hi := curve.Rungs[k-1].OfferedRPS, curve.Rungs[k].OfferedRPS
+		mid := math.Sqrt(lo * hi) // geometric midpoint, matching the ladder
+		if hi/lo < 1.05 {
+			return nil // knee bracketed within 5%, good enough
+		}
+		r, err := runRung(drv, cfg, mid, 1)
+		if err != nil {
+			return err
+		}
+		curve.Rungs = append(curve.Rungs, r)
+		sort.Slice(curve.Rungs, func(a, b int) bool { return curve.Rungs[a].OfferedRPS < curve.Rungs[b].OfferedRPS })
+		curve.detect()
+		if opt.Progress != nil {
+			opt.Progress(r)
+		}
+	}
+	return nil
+}

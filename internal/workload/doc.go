@@ -27,4 +27,12 @@
 // the canned presets (Preset): steady, hotspot, convergecast, and
 // churn-storm. cmd/wasnd's -load flag is a thin shim over this
 // package.
+//
+// Runs can be captured and reproduced: a Recorder wrapped around
+// either driver persists the exact (src, dst, intended-at) request
+// stream and the churn firings to a time-sorted JSONL trace, and
+// Replay re-issues a trace bit-for-bit — churn lines act as barriers,
+// so replay outcomes are deterministic and a regression seen once can
+// be replayed against any build (cmd/wasnd -record / -replay;
+// internal/sweep builds its capacity ladders on the same engine).
 package workload

@@ -46,6 +46,10 @@ type run struct {
 	dropped   atomic.Int64
 	errSample atomic.Pointer[string]
 	churn     []AppliedChurn // owned by the churn goroutine
+	// rec is non-nil when the driver is a *Recorder: the engine feeds
+	// it each request's intended arrival offset (the Driver interface
+	// carries no timestamps).
+	rec *Recorder
 }
 
 // Run executes one scenario against a driver and returns its report.
@@ -66,6 +70,10 @@ func Run(drv Driver, sc *Scenario) (*Report, error) {
 		return nil, fmt.Errorf("workload: deploying %s: %w", sc.Name, err)
 	}
 	r := &run{drv: drv, sc: sc, tr: tr, dep: dep}
+	if rec, ok := drv.(*Recorder); ok {
+		r.rec = rec
+		rec.begin(TraceHeader{Scenario: sc.Name, Deploy: sc.Deployment, Algorithm: sc.Algorithm, Seed: sc.Seed})
+	}
 	empty := map[topo.NodeID]bool{}
 	r.failed.Store(&empty)
 	if err := r.warmup(); err != nil {
@@ -78,9 +86,14 @@ func (r *run) alive(u topo.NodeID) bool { return !(*r.failed.Load())[u] }
 
 // routeOnce issues one request and records it into the current phase.
 // t0 is the request's intended start (its arrival time for open loops,
-// charging queueing delay to latency — no coordinated omission).
-func (r *run) routeOnce(t0 time.Time, src, dst topo.NodeID) {
+// charging queueing delay to latency — no coordinated omission); at is
+// the same instant as an offset from the run start, the timestamp the
+// trace recorder persists.
+func (r *run) routeOnce(t0 time.Time, at time.Duration, src, dst topo.NodeID) {
 	out, err := r.drv.Route(r.dep, r.sc.Algorithm, src, dst)
+	if r.rec != nil {
+		r.rec.record(at, src, dst, out, err)
+	}
 	ph := r.phases[r.cur.Load()]
 	ph.requests.Add(1)
 	if err != nil {
@@ -139,22 +152,37 @@ func (r *run) warmup() error {
 	return nil
 }
 
-// measure runs the measured portion: arrival process plus churn
-// schedule, then assembles the report.
-func (r *run) measure() (*Report, error) {
-	sc := r.sc
-	r.phases = make([]*phaseRec, len(sc.Churn)+1)
+// initPhases sets up the phase records (one per expected churn
+// boundary plus the initial phase; startNS -1 marks a phase whose
+// boundary never fired) and the throughput timeline. Shared by the
+// scenario engine and trace replay so their report shapes cannot
+// drift apart.
+func (r *run) initPhases(churnBoundaries, timelineBuckets int) {
+	r.phases = make([]*phaseRec, churnBoundaries+1)
 	for i := range r.phases {
 		r.phases[i] = &phaseRec{name: fmt.Sprintf("phase-%d", i)}
 		r.phases[i].startNS.Store(-1)
 	}
 	r.phases[0].startNS.Store(0)
+	r.timeline = make([]atomic.Int64, timelineBuckets)
+}
 
+// openPhase stamps phase i as starting now and directs subsequent
+// samples into it.
+func (r *run) openPhase(i int) {
+	r.phases[i].startNS.Store(int64(time.Since(r.start)))
+	r.cur.Store(int64(i))
+}
+
+// measure runs the measured portion: arrival process plus churn
+// schedule, then assembles the report.
+func (r *run) measure() (*Report, error) {
+	sc := r.sc
 	buckets := 4096 // closed loop: unknown duration, clamp into the tail
 	if sc.Arrival.Process != ArrivalClosed {
 		buckets = sc.Arrival.DurationMS/sc.TimelineBucketMS + 64
 	}
-	r.timeline = make([]atomic.Int64, buckets)
+	r.initPhases(len(sc.Churn), buckets)
 
 	r.start = time.Now()
 	stopChurn := make(chan struct{})
@@ -193,7 +221,8 @@ func (r *run) runClosed() {
 			pick := r.tr.picker(uint64(w), r.alive)
 			for int(next.Add(1)) <= sc.Arrival.Requests {
 				src, dst := pick()
-				r.routeOnce(time.Now(), src, dst)
+				now := time.Now()
+				r.routeOnce(now, now.Sub(r.start), src, dst)
 			}
 		}(w)
 	}
@@ -219,7 +248,7 @@ func (r *run) runOpen() {
 			pick := r.tr.picker(uint64(w), r.alive)
 			for t0 := range queue {
 				src, dst := pick()
-				r.routeOnce(t0, src, dst)
+				r.routeOnce(t0, t0.Sub(r.start), src, dst)
 			}
 		}(w)
 	}
@@ -327,12 +356,19 @@ func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 		r.failed.Store(&next)
 		applied.AppliedMS = float64(time.Since(r.start).Microseconds()) / 1000
 		r.churn = append(r.churn, applied)
+		if r.rec != nil {
+			// Recorded at the *scheduled* offset, not the applied wall
+			// time: re-recording a replay then reproduces the original
+			// churn lines bit-for-bit.
+			at := time.Duration(ev.AtMS) * time.Millisecond
+			r.rec.recordChurn(at, traceKindFail, applied.Failed)
+			r.rec.recordChurn(at, traceKindRevive, applied.Revived)
+		}
 		// Open the next phase: samples recorded from here on belong to
 		// the post-event topology (in-flight requests may straddle the
 		// boundary; with events rare relative to requests the smear is
 		// negligible).
-		r.phases[i+1].startNS.Store(int64(time.Since(r.start)))
-		r.cur.Store(int64(i + 1))
+		r.openPhase(i + 1)
 	}
 }
 

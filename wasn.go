@@ -43,6 +43,13 @@
 // endpoint reference and scenario format, and ARCHITECTURE.md at the
 // repository root for the package graph, the substrate build/repair
 // lifecycle, and the cache invalidation story.
+//
+// Capacity is located rather than guessed: RunSweep (wasnd -sweep,
+// internal/sweep) runs a scenario at a ladder of offered rates and
+// emits a CapacityCurve marking the capacity knee and the p99 cliff,
+// and scenario runs can be recorded to a (src, dst, intended-at)
+// trace and replayed bit-for-bit on another build (wasnd -record /
+// -replay) — the substrate of the CI perf-regression gate.
 package wasn
 
 import (
@@ -54,7 +61,9 @@ import (
 	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/sweep"
 	"github.com/straightpath/wasn/internal/topo"
+	"github.com/straightpath/wasn/internal/workload"
 )
 
 // Model selects a deployment model of §5.
@@ -226,6 +235,46 @@ func NewService(cfg ...ServiceConfig) *Service {
 
 // ServiceAlgorithms lists the algorithm names a Service routes with.
 func ServiceAlgorithms() []string { return serve.Algorithms() }
+
+// Scenario is one complete workload description: a deployment, an
+// arrival process, a traffic matrix, and an optional churn schedule.
+// Build one as a literal, or parse a JSON file with
+// workload.ParseFile via cmd/wasnd.
+type Scenario = workload.Scenario
+
+// LoadReport is the outcome of one scenario run: latency quantiles
+// measured from intended arrivals, per-churn-phase delivery, a
+// throughput timeline, and the server's own counters.
+type LoadReport = workload.Report
+
+// RunScenario executes one workload scenario against a private
+// in-process routing service and returns its report. cmd/wasnd -load
+// exposes the same engine with driver selection (in-process or HTTP)
+// and trace recording.
+func RunScenario(sc *Scenario) (*LoadReport, error) {
+	drv := workload.NewInProcess(serve.New(serve.Config{}))
+	defer drv.Close()
+	return workload.Run(drv, sc)
+}
+
+// SweepConfig describes a capacity sweep: a base open-loop scenario
+// run at a geometric (or knee-bisecting) ladder of offered rates.
+type SweepConfig = sweep.Config
+
+// CapacityCurve is a sweep's single JSON artifact: per-rung achieved
+// throughput, latency quantiles, delivery rate, and cached share,
+// plus the detected capacity knee and p99 cliff. Curves from two
+// builds are comparable with sweep.Compare — the CI perf gate.
+type CapacityCurve = sweep.CapacityCurve
+
+// RunSweep runs a capacity sweep against a private in-process routing
+// service and returns the curve. cmd/wasnd -sweep exposes the same
+// engine with driver selection and baseline gating.
+func RunSweep(cfg *SweepConfig) (*CapacityCurve, error) {
+	drv := workload.NewInProcess(serve.New(serve.Config{}))
+	defer drv.Close()
+	return sweep.Run(drv, cfg, sweep.Options{})
+}
 
 // RunFigure regenerates one paper figure (5, 6, or 7) for the given
 // model and returns the table as text. networks and pairs scale the
