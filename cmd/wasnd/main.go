@@ -11,6 +11,16 @@
 //	curl -d '{"deployment":"FA-500-42","nodes":[17,23]}' localhost:8080/fail
 //	curl localhost:8080/stats
 //
+// The server is observable first-class: /metrics serves a
+// Prometheus-style text exposition, /traces the sampled route decision
+// traces (-trace-sample, plus per-request traces via "trace": true on
+// /route), -pprof mounts net/http/pprof, and -log-level/-log-format
+// select structured slog output with per-request IDs:
+//
+//	wasnd -addr :8080 -pprof -trace-sample 64 -stretch-sample 16 -log-format json -log-level debug
+//	curl localhost:8080/metrics
+//	wasnd -check-metrics http://localhost:8080/metrics   # CI gate: required series present?
+//
 // Load mode is a thin shim over the internal/workload scenario engine:
 // canned presets or scenario JSON files compose an arrival process
 // (closed-loop, open-loop Poisson, bursty), a traffic matrix (uniform,
@@ -40,13 +50,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	rpprof "runtime/pprof"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/sweep"
 	"github.com/straightpath/wasn/internal/workload"
@@ -67,6 +81,15 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "route cache shards (0 = default)")
 		workers   = fs.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
 		fullRb    = fs.Bool("full-rebuild", false, "rebuild substrates from scratch on /fail and /revive instead of repairing incrementally (differential oracle)")
+
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat = fs.String("log-format", "text", "log output: text or json")
+		pprofOn   = fs.Bool("pprof", false, "server mode: also serve net/http/pprof under /debug/pprof/")
+		traceN    = fs.Int("trace-sample", 0, "sample every Nth computed route into the /traces ring (0 disables)")
+		stretchN  = fs.Int("stretch-sample", 0, "sample every Nth delivered route for hop stretch vs the ideal min-hop path (0 disables)")
+		cpuProf   = fs.String("cpuprofile", "", "load/sweep/replay: write a CPU profile of the run here")
+		progressF = fs.Bool("progress", false, "load/sweep: stream live progress lines to stderr")
+		checkURL  = fs.String("check-metrics", "", "scrape this /metrics URL, verify the required series exist, and exit (CI gate)")
 
 		load     = fs.Bool("load", false, "run the workload engine instead of serving")
 		preset   = fs.String("preset", "steady", "load: canned scenario (steady, hotspot, convergecast, churn-storm)")
@@ -99,10 +122,20 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := serve.Config{CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb}
-	// The three run modes are mutually exclusive, and flags a mode
-	// cannot honor are an error, not a silent no-op — a script asking
-	// for a trace must not get a green exit and a missing file.
+	cfg := serve.Config{
+		CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb,
+		TraceSampleEvery: *traceN, StretchSampleEvery: *stretchN,
+	}
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	// The run modes are mutually exclusive, and flags a mode cannot
+	// honor are an error, not a silent no-op — a script asking for a
+	// trace must not get a green exit and a missing file.
+	if *checkURL != "" && (*load || *replayF != "" || *sweepCfg != "") {
+		return fmt.Errorf("-check-metrics is exclusive with -load, -sweep and -replay")
+	}
 	if *sweepCfg != "" && (*load || *replayF != "") {
 		return fmt.Errorf("-sweep is exclusive with -load and -replay")
 	}
@@ -115,33 +148,138 @@ func run(args []string, out io.Writer) error {
 	if (*verify || *paced) && *replayF == "" {
 		return fmt.Errorf("-verify and -paced apply only to -replay")
 	}
+	var prog io.Writer
+	if *progressF {
+		prog = os.Stderr
+	}
 	switch {
+	case *checkURL != "":
+		return runCheckMetrics(out, *checkURL)
 	case *sweepCfg != "":
 		tol := sweep.Tolerance{P99Frac: *p99Tol, DeliveryFrac: *delTol, KneeFrac: *kneeTol, Normalize: *normal}
-		return runSweep(out, *sweepCfg, *driver, *target, *outFile, *baseline, tol, cfg)
+		return withCPUProfile(*cpuProf, func() error {
+			return runSweep(out, prog, *sweepCfg, *driver, *target, *outFile, *baseline, tol, cfg)
+		})
 	case *replayF != "":
-		return runReplay(out, *replayF, *driver, *target, *outFile, *record, *verify, *paced, cfg)
+		return withCPUProfile(*cpuProf, func() error {
+			return runReplay(out, *replayF, *driver, *target, *outFile, *record, *verify, *paced, cfg)
+		})
 	case *load:
 		sc, err := loadScenario(*scenario, *preset)
 		if err != nil {
 			return err
 		}
 		applyOverrides(sc, *model, *n, *seed, *alg, *rate, *durMS, *reqs, *conc)
-		return runLoad(out, sc, *driver, *target, *outFile, *record, cfg)
+		return withCPUProfile(*cpuProf, func() error {
+			return runLoad(out, prog, sc, *driver, *target, *outFile, *record, cfg)
+		})
 	}
-	return serveHTTP(cfg, *addr)
+	return serveHTTP(logger, cfg, *addr, *pprofOn)
+}
+
+// newLogger builds the process logger from the -log-level and
+// -log-format flags.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// withCPUProfile brackets f with a runtime/pprof CPU profile when a
+// path was given (the artifact the CI sweep job uploads).
+func withCPUProfile(path string, f func() error) error {
+	if path == "" {
+		return f()
+	}
+	fp, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := rpprof.StartCPUProfile(fp); err != nil {
+		fp.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	runErr := f()
+	rpprof.StopCPUProfile()
+	if err := fp.Close(); err != nil && runErr == nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	return runErr
+}
+
+// requiredMetricFamilies is the exposition contract a healthy wasnd
+// must satisfy once it has built a deployment and served routes —
+// the -check-metrics CI gate. Cache and churn families are excluded:
+// they legitimately stay absent when the cache is disabled or no node
+// has failed.
+var requiredMetricFamilies = []string{
+	"wasn_http_requests_total",
+	"wasn_http_request_duration_us",
+	"wasn_deployments",
+	"wasn_substrate_builds_total",
+	"wasn_build_duration_us",
+	"wasn_routes_total",
+	"wasn_routes_computed_total",
+	"wasn_route_hops",
+	"wasn_route_phase_hops_total",
+	"wasn_traces_recorded_total",
+}
+
+// runCheckMetrics scrapes one exposition and gates on the required
+// series being present — the mid-run CI probe that fails the build
+// when the observability surface rots.
+func runCheckMetrics(out io.Writer, url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("check-metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("check-metrics: %s: HTTP %d", url, resp.StatusCode)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("check-metrics: %s: %w", url, err)
+	}
+	if missing := obs.MissingSeries(samples, requiredMetricFamilies); len(missing) > 0 {
+		return fmt.Errorf("check-metrics: %s: missing required series: %v", url, missing)
+	}
+	fmt.Fprintf(out, "metrics ok: %d series scraped, all %d required families present\n",
+		len(samples), len(requiredMetricFamilies))
+	return nil
 }
 
 // serveHTTP runs the server until SIGINT/SIGTERM, then drains in-flight
 // requests via http.Server.Shutdown so HTTP-mode load runs end cleanly.
-func serveHTTP(cfg serve.Config, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: serve.New(cfg).Handler()}
+// The service handler is wrapped in request-ID logging middleware;
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
+func serveHTTP(logger *slog.Logger, cfg serve.Config, addr string, withPprof bool) error {
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.New(cfg).Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: addr, Handler: requestLog(logger, mux)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("wasnd listening on %s", addr)
+		logger.Info("wasnd listening", "addr", addr, "pprof", withPprof)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
@@ -149,7 +287,7 @@ func serveHTTP(cfg serve.Config, addr string) error {
 		return err
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills hard
-		log.Printf("wasnd: draining (up to 10s)")
+		logger.Info("wasnd draining", "timeout", "10s")
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
@@ -158,9 +296,43 @@ func serveHTTP(cfg serve.Config, addr string) error {
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		log.Printf("wasnd: drained cleanly")
+		logger.Info("wasnd drained cleanly")
 		return nil
 	}
+}
+
+// requestLog assigns each request a sequential ID (echoed in the
+// X-Request-Id response header so a client error report names the
+// exact server-side log line) and logs method, path, status and
+// latency at debug level.
+func requestLog(logger *slog.Logger, next http.Handler) http.Handler {
+	var seq atomic.Uint64
+	debugOn := logger.Enabled(context.Background(), slog.LevelDebug)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%08x", seq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		if !debugOn {
+			next.ServeHTTP(w, r)
+			return
+		}
+		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(lw, r)
+		logger.Debug("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", lw.status, "dur_us", time.Since(start).Microseconds())
+	})
+}
+
+// loggingWriter captures the response status for the request log.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // loadScenario resolves -scenario (a JSON file) or -preset.
@@ -204,7 +376,7 @@ func applyOverrides(sc *workload.Scenario, model string, n int, seed uint64, alg
 // full JSON report to -out and the trace to -record when given, and
 // exits nonzero when the engine reported request errors or shed load —
 // a smoke job must not pass on a failing run.
-func runLoad(out io.Writer, sc *workload.Scenario, driver, target, outFile, recordFile string, cfg serve.Config) error {
+func runLoad(out, prog io.Writer, sc *workload.Scenario, driver, target, outFile, recordFile string, cfg serve.Config) error {
 	drv, err := workload.NewDriver(driver, target, cfg)
 	if err != nil {
 		return err
@@ -216,7 +388,7 @@ func runLoad(out io.Writer, sc *workload.Scenario, driver, target, outFile, reco
 		drv = rec
 	}
 	fmt.Fprintf(out, "wasnd load: scenario %s, driver %s\n", sc.Name, drv.Name())
-	rep, err := workload.Run(drv, sc)
+	rep, err := workload.RunWith(drv, sc, workload.Options{Progress: prog})
 	if err != nil {
 		return err
 	}
@@ -269,7 +441,7 @@ func runReplay(out io.Writer, traceFile, driver, target, outFile, recordFile str
 
 // runSweep runs the capacity ladder, writes the curve artifact, and
 // gates against a baseline curve when one is given.
-func runSweep(out io.Writer, cfgFile, driver, target, outFile, baselineFile string, tol sweep.Tolerance, svcCfg serve.Config) error {
+func runSweep(out, prog io.Writer, cfgFile, driver, target, outFile, baselineFile string, tol sweep.Tolerance, svcCfg serve.Config) error {
 	cfg, err := sweep.ParseConfigFile(cfgFile)
 	if err != nil {
 		return err
@@ -281,10 +453,13 @@ func runSweep(out io.Writer, cfgFile, driver, target, outFile, baselineFile stri
 	defer drv.Close()
 	fmt.Fprintf(out, "wasnd sweep: %s, %d rungs %.0f..%.0f req/s (%s), driver %s\n",
 		cfg.Name, cfg.Steps, cfg.MinRateHz, cfg.MaxRateHz, cfg.Mode, drv.Name())
-	curve, err := sweep.Run(drv, cfg, sweep.Options{Progress: func(r sweep.Rung) {
-		fmt.Fprintf(out, "  rung %7.0f req/s: achieved %7.0f, delivered %.2f%%, p99 %.1fus\n",
-			r.OfferedRPS, r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
-	}})
+	curve, err := sweep.Run(drv, cfg, sweep.Options{
+		Progress: func(r sweep.Rung) {
+			fmt.Fprintf(out, "  rung %7.0f req/s: achieved %7.0f, delivered %.2f%%, p99 %.1fus\n",
+				r.OfferedRPS, r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
+		},
+		ProgressWriter: prog,
+	})
 	if err != nil {
 		return err
 	}

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/sweep"
 	"github.com/straightpath/wasn/internal/workload"
 )
@@ -95,5 +99,63 @@ func TestSweepCLI(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no regressions") {
 		t.Fatalf("no gate confirmation in output:\n%s", out.String())
+	}
+}
+
+// TestCheckMetricsCLI drives a tiny HTTP-mode load against an in-test
+// wasnd handler (with a CPU profile and live progress on), then runs
+// the -check-metrics gate against its exposition — the exact probe the
+// CI smoke job performs mid-run.
+func TestCheckMetricsCLI(t *testing.T) {
+	svc := serve.New(serve.Config{TraceSampleEvery: 4, StretchSampleEvery: 4})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	profFile := filepath.Join(dir, "cpu.pprof")
+	var out bytes.Buffer
+	err := run([]string{"-load", "-preset", "steady", "-n", "300", "-seed", "7",
+		"-rate", "800", "-duration", "300",
+		"-driver", "http", "-target", ts.URL,
+		"-cpuprofile", profFile, "-progress"}, &out)
+	if err != nil {
+		t.Fatalf("load over http: %v\n%s", err, out.String())
+	}
+	if st, err := os.Stat(profFile); err != nil || st.Size() == 0 {
+		t.Fatalf("-cpuprofile wrote nothing: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-check-metrics", ts.URL + "/metrics"}, &out); err != nil {
+		t.Fatalf("check-metrics gate failed on a healthy server: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "metrics ok") {
+		t.Fatalf("no gate confirmation:\n%s", out.String())
+	}
+
+	// An exposition missing the contract series must fail the gate.
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "# HELP up up\n# TYPE up gauge\nup 1\n")
+	}))
+	defer empty.Close()
+	if err := run([]string{"-check-metrics", empty.URL + "/metrics"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "missing required series") {
+		t.Fatalf("gate passed an exposition without the contract series: %v", err)
+	}
+}
+
+// TestFlagValidation pins the new flags' rejection paths: bad log
+// flags and -check-metrics mode exclusivity are errors, not no-ops.
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-log-level", "shouty"}, &out); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("bad -log-level accepted: %v", err)
+	}
+	if err := run([]string{"-log-format", "xml"}, &out); err == nil || !strings.Contains(err.Error(), "-log-format") {
+		t.Fatalf("bad -log-format accepted: %v", err)
+	}
+	if err := run([]string{"-check-metrics", "http://x/metrics", "-load"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "exclusive") {
+		t.Fatalf("-check-metrics combined with -load accepted: %v", err)
 	}
 }

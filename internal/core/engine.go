@@ -133,7 +133,9 @@ const defaultPathCap = 64
 
 // drive runs the per-hop loop for one packet, appending the traveled
 // path into pathBuf[:0] (allocating a fresh buffer when pathBuf is nil).
-func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int, pathBuf []topo.NodeID) Result {
+// obs, when non-nil, receives every hop decision as it is made; the
+// nil check is the only cost of the hook on unobserved routes.
+func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int, pathBuf []topo.NodeID, obs HopObserver) Result {
 	var res Result
 	if !net.Alive(src) || !net.Alive(dst) {
 		res.Reason = DropNoCandidate
@@ -170,6 +172,9 @@ func drive(net *topo.Network, alg algorithm, src, dst topo.NodeID, ttlFactor int
 		}
 		res.Length += net.Dist(st.cur, next)
 		res.PhaseHops[st.phase]++
+		if obs != nil {
+			obs.ObserveHop(len(path), st.cur, next, st.phase)
+		}
 		st.prev = st.cur
 		st.cur = next
 		path = append(path, next)

@@ -22,6 +22,7 @@ type GF struct {
 }
 
 var _ Router = (*GF)(nil)
+var _ ObservedRouter = (*GF)(nil)
 
 // NewGF returns a GF router using the given boundary information (which
 // may be nil; every detour then uses the ray-sweep fallback).
@@ -39,9 +40,14 @@ func (r *GF) Route(src, dst topo.NodeID) Result {
 
 // RouteInto implements Router.
 func (r *GF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	return r.RouteObserved(src, dst, pathBuf, nil)
+}
+
+// RouteObserved implements ObservedRouter.
+func (r *GF) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
 	a := gfAlgPool.Get().(*gfAlg)
 	a.b = r.b
-	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf, obs)
 	a.b = nil
 	gfAlgPool.Put(a)
 	return res

@@ -21,6 +21,7 @@ type GPSR struct {
 }
 
 var _ Router = (*GPSR)(nil)
+var _ ObservedRouter = (*GPSR)(nil)
 
 // NewGPSR returns a GPSR router over net using the given planar subgraph
 // (typically planar.Build(net, planar.GabrielGraph)).
@@ -38,13 +39,18 @@ func (r *GPSR) Route(src, dst topo.NodeID) Result {
 
 // RouteInto implements Router.
 func (r *GPSR) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	return r.RouteObserved(src, dst, pathBuf, nil)
+}
+
+// RouteObserved implements ObservedRouter.
+func (r *GPSR) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
 	a := gpsrAlgPool.Get().(*gpsrAlg)
 	a.g = r.g
 	a.perimeter = false
 	a.stuckPos = geom.Point{}
 	a.stuckDist = 0
 	clear(a.visited)
-	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf, obs)
 	a.g = nil
 	gpsrAlgPool.Put(a)
 	return res

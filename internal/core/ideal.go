@@ -22,6 +22,7 @@ type Ideal struct {
 }
 
 var _ Router = (*Ideal)(nil)
+var _ ObservedRouter = (*Ideal)(nil)
 
 // NewIdeal returns the reference router.
 func NewIdeal(net *topo.Network, kind IdealKind) *Ideal {
@@ -63,5 +64,18 @@ func (r *Ideal) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
 	res.Delivered = true
 	res.Length = r.net.PathLength(path)
 	res.PhaseHops[PhaseGreedy] = len(path) - 1
+	return res
+}
+
+// RouteObserved implements ObservedRouter. The reference router has no
+// per-hop decision procedure — the whole path is computed at once — so
+// every hop of the found path is reported as a greedy decision.
+func (r *Ideal) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
+	res := r.RouteInto(src, dst, pathBuf)
+	if obs != nil {
+		for i := 1; i < len(res.Path); i++ {
+			obs.ObserveHop(i, res.Path[i-1], res.Path[i], PhaseGreedy)
+		}
+	}
 	return res
 }

@@ -16,6 +16,7 @@ type LGF struct {
 }
 
 var _ Router = (*LGF)(nil)
+var _ ObservedRouter = (*LGF)(nil)
 
 // NewLGF returns an LGF router over net.
 func NewLGF(net *topo.Network) *LGF { return &LGF{net: net} }
@@ -31,7 +32,12 @@ func (r *LGF) Route(src, dst topo.NodeID) Result {
 // RouteInto implements Router. lgfAlg is stateless and zero-size, so the
 // interface conversion does not allocate.
 func (r *LGF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
-	return drive(r.net, lgfAlg{}, src, dst, r.TTLFactor, pathBuf)
+	return drive(r.net, lgfAlg{}, src, dst, r.TTLFactor, pathBuf, nil)
+}
+
+// RouteObserved implements ObservedRouter.
+func (r *LGF) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
+	return drive(r.net, lgfAlg{}, src, dst, r.TTLFactor, pathBuf, obs)
 }
 
 type lgfAlg struct{}

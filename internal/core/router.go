@@ -150,6 +150,33 @@ type Router interface {
 	RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result
 }
 
+// HopObserver receives every hop decision of an observed route as it
+// is made: hop seq (1-based), the nodes involved, and the phase that
+// selected it. Observers must not route through the same router
+// recursively and must not retain references past the Route call.
+//
+// The observer hook is the zero-cost-when-off tracing path: routers
+// consult it with one nil check per hop, so routing without an
+// observer performs exactly as before (the 0 allocs/op benchmarks
+// pin this). The trace package's pooled Recorder is the canonical
+// implementation; the serve layer samples it at a configurable rate
+// and wires it to /route?trace=true.
+type HopObserver interface {
+	// ObserveHop reports that hop seq moved the packet from->to under
+	// phase.
+	ObserveHop(seq int, from, to topo.NodeID, phase Phase)
+}
+
+// ObservedRouter extends Router with per-hop decision observation.
+// Every router in this package implements it; external callers
+// type-assert from Router.
+type ObservedRouter interface {
+	Router
+	// RouteObserved is RouteInto with every hop decision reported to
+	// obs (nil behaves exactly like RouteInto).
+	RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result
+}
+
 // Hand selects the ray-rotation direction of detour sweeps. The paper's
 // "right-hand rule" [2] rotates the ray ud counter-clockwise until the
 // first untried neighbor is hit (Algorithm 1); the left-hand rule is the

@@ -22,6 +22,7 @@ type SLGF struct {
 }
 
 var _ Router = (*SLGF)(nil)
+var _ ObservedRouter = (*SLGF)(nil)
 
 // NewSLGF returns an SLGF router over net using the prebuilt model.
 func NewSLGF(net *topo.Network, m *safety.Model) *SLGF {
@@ -38,9 +39,14 @@ func (r *SLGF) Route(src, dst topo.NodeID) Result {
 
 // RouteInto implements Router.
 func (r *SLGF) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	return r.RouteObserved(src, dst, pathBuf, nil)
+}
+
+// RouteObserved implements ObservedRouter.
+func (r *SLGF) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
 	a := slgfAlgPool.Get().(*slgfAlg)
 	a.m = r.m
-	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf)
+	res := drive(r.net, a, src, dst, r.TTLFactor, pathBuf, obs)
 	a.m = nil
 	slgfAlgPool.Put(a)
 	return res

@@ -44,6 +44,7 @@ type SLGF2 struct {
 }
 
 var _ Router = (*SLGF2)(nil)
+var _ ObservedRouter = (*SLGF2)(nil)
 
 // SLGF2Option configures ablation variants of SLGF2.
 type SLGF2Option func(*SLGF2)
@@ -119,6 +120,11 @@ func (r *SLGF2) Route(src, dst topo.NodeID) Result {
 
 // RouteInto implements Router.
 func (r *SLGF2) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
+	return r.RouteObserved(src, dst, pathBuf, nil)
+}
+
+// RouteObserved implements ObservedRouter.
+func (r *SLGF2) RouteObserved(src, dst topo.NodeID, pathBuf []topo.NodeID, obs HopObserver) Result {
 	alg := slgf2AlgPool.Get().(*slgf2Alg)
 	alg.reset(r)
 	if !r.disableShapeInfo && r.net.Alive(src) && r.net.Alive(dst) {
@@ -128,7 +134,7 @@ func (r *SLGF2) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
 		// the packet orbiting the unsafe area.
 		alg.confine = r.m.AllUnsafe(src) || r.m.AllUnsafe(dst)
 	}
-	res := drive(r.net, alg, src, dst, r.TTLFactor, pathBuf)
+	res := drive(r.net, alg, src, dst, r.TTLFactor, pathBuf, obs)
 	alg.r = nil
 	slgf2AlgPool.Put(alg)
 	return res

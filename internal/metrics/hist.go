@@ -133,6 +133,34 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// Buckets calls f for every non-empty bucket in ascending value order
+// with the bucket's inclusive upper bound and its count — the
+// exposition hook the obs package renders as cumulative Prometheus
+// buckets. Like Quantile, a call concurrent with observers sees a
+// slightly stale but internally consistent view.
+func (h *Histogram) Buckets(f func(upper, count int64)) {
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		f(histUpper(i), c)
+	}
+}
+
+// histUpper returns the inclusive upper bound of bucket idx: the
+// largest sample value histIndex maps into it.
+func histUpper(idx int) int64 {
+	if idx < histSubs {
+		return int64(idx)
+	}
+	block := (idx - histSubs) / histSubs
+	offset := int64((idx - histSubs) % histSubs)
+	lower := (histSubs + offset) << uint(block)
+	width := int64(1) << uint(block)
+	return lower + width - 1
+}
+
 // Merge folds another histogram into h. Not atomic as a whole: callers
 // merge after the observing goroutines have quiesced (the engine merges
 // per-phase histograms into the run total at report time).

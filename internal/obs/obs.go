@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/straightpath/wasn/internal/metrics"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+// Kinds, matching the Prometheus # TYPE vocabulary.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Desc names one metric family for the exposition headers.
+type Desc struct {
+	// Name is the family name ("wasn_routes_total").
+	Name string
+	// Help is the one-line # HELP text.
+	Help string
+	// Kind selects the # TYPE line.
+	Kind Kind
+}
+
+// Label is one key="value" pair of a sample.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one exposition line of a collector.
+type Sample struct {
+	// Suffix extends the family name ("_bucket", "_sum", "_count");
+	// empty for plain samples.
+	Suffix string
+	// Labels render inside {...} in order.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Collector is one metric family that can report its current samples.
+// Collect must be safe to call concurrently with observations.
+type Collector interface {
+	// Desc describes the family.
+	Desc() Desc
+	// Collect emits the family's current samples.
+	Collect(emit func(Sample))
+}
+
+// Counter is a wait-free monotonic counter. Standalone counters (from
+// NewCounter) are their own Collector; children of a CounterVec are
+// collected by their family.
+type Counter struct {
+	desc   Desc
+	labels []Label
+	v      atomic.Int64
+}
+
+// NewCounter returns a registerable standalone counter.
+func NewCounter(name, help string) *Counter {
+	return &Counter{desc: Desc{Name: name, Help: help, Kind: KindCounter}}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters are monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Desc implements Collector.
+func (c *Counter) Desc() Desc { return c.desc }
+
+// Collect implements Collector.
+func (c *Counter) Collect(emit func(Sample)) {
+	emit(Sample{Labels: c.labels, Value: float64(c.v.Load())})
+}
+
+// Gauge is a wait-free instantaneous value.
+type Gauge struct {
+	desc   Desc
+	labels []Label
+	v      atomic.Int64
+}
+
+// NewGauge returns a registerable standalone gauge.
+func NewGauge(name, help string) *Gauge {
+	return &Gauge{desc: Desc{Name: name, Help: help, Kind: KindGauge}}
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Desc implements Collector.
+func (g *Gauge) Desc() Desc { return g.desc }
+
+// Collect implements Collector.
+func (g *Gauge) Collect(emit func(Sample)) {
+	emit(Sample{Labels: g.labels, Value: float64(g.v.Load())})
+}
+
+// Func exposes a value computed at scrape time — the bridge for
+// counters that already live elsewhere (the route cache's hit/miss
+// atomics) and for derived gauges (live cache entries). The callback
+// must be safe for concurrent use.
+type Func struct {
+	desc Desc
+	fn   func() float64
+}
+
+// NewFunc returns a scrape-time collector of the given kind.
+func NewFunc(name, help string, kind Kind, fn func() float64) *Func {
+	return &Func{desc: Desc{Name: name, Help: help, Kind: kind}, fn: fn}
+}
+
+// Desc implements Collector.
+func (f *Func) Desc() Desc { return f.desc }
+
+// Collect implements Collector.
+func (f *Func) Collect(emit func(Sample)) {
+	emit(Sample{Value: f.fn()})
+}
+
+// Histogram wraps the log-bucketed metrics.Histogram for exposition:
+// observation is the same atomic bucket increment, exposition renders
+// cumulative le buckets over the non-empty range. Standalone
+// histograms (from NewHistogram) are their own Collector; children of
+// a HistogramVec are collected by their family.
+type Histogram struct {
+	desc   Desc
+	labels []Label
+	h      metrics.Histogram
+}
+
+// NewHistogram returns a registerable standalone histogram.
+func NewHistogram(name, help string) *Histogram {
+	return &Histogram{desc: Desc{Name: name, Help: help, Kind: KindHistogram}}
+}
+
+// Observe folds one sample in.
+func (h *Histogram) Observe(v int64) { h.h.Observe(v) }
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.h.Count() }
+
+// Quantile returns the q-th quantile, see metrics.Histogram.Quantile.
+func (h *Histogram) Quantile(q float64) int64 { return h.h.Quantile(q) }
+
+// Desc implements Collector.
+func (h *Histogram) Desc() Desc { return h.desc }
+
+// Collect implements Collector.
+func (h *Histogram) Collect(emit func(Sample)) {
+	collectHist(&h.h, h.labels, emit)
+}
+
+// collectHist renders one histogram as cumulative buckets + sum +
+// count. Only non-empty buckets are emitted (the log-bucketed layout
+// has ~1000 potential buckets; occupied ones number in the tens), plus
+// the mandatory +Inf bucket.
+func collectHist(h *metrics.Histogram, labels []Label, emit func(Sample)) {
+	var cum int64
+	h.Buckets(func(upper, count int64) {
+		cum += count
+		emit(Sample{
+			Suffix: "_bucket",
+			Labels: append(append(make([]Label, 0, len(labels)+1), labels...), Label{Key: "le", Value: fmt.Sprintf("%d", upper)}),
+			Value:  float64(cum),
+		})
+	})
+	emit(Sample{
+		Suffix: "_bucket",
+		Labels: append(append(make([]Label, 0, len(labels)+1), labels...), Label{Key: "le", Value: "+Inf"}),
+		Value:  float64(h.Count()),
+	})
+	emit(Sample{Suffix: "_sum", Labels: labels, Value: float64(h.Sum())})
+	emit(Sample{Suffix: "_count", Labels: labels, Value: float64(h.Count())})
+}
+
+// vec is the shared label-family machinery: a copy-on-write child map
+// keyed by the joined label values. Lookups of existing tuples are one
+// atomic pointer load plus a map read; creating a tuple takes the
+// mutex and swaps in a fresh map (families are small and tuples are
+// created once, at setup or on first use of a deployment name).
+type vec[T any] struct {
+	mu       sync.Mutex
+	children atomic.Pointer[map[string]*T]
+}
+
+// labelSep joins label values into child keys; label values containing
+// it would alias, so it is a byte that never appears in metric labels.
+const labelSep = "\xff"
+
+func joinKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, v := range values {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, labelSep...)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// get returns the child for the values, creating it with mk on first
+// use.
+func (v *vec[T]) get(values []string, mk func() *T) *T {
+	key := joinKey(values)
+	if m := v.children.Load(); m != nil {
+		if c, ok := (*m)[key]; ok {
+			return c
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := v.children.Load()
+	if old != nil {
+		if c, ok := (*old)[key]; ok {
+			return c
+		}
+	}
+	next := make(map[string]*T, 1)
+	if old != nil {
+		for k, c := range *old {
+			next[k] = c
+		}
+	}
+	c := mk()
+	next[key] = c
+	v.children.Store(&next)
+	return c
+}
+
+// sortedKeys returns the child keys in deterministic exposition order.
+func (v *vec[T]) snapshot() map[string]*T {
+	if m := v.children.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// mkLabels pairs a family's label keys with one child's values.
+func mkLabels(keys, values []string) []Label {
+	ls := make([]Label, len(keys))
+	for i, k := range keys {
+		ls[i] = Label{Key: k, Value: values[i]}
+	}
+	return ls
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	desc Desc
+	keys []string
+	vec  vec[Counter]
+}
+
+// NewCounterVec returns a registerable counter family with the given
+// label keys.
+func NewCounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{desc: Desc{Name: name, Help: help, Kind: KindCounter}, keys: keys}
+}
+
+// With returns the child counter for the label values (one per key, in
+// key order), creating it on first use. Hot paths resolve children
+// once and hold the returned pointer.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.desc.Name, len(v.keys), len(values)))
+	}
+	return v.vec.get(values, func() *Counter {
+		return &Counter{labels: mkLabels(v.keys, values)}
+	})
+}
+
+// Desc implements Collector.
+func (v *CounterVec) Desc() Desc { return v.desc }
+
+// Collect implements Collector.
+func (v *CounterVec) Collect(emit func(Sample)) {
+	for _, c := range sortedChildren(&v.vec) {
+		c.Collect(emit)
+	}
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	desc Desc
+	keys []string
+	vec  vec[Gauge]
+}
+
+// NewGaugeVec returns a registerable gauge family with the given label
+// keys.
+func NewGaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{desc: Desc{Name: name, Help: help, Kind: KindGauge}, keys: keys}
+}
+
+// With returns the child gauge for the label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.desc.Name, len(v.keys), len(values)))
+	}
+	return v.vec.get(values, func() *Gauge {
+		return &Gauge{labels: mkLabels(v.keys, values)}
+	})
+}
+
+// Desc implements Collector.
+func (v *GaugeVec) Desc() Desc { return v.desc }
+
+// Collect implements Collector.
+func (v *GaugeVec) Collect(emit func(Sample)) {
+	for _, g := range sortedChildren(&v.vec) {
+		g.Collect(emit)
+	}
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	desc Desc
+	keys []string
+	vec  vec[Histogram]
+}
+
+// NewHistogramVec returns a registerable histogram family with the
+// given label keys.
+func NewHistogramVec(name, help string, keys ...string) *HistogramVec {
+	return &HistogramVec{desc: Desc{Name: name, Help: help, Kind: KindHistogram}, keys: keys}
+}
+
+// With returns the child histogram for the label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.desc.Name, len(v.keys), len(values)))
+	}
+	return v.vec.get(values, func() *Histogram {
+		return &Histogram{labels: mkLabels(v.keys, values)}
+	})
+}
+
+// Desc implements Collector.
+func (v *HistogramVec) Desc() Desc { return v.desc }
+
+// Collect implements Collector.
+func (v *HistogramVec) Collect(emit func(Sample)) {
+	for _, h := range sortedChildren(&v.vec) {
+		h.Collect(emit)
+	}
+}

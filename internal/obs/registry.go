@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// sortedChildren returns a vec's children ordered by child key, so
+// exposition output is deterministic regardless of creation order.
+func sortedChildren[T any](v *vec[T]) []*T {
+	m := v.snapshot()
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*T, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// Registry holds the collectors of one process (or one Service) and
+// renders them as a Prometheus text exposition. Registration is
+// copy-on-write: WriteText and concurrent observations never block a
+// Register and vice versa.
+type Registry struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[[]Collector]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Register adds a collector. Family names must be unique within a
+// registry.
+func (r *Registry) Register(c Collector) error {
+	name := c.Desc().Name
+	if !validMetricName(name) {
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	var next []Collector
+	if old != nil {
+		for _, e := range *old {
+			if e.Desc().Name == name {
+				return fmt.Errorf("obs: metric %q already registered", name)
+			}
+		}
+		next = append(next, *old...)
+	}
+	next = append(next, c)
+	sort.Slice(next, func(i, j int) bool { return next[i].Desc().Name < next[j].Desc().Name })
+	r.snap.Store(&next)
+	return nil
+}
+
+// MustRegister registers each collector, panicking on error — for the
+// fixed series a service declares at construction time.
+func (r *Registry) MustRegister(cs ...Collector) {
+	for _, c := range cs {
+		if err := r.Register(c); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with # HELP
+// and # TYPE headers followed by its samples.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.snap.Load()
+	if snap == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, c := range *snap {
+		d := c.Desc()
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", d.Name, escapeHelp(d.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", d.Name, d.Kind)
+		c.Collect(func(s Sample) {
+			b.WriteString(d.Name)
+			b.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Key)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		})
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the registry to a string (WriteText to a buffer).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}
+
+// formatValue renders a sample value: integers without an exponent
+// (counters and bucket counts stay grep-able), everything else in Go's
+// shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in # HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote, and newline in label
+// values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether s matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

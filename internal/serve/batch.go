@@ -81,7 +81,7 @@ func (s *Service) Batch(reqs []RouteRequest) []RouteResponse {
 					return
 				}
 				req := reqs[i]
-				res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, buf, false)
+				res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, buf, false, nil)
 				if err != nil {
 					out[i] = RouteResponse{Err: err.Error()}
 					continue

@@ -6,29 +6,67 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/straightpath/wasn/internal/topo"
 )
 
 // Handler returns the HTTP/JSON API over the service:
 //
-//	POST /deploy {"name"?, "model", "n", "seed", "build"?}
-//	POST /route  {"deployment", "algorithm", "src", "dst", "path"?}
-//	POST /batch  {"requests": [RouteRequest, ...]}
-//	POST /fail   {"deployment", "nodes": [id, ...]}
-//	POST /revive {"deployment", "nodes": [id, ...]}
+//	POST /deploy  {"name"?, "model", "n", "seed", "build"?}
+//	POST /route   {"deployment", "algorithm", "src", "dst", "path"?, "trace"?}
+//	POST /batch   {"requests": [RouteRequest, ...]}
+//	POST /fail    {"deployment", "nodes": [id, ...]}
+//	POST /revive  {"deployment", "nodes": [id, ...]}
 //	GET  /stats
+//	GET  /metrics
+//	GET  /traces
 //
-// Errors are {"error": "..."} with a 4xx/5xx status.
+// Errors are {"error": "..."} with a 4xx/5xx status. Every endpoint is
+// instrumented: request count, error count, and latency land in the
+// service registry under the endpoint's path.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/deploy", s.handleDeploy)
-	mux.HandleFunc("/route", s.handleRoute)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/fail", s.handleFail)
-	mux.HandleFunc("/revive", s.handleRevive)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/deploy", s.instrument("/deploy", s.handleDeploy))
+	mux.HandleFunc("/route", s.instrument("/route", s.handleRoute))
+	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
+	mux.HandleFunc("/fail", s.instrument("/fail", s.handleFail))
+	mux.HandleFunc("/revive", s.instrument("/revive", s.handleRevive))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/traces", s.instrument("/traces", s.handleTraces))
 	return mux
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint handler with the request/error/latency
+// series. The per-endpoint children are resolved once, here, so the
+// request path only touches atomics.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.so.requests.With(endpoint)
+	errs := s.so.requestErrors.With(endpoint)
+	dur := s.so.requestDur.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		dur.Observe(time.Since(start).Microseconds())
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -126,6 +164,16 @@ type routeRequest struct {
 	// and computes a fresh route (its aggregate outcome is still cached
 	// for later pathless readers).
 	Path bool `json:"path"`
+	// Trace asks for the hop-by-hop decision trace. Like Path it forces
+	// a fresh route computation.
+	Trace bool `json:"trace"`
+}
+
+// tracedRouteResponse is a RouteResponse extended with the decision
+// trace, returned for trace:true requests.
+type tracedRouteResponse struct {
+	RouteResponse
+	Trace TraceRecord `json:"trace"`
 }
 
 func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -133,7 +181,19 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, nil, req.Path)
+	if req.Trace {
+		res, tr, err := s.RouteTraced(req.Deployment, req.Algorithm, req.Src, req.Dst)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tracedRouteResponse{
+			RouteResponse: toResponse(res, false, req.Path),
+			Trace:         tr,
+		})
+		return
+	}
+	res, cached, err := s.route(req.Deployment, req.Algorithm, req.Src, req.Dst, nil, req.Path, nil)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -207,4 +267,26 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.so.reg.WriteText(w)
+}
+
+// tracesResponse wraps the sampled-trace listing.
+type tracesResponse struct {
+	Traces []TraceRecord `json:"traces"`
+}
+
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Traces: s.Traces()})
 }

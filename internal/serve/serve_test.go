@@ -220,7 +220,7 @@ func TestFailInvalidatesCacheAndMatchesFreshSim(t *testing.T) {
 	// Fail two interior nodes on the first route's path. The pair is
 	// cached (pathless) by now, so route past the cache for the path,
 	// like the HTTP layer's path:true does.
-	first, _, err := s.route(name, "SLGF2", pairs[0][0], pairs[0][1], nil, true)
+	first, _, err := s.route(name, "SLGF2", pairs[0][0], pairs[0][1], nil, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

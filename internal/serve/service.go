@@ -5,15 +5,18 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/core"
-	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
+	"github.com/straightpath/wasn/internal/trace"
 )
 
 // Spec names a reproducible deployment: the same (model, n, seed) always
@@ -48,6 +51,16 @@ type Config struct {
 	// the results are identical and the rebuild is orders of magnitude
 	// slower.
 	FullRebuildOnFail bool
+	// TraceSampleEvery records a decision trace for every N-th computed
+	// route into the trace ring (GET /traces). 0 disables sampling;
+	// explicit trace:true requests are always traced.
+	TraceSampleEvery int
+	// TraceRingSize bounds the sampled-trace ring (default 32).
+	TraceRingSize int
+	// StretchSampleEvery measures hop stretch (algorithm hops versus
+	// the minimum-hop ideal) for every N-th computed route. Each sample
+	// pays one reference BFS route. 0 disables the measurement.
+	StretchSampleEvery int
 }
 
 // ErrBuild marks substrate build failures: a server-side fault, not a
@@ -60,28 +73,81 @@ type Service struct {
 	cfg    Config
 	cache  *routeCache // nil when disabled
 	flight flightGroup
+	so     *serviceObs
 
 	mu   sync.RWMutex
 	deps map[string]*deployment
 
-	builds   metrics.Counter
-	routes   metrics.Counter
-	batches  metrics.Counter
-	failures metrics.Counter
-	revivals metrics.Counter
+	// The service counters are obs collectors registered with the
+	// service registry: Stats and the /metrics exposition read the same
+	// atomics, so the two views cannot disagree.
+	builds   *obs.Counter
+	routes   *obs.Counter
+	batches  *obs.Counter
+	failures *obs.Counter
+	revivals *obs.Counter
 }
 
 // New builds a Service.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg, deps: make(map[string]*deployment)}
+	s := &Service{
+		cfg:  cfg,
+		deps: make(map[string]*deployment),
+		so:   newServiceObs(cfg),
+		builds: obs.NewCounter("wasn_substrate_builds_total",
+			"Full substrate builds performed (lazy first-use builds and rebuild oracles)."),
+		routes: obs.NewCounter("wasn_routes_total",
+			"Route queries answered, cached or computed."),
+		batches: obs.NewCounter("wasn_batches_total",
+			"Batch requests served."),
+		failures: obs.NewCounter("wasn_failed_nodes_total",
+			"Nodes transitioned to failed."),
+		revivals: obs.NewCounter("wasn_revived_nodes_total",
+			"Nodes transitioned back to alive."),
+	}
+	s.so.reg.MustRegister(s.builds, s.routes, s.batches, s.failures, s.revivals)
+	s.so.reg.MustRegister(obs.NewFunc("wasn_deployments",
+		"Registered deployments.", obs.KindGauge, func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.deps))
+		}))
 	if cfg.CacheSize >= 0 {
 		s.cache = newRouteCache(cfg.CacheSize, cfg.CacheShards)
+		// The cache keeps its own wait-free counters; the registry reads
+		// them at scrape time instead of maintaining a parallel set.
+		s.so.reg.MustRegister(
+			obs.NewFunc("wasn_route_cache_hits_total",
+				"Route cache lookups answered from the cache.", obs.KindCounter,
+				func() float64 { return float64(s.cache.hits.Load()) }),
+			obs.NewFunc("wasn_route_cache_misses_total",
+				"Route cache lookups that required a route computation.", obs.KindCounter,
+				func() float64 { return float64(s.cache.misses.Load()) }),
+			obs.NewFunc("wasn_route_cache_evictions_total",
+				"Route cache entries evicted by the per-shard LRU.", obs.KindCounter,
+				func() float64 { return float64(s.cache.evicted.Load()) }),
+			obs.NewFunc("wasn_route_cache_purged_total",
+				"Route cache entries purged by topology changes.", obs.KindCounter,
+				func() float64 { return float64(s.cache.purged.Load()) }),
+			obs.NewFunc("wasn_route_cache_entries",
+				"Live route cache entries.", obs.KindGauge,
+				func() float64 { return float64(s.cache.len()) }),
+		)
 	}
 	if s.cfg.Workers <= 0 {
 		s.cfg.Workers = runtime.NumCPU()
 	}
 	return s
 }
+
+// Registry exposes the service's metric registry so embedders (wasnd)
+// can serve the text exposition and register process-level collectors
+// alongside the service families.
+func (s *Service) Registry() *obs.Registry { return s.so.reg }
+
+// Traces returns the sampled decision traces currently buffered,
+// newest first (see Config.TraceSampleEvery).
+func (s *Service) Traces() []TraceRecord { return s.so.ring.snapshot() }
 
 // deployment is one registry entry. The substrates are built lazily on
 // first use; mu serializes topology mutations against in-flight routes
@@ -180,6 +246,7 @@ func (s *Service) ensureBuilt(d *deployment) error {
 		if d.ready.Load() { // lost a forget/retry race; already built
 			return nil
 		}
+		start := time.Now()
 		dep, err := topo.Deploy(topo.DefaultDeployConfig(d.spec.Model, d.spec.N, d.spec.Seed))
 		if err != nil {
 			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
@@ -191,6 +258,7 @@ func (s *Service) ensureBuilt(d *deployment) error {
 		d.model, d.bounds, d.planarg = core.BuildSubstrates(dep.Net, true, true, true, nil)
 		d.routers = s.buildRouters(dep.Net, d.model, d.bounds, d.planarg)
 		s.builds.Inc()
+		s.so.buildDur.With(d.name).Observe(time.Since(start).Microseconds())
 		d.ready.Store(true)
 		return nil
 	})
@@ -230,7 +298,21 @@ func (s *Service) buildRouters(net *topo.Network, m *safety.Model, b *bound.Boun
 // the traveled path of a possibly cached pair use the HTTP API's
 // path:true (which computes a fresh route) or a Router directly.
 func (s *Service) Route(deployment, algorithm string, src, dst topo.NodeID) (core.Result, bool, error) {
-	return s.route(deployment, algorithm, src, dst, nil, false)
+	return s.route(deployment, algorithm, src, dst, nil, false, nil)
+}
+
+// RouteTraced computes one route (bypassing the cache read; the result
+// is still cached) and returns the hop-by-hop decision trace alongside
+// the result — the service method behind /route with trace:true.
+func (s *Service) RouteTraced(deployment, algorithm string, src, dst topo.NodeID) (core.Result, TraceRecord, error) {
+	rec := trace.Acquire()
+	defer trace.Release(rec)
+	res, _, err := s.route(deployment, algorithm, src, dst, nil, true, rec)
+	if err != nil {
+		return core.Result{}, TraceRecord{}, err
+	}
+	s.so.traces.Inc()
+	return res, buildTraceRecord(deployment, algorithm, src, dst, res, rec), nil
 }
 
 // route is the shared single-route path behind Route, the batch
@@ -239,8 +321,11 @@ func (s *Service) Route(deployment, algorithm string, src, dst topo.NodeID) (cor
 // workers pass one reusable buffer each, making a warm batch
 // allocation-free per route). skipCacheRead bypasses the cache lookup
 // — for callers that need the full path even for cached pairs — while
-// still caching the computed result for later pathless readers.
-func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, pathBuf []topo.NodeID, skipCacheRead bool) (core.Result, bool, error) {
+// still caching the computed result for later pathless readers. rec,
+// when non-nil, receives every forwarding decision of the computed
+// route (callers passing rec also pass skipCacheRead, since a cache
+// hit computes no hops to observe).
+func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, pathBuf []topo.NodeID, skipCacheRead bool, rec *trace.Recorder) (core.Result, bool, error) {
 	d, err := s.lookup(deployment)
 	if err != nil {
 		return core.Result{}, false, err
@@ -269,7 +354,27 @@ func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, path
 			return res, true, nil
 		}
 	}
-	res := r.RouteInto(src, dst, pathBuf)
+	var res core.Result
+	switch {
+	case rec != nil:
+		res = routeObserved(r, src, dst, pathBuf, rec)
+	case s.so.sampleTrace():
+		srec := trace.Acquire()
+		res = routeObserved(r, src, dst, pathBuf, srec)
+		s.so.ring.push(buildTraceRecord(d.name, algorithm, src, dst, res, srec))
+		s.so.traces.Inc()
+		trace.Release(srec)
+	default:
+		res = r.RouteInto(src, dst, pathBuf)
+	}
+	s.so.recordComputed(algorithm, res)
+	if res.Delivered && !isIdealAlgorithm(algorithm) && s.so.sampleStretch() {
+		// One reference BFS route per sample; still under the RLock, so
+		// the comparison runs against the same topology epoch.
+		if ires := d.routers["Ideal-hops"].Route(src, dst); ires.Delivered {
+			s.so.observeStretch(algorithm, res.Hops(), ires.Hops())
+		}
+	}
 	if s.cache != nil {
 		// Still under RLock: the epoch in key cannot have been bumped,
 		// so the entry matches the topology it was computed on. put
@@ -278,6 +383,23 @@ func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, path
 	}
 	s.routes.Inc()
 	return res, false, nil
+}
+
+// routeObserved routes with the decision recorder attached. Every
+// router in the set implements core.ObservedRouter; the fallback keeps
+// a hypothetical future router without the extension working, minus
+// tracing.
+func routeObserved(r core.Router, src, dst topo.NodeID, pathBuf []topo.NodeID, rec *trace.Recorder) core.Result {
+	if or, ok := r.(core.ObservedRouter); ok {
+		return or.RouteObserved(src, dst, pathBuf, rec)
+	}
+	return r.RouteInto(src, dst, pathBuf)
+}
+
+// isIdealAlgorithm reports whether name is one of the omniscient
+// reference routers (their hop stretch is 1 by construction).
+func isIdealAlgorithm(name string) bool {
+	return strings.HasPrefix(name, "Ideal")
 }
 
 // Fail marks the given nodes dead in the named deployment, repairs all
@@ -373,14 +495,17 @@ func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
 // deployment write lock with SetAlive already applied.
 func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID) {
 	net := d.dep.Net
+	start := time.Now()
 	if s.cfg.FullRebuildOnFail {
 		d.model, d.bounds, d.planarg = core.BuildSubstrates(net, true, true, true, nil)
 		d.routers = s.buildRouters(net, d.model, d.bounds, d.planarg)
 		d.rebuilds.Add(1)
+		s.so.repairDur.With(d.name, "rebuild").Observe(time.Since(start).Microseconds())
 	} else {
 		// In-place repair: the routers keep their substrate pointers.
 		core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
 		d.repairs.Add(1)
+		s.so.repairDur.With(d.name, "repair").Observe(time.Since(start).Microseconds())
 	}
 	d.epoch.Add(1)
 	if s.cache != nil {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
 
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/topo"
 	"github.com/straightpath/wasn/internal/workload"
 )
@@ -126,6 +128,20 @@ func ParseConfigFile(path string) (*Config, error) {
 type Options struct {
 	// Progress, when non-nil, is called after each rung completes.
 	Progress func(r Rung)
+	// ProgressWriter, when non-nil, streams live progress while the
+	// ladder runs: one "[sweep]" line as each rung completes, plus the
+	// workload engine's in-run ticker lines for the rung in flight.
+	ProgressWriter io.Writer
+	// ProgressEveryMS is the in-run ticker period forwarded to the
+	// workload engine (default 1000).
+	ProgressEveryMS int
+}
+
+// progressf emits one live "[sweep]" progress line, if streaming.
+func (o Options) progressf(format string, args ...any) {
+	if o.ProgressWriter != nil {
+		fmt.Fprintf(o.ProgressWriter, "[sweep] "+format+"\n", args...)
+	}
 }
 
 // Run executes the ladder against one driver and assembles the curve.
@@ -148,17 +164,26 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 		CliffFactor:   cfg.CliffFactor,
 	}
 
+	// The whole-ladder metrics delta: scraped once before the first
+	// rung and once after the last, so the curve records what the sweep
+	// as a whole did to the server (a failed before-scrape disables the
+	// delta rather than failing the sweep).
+	before, beforeErr := drv.ScrapeMetrics()
+
 	for i, rate := range ladder(cfg.MinRateHz, cfg.MaxRateHz, cfg.Steps) {
-		r, err := runRung(drv, cfg, rate, i)
+		r, err := runRung(drv, cfg, rate, i, opt)
 		if err != nil {
 			return nil, err
 		}
 		curve.Rungs = append(curve.Rungs, r)
+		opt.progressf("rung %d/%d @%.0f req/s: achieved %.0f, delivered %.2f%%, p99=%.1fus",
+			i+1, cfg.Steps, rate, r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
 		if opt.Progress != nil {
 			opt.Progress(r)
 		}
 		if cfg.StopOnCollapse && r.AchievedRPS < rate/2 {
 			curve.SkippedRungs = cfg.Steps - i - 1
+			opt.progressf("collapse at %.0f req/s: skipping %d remaining rungs", rate, curve.SkippedRungs)
 			break
 		}
 	}
@@ -167,6 +192,11 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 	if cfg.Mode == ModeBisect && curve.KneeRung > 0 {
 		if err := bisect(drv, cfg, curve, opt); err != nil {
 			return nil, err
+		}
+	}
+	if beforeErr == nil {
+		if after, err := drv.ScrapeMetrics(); err == nil {
+			curve.MetricsDelta = obs.Delta(before, after)
 		}
 	}
 	return curve, nil
@@ -187,7 +217,7 @@ func ladder(lo, hi float64, steps int) []float64 {
 // the rung. The scenario value is copied per rung (Run mutates it);
 // the churn schedule is shared read-only and any nodes it left dead
 // are revived afterwards.
-func runRung(drv workload.Driver, cfg *Config, rate float64, idx int) (Rung, error) {
+func runRung(drv workload.Driver, cfg *Config, rate float64, idx int, opt Options) (Rung, error) {
 	sc := cfg.Scenario // copy
 	sc.Name = fmt.Sprintf("%s@%.0f", cfg.Scenario.Name, rate)
 	sc.Arrival.RateHz = rate
@@ -197,7 +227,10 @@ func runRung(drv workload.Driver, cfg *Config, rate float64, idx int) (Rung, err
 		// the warmup every rung would only re-skew the cached share.
 		sc.WarmupRequests = 0
 	}
-	rep, err := workload.Run(drv, &sc)
+	rep, err := workload.RunWith(drv, &sc, workload.Options{
+		Progress:        opt.ProgressWriter,
+		ProgressEveryMS: opt.ProgressEveryMS,
+	})
 	if err != nil {
 		return Rung{}, fmt.Errorf("sweep: rung at %.0f req/s: %w", rate, err)
 	}
@@ -253,11 +286,13 @@ func bisect(drv workload.Driver, cfg *Config, curve *CapacityCurve, opt Options)
 		if hi/lo < 1.05 {
 			return nil // knee bracketed within 5%, good enough
 		}
-		r, err := runRung(drv, cfg, mid, 1)
+		r, err := runRung(drv, cfg, mid, 1, opt)
 		if err != nil {
 			return err
 		}
 		curve.Rungs = append(curve.Rungs, r)
+		opt.progressf("bisect %d/%d @%.0f req/s: achieved %.0f, p99=%.1fus",
+			i+1, cfg.BisectIters, mid, r.AchievedRPS, r.Latency.P99us)
 		sort.Slice(curve.Rungs, func(a, b int) bool { return curve.Rungs[a].OfferedRPS < curve.Rungs[b].OfferedRPS })
 		curve.detect()
 		if opt.Progress != nil {

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"sync"
+
+	"github.com/straightpath/wasn/internal/core"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Recorder implements core.HopObserver by appending one Event per
+// forwarding decision, with exact phase attribution (unlike FromResult,
+// which back-fills phases from aggregate counts). Recorders are pooled
+// via Acquire/Release so sampled tracing in a serving path does not
+// allocate per traced route once the pool is warm: the event slice is
+// retained across uses and only grows to the longest route seen.
+//
+// A Recorder is not safe for concurrent use; each in-flight traced
+// route needs its own. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+}
+
+var _ core.HopObserver = (*Recorder)(nil)
+
+var recorderPool = sync.Pool{New: func() any { return new(Recorder) }}
+
+// Acquire returns an empty Recorder from the pool.
+func Acquire() *Recorder {
+	r := recorderPool.Get().(*Recorder)
+	r.events = r.events[:0]
+	return r
+}
+
+// Release returns r to the pool. The caller must not retain r — or any
+// slice obtained from Events — after releasing.
+func Release(r *Recorder) { recorderPool.Put(r) }
+
+// ObserveHop implements core.HopObserver.
+func (r *Recorder) ObserveHop(seq int, from, to topo.NodeID, phase core.Phase) {
+	r.events = append(r.events, Event{Seq: seq, From: from, To: to, Phase: phase})
+}
+
+// Events returns the recorded decisions. The slice is owned by the
+// Recorder and is invalidated by Release or by the next route.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded decisions.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Build assembles a Trace from the recorded events and the route
+// result. The events are copied, so the returned Trace stays valid
+// after the Recorder is released.
+func (r *Recorder) Build(src, dst topo.NodeID, res core.Result) *Trace {
+	return &Trace{
+		Src:    src,
+		Dst:    dst,
+		Events: append([]Event(nil), r.events...),
+		Result: res,
+	}
+}

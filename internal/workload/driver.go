@@ -2,7 +2,9 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -36,6 +38,10 @@ type Driver interface {
 	Revive(deployment string, nodes []topo.NodeID) error
 	// Stats snapshots the server counters for the report.
 	Stats() (serve.Stats, error)
+	// ScrapeMetrics parses the driver's current metrics exposition,
+	// keyed by series identity (obs.ParseText) — the engine scrapes
+	// before and after the measured window and reports the delta.
+	ScrapeMetrics() (map[string]float64, error)
 	// Close releases driver resources.
 	Close() error
 }
@@ -92,6 +98,13 @@ func (d *InProcess) Revive(deployment string, nodes []topo.NodeID) error {
 
 // Stats implements Driver.
 func (d *InProcess) Stats() (serve.Stats, error) { return d.svc.Stats(), nil }
+
+// ScrapeMetrics implements Driver by rendering and re-parsing the
+// service registry — the same round trip an external scraper performs,
+// so the strict parser also exercises the exposition in-process.
+func (d *InProcess) ScrapeMetrics() (map[string]float64, error) {
+	return obs.ParseText(strings.NewReader(d.svc.Registry().Text()))
+}
 
 // Close implements Driver.
 func (d *InProcess) Close() error { return nil }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -9,8 +10,20 @@ import (
 	"time"
 
 	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/topo"
 )
+
+// Options tunes engine behavior that is not part of the scenario
+// itself: live progress streaming. The zero value runs silently.
+type Options struct {
+	// Progress, when non-nil, receives one status line per
+	// ProgressEveryMS during the measured window plus one line per
+	// churn event — the live view of a long scenario run.
+	Progress io.Writer
+	// ProgressEveryMS is the status-line period (default 1000).
+	ProgressEveryMS int
+}
 
 // openQueueCap bounds the open-loop dispatch queue. A full queue means
 // the driver cannot absorb the offered rate; further arrivals are shed
@@ -33,6 +46,8 @@ type phaseRec struct {
 type run struct {
 	drv    Driver
 	sc     *Scenario
+	opts   Options
+	progMu sync.Mutex // serializes progress lines (ticker vs churn)
 	tr     *traffic
 	dep    string
 	start  time.Time
@@ -58,6 +73,11 @@ type run struct {
 // unrecorded, and then the arrival process runs with the churn
 // schedule firing concurrently.
 func Run(drv Driver, sc *Scenario) (*Report, error) {
+	return RunWith(drv, sc, Options{})
+}
+
+// RunWith is Run with engine options (live progress streaming).
+func RunWith(drv Driver, sc *Scenario, opts Options) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,7 +89,7 @@ func Run(drv Driver, sc *Scenario) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: deploying %s: %w", sc.Name, err)
 	}
-	r := &run{drv: drv, sc: sc, tr: tr, dep: dep}
+	r := &run{drv: drv, sc: sc, opts: opts, tr: tr, dep: dep}
 	if rec, ok := drv.(*Recorder); ok {
 		r.rec = rec
 		rec.begin(TraceHeader{Scenario: sc.Name, Deploy: sc.Deployment, Algorithm: sc.Algorithm, Seed: sc.Seed})
@@ -175,7 +195,9 @@ func (r *run) openPhase(i int) {
 }
 
 // measure runs the measured portion: arrival process plus churn
-// schedule, then assembles the report.
+// schedule, then assembles the report. The driver's metrics are
+// scraped just before and just after the window so the report carries
+// the exact series movement the run caused.
 func (r *run) measure() (*Report, error) {
 	sc := r.sc
 	buckets := 4096 // closed loop: unknown duration, clamp into the tail
@@ -183,6 +205,11 @@ func (r *run) measure() (*Report, error) {
 		buckets = sc.Arrival.DurationMS/sc.TimelineBucketMS + 64
 	}
 	r.initPhases(len(sc.Churn), buckets)
+
+	// A scrape failure degrades the report (no delta) rather than
+	// failing the run: the HTTP driver may face a wasnd predating
+	// /metrics.
+	before, beforeErr := r.drv.ScrapeMetrics()
 
 	r.start = time.Now()
 	stopChurn := make(chan struct{})
@@ -192,6 +219,13 @@ func (r *run) measure() (*Report, error) {
 	} else {
 		close(churnDone)
 	}
+	stopProg := make(chan struct{})
+	progDone := make(chan struct{})
+	if r.opts.Progress != nil {
+		go r.runProgress(stopProg, progDone)
+	} else {
+		close(progDone)
+	}
 
 	if sc.Arrival.Process == ArrivalClosed {
 		r.runClosed()
@@ -200,8 +234,69 @@ func (r *run) measure() (*Report, error) {
 	}
 	elapsed := time.Since(r.start)
 	close(stopChurn)
+	close(stopProg)
 	<-churnDone
-	return r.report(elapsed)
+	<-progDone
+	rep, err := r.report(elapsed)
+	if rep != nil && beforeErr == nil {
+		if after, aerr := r.drv.ScrapeMetrics(); aerr == nil {
+			rep.MetricsDelta = obs.Delta(before, after)
+		}
+	}
+	return rep, err
+}
+
+// progressf emits one progress line, serialized against concurrent
+// emitters (the ticker and the churn goroutine share the writer).
+func (r *run) progressf(format string, args ...any) {
+	if r.opts.Progress == nil {
+		return
+	}
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	fmt.Fprintf(r.opts.Progress, "[workload] t=%6.1fs %s\n",
+		time.Since(r.start).Seconds(), fmt.Sprintf(format, args...))
+}
+
+// totals sums the phase records.
+func (r *run) totals() (req, del, errs int64) {
+	for _, ph := range r.phases {
+		req += ph.requests.Load()
+		del += ph.delivered.Load()
+		errs += ph.errors.Load()
+	}
+	return req, del, errs
+}
+
+// runProgress streams one status line per period until stopped.
+func (r *run) runProgress(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	every := time.Duration(r.opts.ProgressEveryMS) * time.Millisecond
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var lastReq int64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		req, del, errs := r.totals()
+		var rate float64
+		if secs := every.Seconds(); secs > 0 {
+			rate = float64(req-lastReq) / secs
+		}
+		lastReq = req
+		var delivered float64
+		if ok := req - errs; ok > 0 {
+			delivered = 100 * float64(del) / float64(ok)
+		}
+		r.progressf("%s req=%d rps=%.0f delivered=%.1f%% err=%d drop=%d",
+			r.phases[r.cur.Load()].name, req, rate, delivered, errs, r.dropped.Load())
+	}
 }
 
 // runClosed issues exactly Requests requests from Concurrency clients,
@@ -356,6 +451,12 @@ func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 		r.failed.Store(&next)
 		applied.AppliedMS = float64(time.Since(r.start).Microseconds()) / 1000
 		r.churn = append(r.churn, applied)
+		if applied.Err != "" {
+			r.progressf("churn @%dms failed to apply: %s", ev.AtMS, applied.Err)
+		} else {
+			r.progressf("churn @%dms: failed=%d revived=%d -> %s",
+				ev.AtMS, len(applied.Failed), len(applied.Revived), r.phases[i+1].name)
+		}
 		if r.rec != nil {
 			// Recorded at the *scheduled* offset, not the applied wall
 			// time: re-recording a replay then reproduces the original

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -132,6 +133,22 @@ func (d *HTTP) Stats() (serve.Stats, error) {
 		return serve.Stats{}, err
 	}
 	return st, nil
+}
+
+// ScrapeMetrics implements Driver.
+func (d *HTTP) ScrapeMetrics() (map[string]float64, error) {
+	resp, err := d.client.Get(d.base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("workload: GET /metrics: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workload: /metrics: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
 }
 
 // Close implements Driver.

@@ -99,6 +99,11 @@ type Report struct {
 	// Server is the driver's end-of-run /stats snapshot (cache hit
 	// rate, per-deployment repair counters), nil if unavailable.
 	Server *serve.Stats `json:"server_stats,omitempty"`
+	// MetricsDelta is the movement of every server metric series across
+	// the measured window (obs.Delta of the before/after scrapes;
+	// histogram buckets excluded), nil when the driver has no
+	// exposition to scrape.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // WriteJSON writes the indented JSON report.
@@ -129,6 +134,13 @@ func (r *Report) Summary() string {
 		for _, d := range r.Server.PerDeployment {
 			fmt.Fprintf(&b, "  [%s epoch=%d failed=%d repairs=%d rebuilds=%d]",
 				d.Name, d.Epoch, d.FailedNodes, d.Repairs, d.Rebuilds)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.MetricsDelta) > 0 {
+		fmt.Fprintf(&b, "  metrics: %d series moved", len(r.MetricsDelta))
+		if v, ok := r.MetricsDelta["wasn_routes_total"]; ok {
+			fmt.Fprintf(&b, "  wasn_routes_total +%.0f", v)
 		}
 		b.WriteString("\n")
 	}
