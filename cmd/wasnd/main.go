@@ -482,6 +482,15 @@ func runSweep(out, prog io.Writer, cfgFile, driver, target, outFile, baselineFil
 			return fmt.Errorf("%d perf regression(s) against %s", len(regs), baselineFile)
 		}
 		fmt.Fprintf(out, "no regressions against %s\n", baselineFile)
+		if imps := sweep.Improvements(curve, base, tol); len(imps) > 0 {
+			// Never a failure — but a stale baseline undersells the
+			// system and would let regressions of the improvement's size
+			// pass, so tell the author to re-record it.
+			for _, m := range imps {
+				fmt.Fprintf(out, "IMPROVEMENT: %s\n", m)
+			}
+			fmt.Fprintf(out, "baseline %s is stale; regenerate it (recipe in .github/perf/README.md)\n", baselineFile)
+		}
 	}
 	return nil
 }

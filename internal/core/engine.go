@@ -13,12 +13,12 @@ import (
 // # Pooled-scratch contract
 //
 // States are pooled: drive acquires one from statePool, resets the
-// per-route fields, and returns it when the route completes. The two
-// maps (tried, failedHoles) are retained across routes and cleared on
-// reuse, so their buckets are allocated once per pool entry and
-// steady-state routing performs no map allocations. Nothing in a state
-// may escape a Route call: algorithms must copy anything they want to
-// keep into the Result before drive returns.
+// per-route fields, and returns it when the route completes. The tried
+// stamps and the failedHoles map are retained across routes (the stamps
+// are invalidated by a generation bump, the map cleared on reuse), so
+// steady-state routing performs no allocations. Nothing in a state may
+// escape a Route call: algorithms must copy anything they want to keep
+// into the Result before drive returns.
 type state struct {
 	net    *topo.Network
 	src    topo.NodeID
@@ -28,11 +28,15 @@ type state struct {
 	cur  topo.NodeID
 	prev topo.NodeID
 
-	// tried records the successor pairs (u, v) already attempted by
-	// detour sweeps, the paper's "untried node" bookkeeping, keyed
-	// u<<32|v. Retained across routes (cleared on reuse); greedy-only
-	// routes never touch it.
-	tried map[uint64]struct{}
+	// tried records the successor edges already attempted by detour
+	// sweeps — the paper's "untried node" bookkeeping — as per-CSR-slot
+	// generation stamps: the directed edge in global slot s has been
+	// tried this route iff tried[s] == triedGen. Clearing between routes
+	// is an O(1) generation bump; the array is reallocated only when a
+	// pooled state meets a larger network. Greedy-only routes never
+	// touch it.
+	tried    []uint32
+	triedGen uint32
 
 	// hand is the committed hand rule (HandNone until a detour starts).
 	hand Hand
@@ -73,7 +77,6 @@ type state struct {
 
 var statePool = sync.Pool{New: func() any {
 	return &state{
-		tried:       make(map[uint64]struct{}),
 		failedHoles: make(map[int]struct{}),
 	}
 }}
@@ -81,8 +84,18 @@ var statePool = sync.Pool{New: func() any {
 // acquireState returns a reset pooled state for one route.
 func acquireState(net *topo.Network, src, dst topo.NodeID) *state {
 	st := statePool.Get().(*state)
-	clear(st.tried)
 	clear(st.failedHoles)
+	if n := net.AdjSlots(); len(st.tried) < n {
+		st.tried = make([]uint32, n)
+		st.triedGen = 0
+	}
+	st.triedGen++
+	if st.triedGen == 0 {
+		// The generation counter wrapped: stale marks could alias the
+		// fresh generation, so pay one clear and restart.
+		clear(st.tried)
+		st.triedGen = 1
+	}
 	st.net = net
 	st.src = src
 	st.dst = dst
@@ -105,19 +118,6 @@ func acquireState(net *topo.Network, src, dst topo.NodeID) *state {
 func releaseState(st *state) {
 	st.net = nil
 	statePool.Put(st)
-}
-
-func triedKey(u, v topo.NodeID) uint64 {
-	return uint64(uint32(u))<<32 | uint64(uint32(v))
-}
-
-func (st *state) markTried(u, v topo.NodeID) {
-	st.tried[triedKey(u, v)] = struct{}{}
-}
-
-func (st *state) wasTried(u, v topo.NodeID) bool {
-	_, ok := st.tried[triedKey(u, v)]
-	return ok
 }
 
 // algorithm is the per-hop decision procedure each router implements.
@@ -202,29 +202,179 @@ func (st *state) perimeterDone() bool {
 	return geom.Dist(st.net.Pos(st.cur), st.dstPos) < st.stuckDist
 }
 
-// greedyInRequestZone returns the neighbor of u inside Z(u, d) closest to
-// the destination, or topo.NoNode. filter, when non-nil, restricts
-// candidates (used by the safety-based algorithms); prefer, when non-nil,
-// supersedes: if any candidate satisfies it, only those are considered.
+// scanFilter is the pre-resolved candidate predicate of the safety-based
+// algorithms. The closures the routers used to pass into the scans have
+// been flattened into this value struct so the inner loops test plain
+// data — a byte load against the safety-mask export instead of a
+// closure call into the model — and stay free of indirect calls.
 //
-// The filter/prefer funcs are only invoked, never stored, so closures
-// passed here stay on the caller's stack (no per-hop allocation).
-func greedyInRequestZone(st *state, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
+// The zero value accepts every candidate (the nil filter of old).
+type scanFilter struct {
+	// masks is the safety model's packed per-node status export
+	// (safety.Model.SafeMasks: bit z-1 of masks[v] is S_z(v)); nil means
+	// no safety requirement.
+	masks []uint8
+	// anySafe switches the masks test from "safe toward the destination"
+	// (the zone bit of Z(v, d), with the position-equals-destination
+	// escape of SafeToward) to "safe in any type" (mask != 0), the
+	// backup sweep's rule.
+	anySafe bool
+	// bounded additionally requires candidates strictly closer to the
+	// destination than maxDist — the backup-path progress rule. The
+	// comparison uses geom.Dist (math.Hypot), the exact arithmetic of
+	// the closure it replaces, so route outputs stay bit-identical.
+	bounded bool
+	maxDist float64
+}
+
+// active reports whether the filter constrains anything.
+func (f *scanFilter) active() bool { return f.masks != nil || f.bounded }
+
+// accept is the straight-line evaluation of the filter on one candidate,
+// used by the reference scans (and by the packed scans' rare slow
+// paths). dst is the packet destination, pv the candidate's position.
+func (f *scanFilter) accept(dst geom.Point, v topo.NodeID, pv geom.Point) bool {
+	if f.masks != nil {
+		if f.anySafe {
+			if f.masks[v] == 0 {
+				return false
+			}
+		} else if pv != dst && f.masks[v]&(1<<uint(geom.ZoneTypeOf(pv, dst)-1)) == 0 {
+			return false
+		}
+	}
+	if f.bounded && geom.Dist(pv, dst) >= f.maxDist {
+		return false
+	}
+	return true
+}
+
+// zoneBit returns ZoneTypeOf(pv, d) - 1 as a shift count from the deltas
+// zdx = d.X - pv.X, zdy = d.Y - pv.Y (dx >= 0 counts East, dy >= 0
+// North — exactly the ZoneTypeOf boundary convention).
+func zoneBit(zdx, zdy float64) uint {
+	if zdx >= 0 {
+		if zdy >= 0 {
+			return 0
+		}
+		return 3
+	}
+	if zdy >= 0 {
+		return 1
+	}
+	return 2
+}
+
+// useReferenceScans routes every candidate scan through the straight-line
+// reference implementations instead of the packed structure-of-arrays
+// sweeps. Tests flip it (serially — it is not synchronized) to pin the
+// two code paths to bit-identical route outputs; production code never
+// touches it.
+var useReferenceScans bool
+
+// greedyInRequestZone returns the neighbor of u inside Z(u, d) closest to
+// the destination, or topo.NoNode. f restricts candidates (used by the
+// safety-based algorithms); prefer, when non-nil, supersedes: if any
+// candidate satisfies it, only those are considered.
+//
+// The hot path scans the CSR row's packed coordinate arrays four lanes
+// at a time: the rectangle test, the strict-progress compare, and the
+// liveness-bitset test are all straight-line float/word operations, and
+// the lane selections re-test d < bestDist in ascending-slot order so
+// the first strict minimum wins exactly as in the reference scan.
+func greedyInRequestZone(st *state, f scanFilter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	if useReferenceScans {
+		return refGreedyInRequestZone(st, f, prefer)
+	}
 	up := st.net.Pos(st.cur)
+	ux, uy := up.X, up.Y
+	dx, dy := st.dstPos.X, st.dstPos.Y
+	loX, hiX := ux, dx
+	if loX > hiX {
+		loX, hiX = hiX, loX
+	}
+	loY, hiY := uy, dy
+	if loY > hiY {
+		loY, hiY = hiY, loY
+	}
+	row := st.net.AdjacencyRow(st.cur)
+	n := len(row)
+	xs, ys := st.net.AdjacencyXY(st.cur)
+	xs = xs[:n]
+	ys = ys[:n]
 	best := topo.NoNode
-	bestPreferred := false
 	bestDist := math.MaxFloat64
-	for _, v := range st.net.Neighbors(st.cur) {
-		pv := st.net.Pos(v)
-		if !geom.InRequestZone(up, st.dstPos, pv) {
+	if prefer == nil && !f.bounded && !f.anySafe {
+		masks := f.masks
+		hasMasks := masks != nil
+		checkAlive := st.net.DeadCount() > 0
+		alive := st.net.AliveBits()
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			x0, y0 := xs[j], ys[j]
+			x1, y1 := xs[j+1], ys[j+1]
+			x2, y2 := xs[j+2], ys[j+2]
+			x3, y3 := xs[j+3], ys[j+3]
+			d0 := (x0-dx)*(x0-dx) + (y0-dy)*(y0-dy)
+			d1 := (x1-dx)*(x1-dx) + (y1-dy)*(y1-dy)
+			d2 := (x2-dx)*(x2-dx) + (y2-dy)*(y2-dy)
+			d3 := (x3-dx)*(x3-dx) + (y3-dy)*(y3-dy)
+			if v := row[j]; d0 < bestDist &&
+				x0 >= loX && x0 <= hiX && y0 >= loY && y0 <= hiY && !(x0 == ux && y0 == uy) &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x0, dy-y0)) != 0 || (x0 == dx && y0 == dy)) {
+				best, bestDist = v, d0
+			}
+			if v := row[j+1]; d1 < bestDist &&
+				x1 >= loX && x1 <= hiX && y1 >= loY && y1 <= hiY && !(x1 == ux && y1 == uy) &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x1, dy-y1)) != 0 || (x1 == dx && y1 == dy)) {
+				best, bestDist = v, d1
+			}
+			if v := row[j+2]; d2 < bestDist &&
+				x2 >= loX && x2 <= hiX && y2 >= loY && y2 <= hiY && !(x2 == ux && y2 == uy) &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x2, dy-y2)) != 0 || (x2 == dx && y2 == dy)) {
+				best, bestDist = v, d2
+			}
+			if v := row[j+3]; d3 < bestDist &&
+				x3 >= loX && x3 <= hiX && y3 >= loY && y3 <= hiY && !(x3 == ux && y3 == uy) &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x3, dy-y3)) != 0 || (x3 == dx && y3 == dy)) {
+				best, bestDist = v, d3
+			}
+		}
+		for ; j < n; j++ {
+			x, y := xs[j], ys[j]
+			d := (x-dx)*(x-dx) + (y-dy)*(y-dy)
+			if v := row[j]; d < bestDist &&
+				x >= loX && x <= hiX && y >= loY && y <= hiY && !(x == ux && y == uy) &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x, dy-y)) != 0 || (x == dx && y == dy)) {
+				best, bestDist = v, d
+			}
+		}
+		return best
+	}
+	// Slow path: a prefer class or a distance bound is in play (rare —
+	// SLGF2 with blocking estimates). Single pass with the dual-class
+	// selection: preferred candidates strictly dominate non-preferred.
+	checkAlive := st.net.DeadCount() > 0
+	alive := st.net.AliveBits()
+	bestPreferred := false
+	for j, v := range row {
+		if checkAlive && alive[v>>6]&(1<<(uint(v)&63)) == 0 {
 			continue
 		}
-		if filter != nil && !filter(v) {
+		x, y := xs[j], ys[j]
+		if x < loX || x > hiX || y < loY || y > hiY || (x == ux && y == uy) {
+			continue
+		}
+		if !f.accept(st.dstPos, v, geom.Pt(x, y)) {
 			continue
 		}
 		pref := prefer == nil || prefer(v)
-		d := geom.Dist2(pv, st.dstPos)
-		// Preferred candidates strictly dominate non-preferred ones.
+		d := (x-dx)*(x-dx) + (y-dy)*(y-dy)
 		switch {
 		case pref && !bestPreferred:
 			best, bestDist, bestPreferred = v, d, true
@@ -237,8 +387,7 @@ func greedyInRequestZone(st *state, filter, prefer func(v topo.NodeID) bool) top
 
 // greedyInForwardingZone returns the neighbor of u inside the forwarding
 // quadrant Q_k(u) toward the destination that is strictly closer to it,
-// minimizing that distance. filter/prefer behave as in
-// greedyInRequestZone.
+// minimizing that distance. f/prefer behave as in greedyInRequestZone.
 //
 // The safety-based routings use the quadrant, not the thin request-zone
 // rectangle: the safety statuses (Definition 1) and Theorem 1's guarantee
@@ -246,24 +395,97 @@ func greedyInRequestZone(st *state, filter, prefer func(v topo.NodeID) bool) top
 // destination makes the rectangle arbitrarily thin, blocking forwardings
 // the information model has proven safe. The progress requirement keeps
 // the advance loop-free where the quadrant alone would allow overshoot.
-func greedyInForwardingZone(st *state, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
+//
+// The quadrant membership test collapses to two sign comparisons per
+// candidate (same East/North boundary convention as ZoneTypeOf), and a
+// candidate at u's own position is excluded by the progress requirement
+// (its distance equals the limit), so no explicit equality test is
+// needed on the hot path.
+func greedyInForwardingZone(st *state, f scanFilter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	if useReferenceScans {
+		return refGreedyInForwardingZone(st, f, prefer)
+	}
 	up := st.net.Pos(st.cur)
-	zone := geom.ZoneTypeOf(up, st.dstPos)
-	limit := geom.Dist2(up, st.dstPos)
+	ux, uy := up.X, up.Y
+	dx, dy := st.dstPos.X, st.dstPos.Y
+	ex := dx >= ux
+	ey := dy >= uy
+	ldx := ux - dx
+	ldy := uy - dy
+	limit := ldx*ldx + ldy*ldy
+	row := st.net.AdjacencyRow(st.cur)
+	n := len(row)
+	xs, ys := st.net.AdjacencyXY(st.cur)
+	xs = xs[:n]
+	ys = ys[:n]
 	best := topo.NoNode
-	bestPreferred := false
 	bestDist := limit
-	for _, v := range st.net.Neighbors(st.cur) {
-		pv := st.net.Pos(v)
-		if !geom.InForwardingZone(up, zone, pv) {
+	if prefer == nil && !f.bounded && !f.anySafe {
+		masks := f.masks
+		hasMasks := masks != nil
+		checkAlive := st.net.DeadCount() > 0
+		alive := st.net.AliveBits()
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			x0, y0 := xs[j], ys[j]
+			x1, y1 := xs[j+1], ys[j+1]
+			x2, y2 := xs[j+2], ys[j+2]
+			x3, y3 := xs[j+3], ys[j+3]
+			d0 := (x0-dx)*(x0-dx) + (y0-dy)*(y0-dy)
+			d1 := (x1-dx)*(x1-dx) + (y1-dy)*(y1-dy)
+			d2 := (x2-dx)*(x2-dx) + (y2-dy)*(y2-dy)
+			d3 := (x3-dx)*(x3-dx) + (y3-dy)*(y3-dy)
+			if v := row[j]; d0 < bestDist && (x0 >= ux) == ex && (y0 >= uy) == ey &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x0, dy-y0)) != 0 || (x0 == dx && y0 == dy)) {
+				best, bestDist = v, d0
+			}
+			if v := row[j+1]; d1 < bestDist && (x1 >= ux) == ex && (y1 >= uy) == ey &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x1, dy-y1)) != 0 || (x1 == dx && y1 == dy)) {
+				best, bestDist = v, d1
+			}
+			if v := row[j+2]; d2 < bestDist && (x2 >= ux) == ex && (y2 >= uy) == ey &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x2, dy-y2)) != 0 || (x2 == dx && y2 == dy)) {
+				best, bestDist = v, d2
+			}
+			if v := row[j+3]; d3 < bestDist && (x3 >= ux) == ex && (y3 >= uy) == ey &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x3, dy-y3)) != 0 || (x3 == dx && y3 == dy)) {
+				best, bestDist = v, d3
+			}
+		}
+		for ; j < n; j++ {
+			x, y := xs[j], ys[j]
+			d := (x-dx)*(x-dx) + (y-dy)*(y-dy)
+			if v := row[j]; d < bestDist && (x >= ux) == ex && (y >= uy) == ey &&
+				(!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) &&
+				(!hasMasks || masks[v]&(1<<zoneBit(dx-x, dy-y)) != 0 || (x == dx && y == dy)) {
+				best, bestDist = v, d
+			}
+		}
+		return best
+	}
+	// Slow path: prefer class or backup distance bound (the Hypot
+	// compare) in play.
+	checkAlive := st.net.DeadCount() > 0
+	alive := st.net.AliveBits()
+	bestPreferred := false
+	for j, v := range row {
+		if checkAlive && alive[v>>6]&(1<<(uint(v)&63)) == 0 {
 			continue
 		}
-		if filter != nil && !filter(v) {
+		x, y := xs[j], ys[j]
+		if (x >= ux) != ex || (y >= uy) != ey {
 			continue
 		}
-		d := geom.Dist2(pv, st.dstPos)
+		d := (x-dx)*(x-dx) + (y-dy)*(y-dy)
 		if d >= limit {
 			continue // must make progress
+		}
+		if !f.accept(st.dstPos, v, geom.Pt(x, y)) {
+			continue
 		}
 		pref := prefer == nil || prefer(v)
 		switch {
@@ -279,6 +501,205 @@ func greedyInForwardingZone(st *state, filter, prefer func(v topo.NodeID) bool) 
 // greedyClosest returns the classic GF successor: the neighbor strictly
 // closer to the destination than u, minimizing that distance.
 func greedyClosest(st *state) topo.NodeID {
+	if useReferenceScans {
+		return refGreedyClosest(st)
+	}
+	up := st.net.Pos(st.cur)
+	dx, dy := st.dstPos.X, st.dstPos.Y
+	ldx := up.X - dx
+	ldy := up.Y - dy
+	limit := ldx*ldx + ldy*ldy
+	row := st.net.AdjacencyRow(st.cur)
+	n := len(row)
+	xs, ys := st.net.AdjacencyXY(st.cur)
+	xs = xs[:n]
+	ys = ys[:n]
+	checkAlive := st.net.DeadCount() > 0
+	alive := st.net.AliveBits()
+	best := topo.NoNode
+	bestDist := limit
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		x0, y0 := xs[j], ys[j]
+		x1, y1 := xs[j+1], ys[j+1]
+		x2, y2 := xs[j+2], ys[j+2]
+		x3, y3 := xs[j+3], ys[j+3]
+		d0 := (x0-dx)*(x0-dx) + (y0-dy)*(y0-dy)
+		d1 := (x1-dx)*(x1-dx) + (y1-dy)*(y1-dy)
+		d2 := (x2-dx)*(x2-dx) + (y2-dy)*(y2-dy)
+		d3 := (x3-dx)*(x3-dx) + (y3-dy)*(y3-dy)
+		if v := row[j]; d0 < bestDist && (!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) {
+			best, bestDist = v, d0
+		}
+		if v := row[j+1]; d1 < bestDist && (!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) {
+			best, bestDist = v, d1
+		}
+		if v := row[j+2]; d2 < bestDist && (!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) {
+			best, bestDist = v, d2
+		}
+		if v := row[j+3]; d3 < bestDist && (!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) {
+			best, bestDist = v, d3
+		}
+	}
+	for ; j < n; j++ {
+		x, y := xs[j], ys[j]
+		d := (x-dx)*(x-dx) + (y-dy)*(y-dy)
+		if v := row[j]; d < bestDist && (!checkAlive || alive[v>>6]&(1<<(uint(v)&63)) != 0) {
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+// sweepUntried rotates the ray from u toward the destination in the
+// hand's direction and returns the first untried neighbor accepted by
+// f; a non-nil confine rectangle acts as the superseding preference
+// (candidates inside it dominate), the cautious perimeter's confinement.
+// The returned node is marked tried. topo.NoNode when the sweep is
+// exhausted.
+func sweepUntried(st *state, hand Hand, f scanFilter, confine *geom.Rect) topo.NodeID {
+	best, _, slot := sweepScan(st, hand, f, confine)
+	if best != topo.NoNode {
+		st.tried[slot] = st.triedGen
+	}
+	return best
+}
+
+// sweepPeek is sweepUntried without the tried-marking side effect; it
+// also reports the winning candidate's sweep rotation, which the
+// either-hand rule uses to compare the two hands at detour entry.
+func sweepPeek(st *state, hand Hand, f scanFilter, confine *geom.Rect) (topo.NodeID, float64) {
+	best, delta, _ := sweepScan(st, hand, f, confine)
+	return best, delta
+}
+
+// sweepScan is the shared sweep kernel: it returns the winning
+// candidate, its rotation, and its global CSR slot (for tried-marking).
+// The tried test is a generation-stamp compare against the row's slice
+// of st.tried, and the liveness/safety tests run on the bitset and mask
+// exports — no per-candidate calls leave the loop.
+func sweepScan(st *state, hand Hand, f scanFilter, confine *geom.Rect) (topo.NodeID, float64, int) {
+	if useReferenceScans {
+		return refSweepScan(st, hand, f, confine)
+	}
+	up := st.net.Pos(st.cur)
+	from := geom.Angle(up, st.dstPos)
+	dx, dy := st.dstPos.X, st.dstPos.Y
+	row := st.net.AdjacencyRow(st.cur)
+	n := len(row)
+	angs := st.net.AdjacencyAngles(st.cur)[:n]
+	xs, ys := st.net.AdjacencyXY(st.cur)
+	xs = xs[:n]
+	ys = ys[:n]
+	base := st.net.AdjOffset(st.cur)
+	marks := st.tried[base : base+n]
+	gen := st.triedGen
+	checkAlive := st.net.DeadCount() > 0
+	alive := st.net.AliveBits()
+	masks := f.masks
+	best := topo.NoNode
+	bestPreferred := false
+	bestDelta := math.MaxFloat64
+	bestSlot := -1
+	for j, v := range row {
+		if marks[j] == gen {
+			continue
+		}
+		if checkAlive && alive[v>>6]&(1<<(uint(v)&63)) == 0 {
+			continue
+		}
+		x, y := xs[j], ys[j]
+		if masks != nil {
+			if f.anySafe {
+				if masks[v] == 0 {
+					continue
+				}
+			} else if !(x == dx && y == dy) && masks[v]&(1<<zoneBit(dx-x, dy-y)) == 0 {
+				continue
+			}
+		}
+		if f.bounded && math.Hypot(x-dx, y-dy) >= f.maxDist {
+			continue
+		}
+		pref := confine == nil || confine.Contains(geom.Pt(x, y))
+		delta := hand.sweepDelta(from, angs[j])
+		switch {
+		case pref && !bestPreferred:
+			best, bestDelta, bestPreferred, bestSlot = v, delta, true, base+j
+		case pref == bestPreferred && delta < bestDelta:
+			best, bestDelta, bestSlot = v, delta, base+j
+		}
+	}
+	return best, bestDelta, bestSlot
+}
+
+// ---------------------------------------------------------------------
+// Reference scans.
+//
+// These are the straight-line implementations the packed scans above
+// replaced, kept as executable documentation and as the oracle of the
+// differential route tests (useReferenceScans): same semantics, one
+// candidate at a time, no unrolling, no bitset shortcuts. Any change to
+// selection semantics must land in both halves or the differential
+// tests fail.
+
+func refGreedyInRequestZone(st *state, f scanFilter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	up := st.net.Pos(st.cur)
+	best := topo.NoNode
+	bestPreferred := false
+	bestDist := math.MaxFloat64
+	for _, v := range st.net.Neighbors(st.cur) {
+		pv := st.net.Pos(v)
+		if !geom.InRequestZone(up, st.dstPos, pv) {
+			continue
+		}
+		if !f.accept(st.dstPos, v, pv) {
+			continue
+		}
+		pref := prefer == nil || prefer(v)
+		d := geom.Dist2(pv, st.dstPos)
+		// Preferred candidates strictly dominate non-preferred ones.
+		switch {
+		case pref && !bestPreferred:
+			best, bestDist, bestPreferred = v, d, true
+		case pref == bestPreferred && d < bestDist:
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+func refGreedyInForwardingZone(st *state, f scanFilter, prefer func(v topo.NodeID) bool) topo.NodeID {
+	up := st.net.Pos(st.cur)
+	zone := geom.ZoneTypeOf(up, st.dstPos)
+	limit := geom.Dist2(up, st.dstPos)
+	best := topo.NoNode
+	bestPreferred := false
+	bestDist := limit
+	for _, v := range st.net.Neighbors(st.cur) {
+		pv := st.net.Pos(v)
+		if !geom.InForwardingZone(up, zone, pv) {
+			continue
+		}
+		d := geom.Dist2(pv, st.dstPos)
+		if d >= limit {
+			continue // must make progress
+		}
+		if !f.accept(st.dstPos, v, pv) {
+			continue
+		}
+		pref := prefer == nil || prefer(v)
+		switch {
+		case pref && !bestPreferred:
+			best, bestDist, bestPreferred = v, d, true
+		case pref == bestPreferred && d < bestDist:
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+func refGreedyClosest(st *state) topo.NodeID {
 	up := st.net.Pos(st.cur)
 	limit := geom.Dist2(up, st.dstPos)
 	best := topo.NoNode
@@ -292,48 +713,36 @@ func greedyClosest(st *state) topo.NodeID {
 	return best
 }
 
-// sweepUntried rotates the ray from u toward the destination in the
-// hand's direction and returns the first untried neighbor accepted by
-// filter; prefer supersedes sweep order as in greedyInRequestZone. The
-// returned node is marked tried. topo.NoNode when the sweep is exhausted.
-func sweepUntried(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) topo.NodeID {
-	best, _ := sweepPeek(st, hand, filter, prefer)
-	if best != topo.NoNode {
-		st.markTried(st.cur, best)
-	}
-	return best
-}
-
-// sweepPeek is sweepUntried without the tried-marking side effect; it
-// also reports the winning candidate's sweep rotation, which the
-// either-hand rule uses to compare the two hands at detour entry.
-func sweepPeek(st *state, hand Hand, filter, prefer func(v topo.NodeID) bool) (topo.NodeID, float64) {
+func refSweepScan(st *state, hand Hand, f scanFilter, confine *geom.Rect) (topo.NodeID, float64, int) {
 	up := st.net.Pos(st.cur)
 	from := geom.Angle(up, st.dstPos)
 	row := st.net.AdjacencyRow(st.cur)
 	angs := st.net.AdjacencyAngles(st.cur)
+	base := st.net.AdjOffset(st.cur)
 	checkAlive := st.net.DeadCount() > 0
 	best := topo.NoNode
 	bestPreferred := false
 	bestDelta := math.MaxFloat64
+	bestSlot := -1
 	for j, v := range row {
 		if checkAlive && !st.net.Alive(v) {
 			continue
 		}
-		if st.wasTried(st.cur, v) {
+		if st.tried[base+j] == st.triedGen {
 			continue
 		}
-		if filter != nil && !filter(v) {
+		pv := st.net.Pos(v)
+		if !f.accept(st.dstPos, v, pv) {
 			continue
 		}
-		pref := prefer == nil || prefer(v)
+		pref := confine == nil || confine.Contains(pv)
 		delta := hand.sweepDelta(from, angs[j])
 		switch {
 		case pref && !bestPreferred:
-			best, bestDelta, bestPreferred = v, delta, true
+			best, bestDelta, bestPreferred, bestSlot = v, delta, true, base+j
 		case pref == bestPreferred && delta < bestDelta:
-			best, bestDelta = v, delta
+			best, bestDelta, bestSlot = v, delta, base+j
 		}
 	}
-	return best, bestDelta
+	return best, bestDelta, bestSlot
 }

@@ -44,11 +44,16 @@ func (r *Ideal) Route(src, dst topo.NodeID) Result {
 
 // RouteInto implements Router. The searches run over pooled scratch
 // (topo's search pool), so with a reused path buffer the reference
-// routes are allocation-free too.
+// routes are allocation-free too. The min-length variant runs A* over
+// the Euclidean admissible heuristic rather than full Dijkstra — the
+// returned path has the identical minimum total length (the heuristic
+// is consistent) while settling a corridor of nodes instead of a
+// distance ball, which is what makes Ideal cheap enough to sample
+// against on the serving hot path.
 func (r *Ideal) RouteInto(src, dst topo.NodeID, pathBuf []topo.NodeID) Result {
 	var path []topo.NodeID
 	if r.kind == IdealMinLength {
-		path = topo.ShortestEuclideanPathInto(r.net, src, dst, pathBuf)
+		path = topo.AStarEuclideanPathInto(r.net, src, dst, pathBuf)
 	} else {
 		path = topo.ShortestHopPathInto(r.net, src, dst, pathBuf)
 	}

@@ -220,13 +220,12 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 		// backup detour is active, resuming safe forwarding requires
 		// actual progress past the detour's entry point, otherwise the
 		// packet oscillates on the rim of the unsafe area.
-		safeFilter := func(v topo.NodeID) bool {
-			if !m.SafeToward(v, st.dstPos) {
-				return false
-			}
-			return !st.backupActive || geom.Dist(st.net.Pos(v), st.dstPos) < st.backupDist
+		safe := scanFilter{masks: m.SafeMasks()}
+		if st.backupActive {
+			safe.bounded = true
+			safe.maxDist = st.backupDist
 		}
-		if v := greedyInForwardingZone(st, safeFilter, prefer); v != topo.NoNode {
+		if v := greedyInForwardingZone(st, safe, prefer); v != topo.NoNode {
 			st.phase = PhaseGreedy
 			st.backupActive = false
 			if !a.perimeterLocked {
@@ -249,7 +248,7 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 				st.backupBudget = a.backupBudget(st)
 			}
 			if st.backupBudget > 0 {
-				anySafe := func(v topo.NodeID) bool { return m.AnySafe(v) }
+				anySafe := scanFilter{masks: m.SafeMasks(), anySafe: true}
 				a.commitHand(st, anySafe)
 				if v := sweepUntried(st, st.hand, anySafe, nil); v != topo.NoNode {
 					st.backupBudget--
@@ -269,7 +268,7 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 	// progress (revisited directed edge, isolated planar node), the
 	// untried ray sweep takes over, confined to the union of visible
 	// E-areas in the cautious (0,0,0,0) case.
-	a.commitHand(st, nil)
+	a.commitHand(st, scanFilter{})
 	a.perimeterLocked = true
 	st.phase = PhasePerimeter
 	if !a.faceDead {
@@ -291,15 +290,15 @@ func (a *slgf2Alg) step(st *state) topo.NodeID {
 		}
 		a.faceDead = true
 	}
-	var perimeterPrefer func(topo.NodeID) bool
+	var confineBox *geom.Rect
 	if a.confine && !a.r.disableShapeInfo {
 		if box, ok := m.ConfinementBox(st.cur); ok {
-			perimeterPrefer = func(v topo.NodeID) bool {
-				return box.Contains(st.net.Pos(v))
-			}
+			// box stays on the stack: the sweep only reads through the
+			// pointer, it never retains it.
+			confineBox = &box
 		}
 	}
-	return sweepUntried(st, st.hand, nil, perimeterPrefer)
+	return sweepUntried(st, st.hand, scanFilter{}, confineBox)
 }
 
 // blockingShapes returns the visible estimates whose rectangle intersects
@@ -348,8 +347,8 @@ func (a *slgf2Alg) backupBudget(st *state) int {
 // hand whose candidate stays out of the forbidden regions of the
 // blocking estimates wins (the routing starts around the blocking area
 // on the destination's side), with the smaller sweep rotation breaking
-// ties. filter restricts candidates to the entering phase's rule.
-func (a *slgf2Alg) commitHand(st *state, filter func(topo.NodeID) bool) {
+// ties. f restricts candidates to the entering phase's rule.
+func (a *slgf2Alg) commitHand(st *state, f scanFilter) {
 	if st.hand != HandNone {
 		return
 	}
@@ -370,7 +369,7 @@ func (a *slgf2Alg) commitHand(st *state, filter func(topo.NodeID) bool) {
 	bestOK := false
 	bestDelta := math.MaxFloat64
 	for _, h := range []Hand{RightHand, LeftHand} {
-		v, delta := sweepPeek(st, h, filter, nil)
+		v, delta := sweepPeek(st, h, f, nil)
 		if v == topo.NoNode {
 			continue
 		}

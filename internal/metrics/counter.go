@@ -6,9 +6,13 @@ import (
 )
 
 // Counter is a goroutine-safe monotonic event counter for the service
-// layer (cache hits, routes served, ...). The zero value is ready to use.
+// layer (cache hits, routes served, ...). The zero value is ready to
+// use. The word is padded out to a cache line so counters laid out
+// side by side in a struct (the usual pattern) don't false-share under
+// concurrent increments.
 type Counter struct {
 	v atomic.Int64
+	_ [7]uint64
 }
 
 // Inc adds one.

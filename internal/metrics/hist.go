@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/bits"
+	"math/rand/v2"
 	"sync/atomic"
 )
 
@@ -18,6 +19,22 @@ const (
 	histBuckets = histSubs + (64-histSubBits)*histSubs
 )
 
+// histLanes stripes the hot write state (count/sum words and the bucket
+// banks) so concurrent observers don't serialize on single cache lines.
+// Must be a power of two.
+const (
+	histLanes    = 4
+	histLaneMask = histLanes - 1
+)
+
+// histLane is one stripe of the header counters, padded out to a full
+// cache line so two lanes never share one.
+type histLane struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	_     [6]uint64
+}
+
 // Histogram is a goroutine-safe log-bucketed histogram of non-negative
 // int64 samples (the workload engine records latencies as nanoseconds).
 // Observations go to atomic bucket counters, so any number of workers
@@ -28,12 +45,21 @@ const (
 // Buckets are exact up to 16 and log-linear above (16 sub-buckets per
 // power of two), so reported quantiles carry at most ~6% relative
 // error — plenty for latency percentiles spanning nanoseconds to
-// seconds — at a flat ~8KB per histogram regardless of sample count.
+// seconds. The write state is striped histLanes ways: each Observe
+// picks a lane from the calling thread's cheap per-thread generator
+// (math/rand/v2's global, which keeps per-P state) and touches only
+// that lane's padded count/sum words and bucket bank, so observers on
+// different cores stop bouncing the same count/sum/bucket cache lines.
+// The cost is read-side summation across lanes and a flat ~32KB per
+// histogram regardless of sample count — still trivial for the handful
+// of live series.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	max     atomic.Int64
-	buckets [histBuckets]atomic.Int64
+	lanes [histLanes]histLane
+	max   atomic.Int64
+	_     [7]uint64
+	// buckets[l][i] is bucket i of lane l's bank; totals are the sum
+	// over banks.
+	buckets [histLanes][histBuckets]atomic.Int64
 }
 
 // histIndex maps a sample to its bucket.
@@ -60,15 +86,26 @@ func histValue(idx int) int64 {
 	return lower + width/2
 }
 
+// bucketCount returns the lane-summed count of bucket idx.
+func (h *Histogram) bucketCount(idx int) int64 {
+	var c int64
+	for l := 0; l < histLanes; l++ {
+		c += h.buckets[l][idx].Load()
+	}
+	return c
+}
+
 // Observe folds one sample into the histogram. Negative samples count
 // as zero.
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[histIndex(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	lane := rand.Uint64() & histLaneMask
+	h.buckets[lane][histIndex(v)].Add(1)
+	l := &h.lanes[lane]
+	l.count.Add(1)
+	l.sum.Add(v)
 	for {
 		m := h.max.Load()
 		if v <= m || h.max.CompareAndSwap(m, v) {
@@ -78,18 +115,30 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // Count returns the number of samples observed.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Count() int64 {
+	var n int64
+	for l := range h.lanes {
+		n += h.lanes[l].count.Load()
+	}
+	return n
+}
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() int64 { return h.sum.Load() }
+func (h *Histogram) Sum() int64 {
+	var s int64
+	for l := range h.lanes {
+		s += h.lanes[l].sum.Load()
+	}
+	return s
+}
 
 // Mean returns the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
-	return float64(h.sum.Load()) / float64(n)
+	return float64(h.Sum()) / float64(n)
 }
 
 // Max returns the largest sample observed, exactly (0 when empty).
@@ -99,7 +148,7 @@ func (h *Histogram) Max() int64 { return h.max.Load() }
 // the bucket holding the nearest rank; ranks landing past every
 // recorded bucket report the exact maximum. 0 when empty.
 func (h *Histogram) Quantile(q float64) int64 {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -118,7 +167,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 	}
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
-		c := h.buckets[i].Load()
+		c := h.bucketCount(i)
 		if c == 0 {
 			continue
 		}
@@ -140,7 +189,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 // slightly stale but internally consistent view.
 func (h *Histogram) Buckets(f func(upper, count int64)) {
 	for i := 0; i < histBuckets; i++ {
-		c := h.buckets[i].Load()
+		c := h.bucketCount(i)
 		if c == 0 {
 			continue
 		}
@@ -161,17 +210,20 @@ func histUpper(idx int) int64 {
 	return lower + width - 1
 }
 
-// Merge folds another histogram into h. Not atomic as a whole: callers
-// merge after the observing goroutines have quiesced (the engine merges
-// per-phase histograms into the run total at report time).
+// Merge folds another histogram into h, lane by lane. Not atomic as a
+// whole: callers merge after the observing goroutines have quiesced
+// (the engine merges per-phase histograms into the run total at report
+// time).
 func (h *Histogram) Merge(o *Histogram) {
-	for i := 0; i < histBuckets; i++ {
-		if c := o.buckets[i].Load(); c != 0 {
-			h.buckets[i].Add(c)
+	for l := 0; l < histLanes; l++ {
+		for i := 0; i < histBuckets; i++ {
+			if c := o.buckets[l][i].Load(); c != 0 {
+				h.buckets[l][i].Add(c)
+			}
 		}
+		h.lanes[l].count.Add(o.lanes[l].count.Load())
+		h.lanes[l].sum.Add(o.lanes[l].sum.Load())
 	}
-	h.count.Add(o.count.Load())
-	h.sum.Add(o.sum.Load())
 	for {
 		m, om := h.max.Load(), o.max.Load()
 		if om <= m || h.max.CompareAndSwap(m, om) {

@@ -61,6 +61,10 @@ type Model struct {
 	Cost ConstructionCost
 
 	info []Info
+	// masks[u] packs Safe as a bitmask (bit z-1 = S_z(u)), rebuilt by
+	// finalizeShapes after every (re)labeling so the routing scans test
+	// safety with one byte load — see SafeMasks.
+	masks []uint8
 	// edge[u] caches the pinned set.
 	edge []bool
 	// shapes[u][z-1] caches Shape/FarCorner per (node, zone).
@@ -133,6 +137,15 @@ func (m *Model) AnySafe(u topo.NodeID) bool {
 	}
 	return false
 }
+
+// SafeMasks exports the per-node safety statuses as packed bitmasks:
+// bit z-1 of masks[u] is S_z(u), so SafeToward collapses to one byte
+// load plus a shift once the caller has the candidate's zone, and
+// AnySafe to masks[u] != 0. The slice aliases model-internal storage
+// kept coherent with the labeling (rebuilt after every Build / Repair,
+// under the same serialization contract as every other model read) and
+// must not be modified.
+func (m *Model) SafeMasks() []uint8 { return m.masks }
 
 // AllUnsafe reports the paper's (0,0,0,0) condition that triggers the
 // cautious perimeter phase.
@@ -240,9 +253,17 @@ func (m *Model) finalizeShapes() {
 		m.shapes = make([][geom.NumZones]shapeCache, n)
 		m.conf = make([]geom.Rect, n)
 		m.confOK = make([]bool, n)
+		m.masks = make([]uint8, n)
 	}
 	par.For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			var mask uint8
+			for z := 0; z < geom.NumZones; z++ {
+				if m.info[i].Safe[z] {
+					mask |= 1 << uint(z)
+				}
+			}
+			m.masks[i] = mask
 			u := topo.NodeID(i)
 			pu := m.Net.Pos(u)
 			for _, z := range geom.AllZones {

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"github.com/straightpath/wasn/internal/core"
-	"github.com/straightpath/wasn/internal/metrics"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -24,14 +23,14 @@ type cacheKey struct {
 
 // routeCache is a sharded LRU of routing results. Sharding keeps lock
 // contention off the hot path when many goroutines serve cache hits
-// concurrently; each shard holds its own lock, map, and recency list.
+// concurrently; each shard holds its own lock, map, recency list, and
+// hit/miss counters. Keeping the counters per shard — plain words
+// bumped under the shard lock the operation already holds — means the
+// hot lookup path touches no cross-shard cache line at all: the old
+// global atomics made every hit on every shard fight over one line.
 type routeCache struct {
-	shards  []*cacheShard
-	seed    maphash.Seed
-	hits    metrics.Counter
-	misses  metrics.Counter
-	evicted metrics.Counter
-	purged  metrics.Counter
+	shards []*cacheShard
+	seed   maphash.Seed
 }
 
 type cacheShard struct {
@@ -41,6 +40,19 @@ type cacheShard struct {
 	// ll orders entries most-recently-used first.
 	ll *list.List
 	m  map[cacheKey]*list.Element
+	// Shard-local statistics, guarded by mu (reads sum across shards).
+	hits    int64
+	misses  int64
+	evicted int64
+	purged  int64
+}
+
+// cacheStats is the shard-summed statistics snapshot.
+type cacheStats struct {
+	hits    int64
+	misses  int64
+	evicted int64
+	purged  int64
 }
 
 type cacheEntry struct {
@@ -98,14 +110,14 @@ func (c *routeCache) get(k cacheKey) (core.Result, bool) {
 	sh.mu.Lock()
 	el, ok := sh.m[k]
 	if !ok {
+		sh.misses++
 		sh.mu.Unlock()
-		c.misses.Inc()
 		return core.Result{}, false
 	}
 	sh.ll.MoveToFront(el)
+	sh.hits++
 	res := el.Value.(*cacheEntry).res
 	sh.mu.Unlock()
-	c.hits.Inc()
 	return res, true
 }
 
@@ -126,22 +138,19 @@ func (c *routeCache) put(k cacheKey, res core.Result) {
 		return
 	}
 	sh.m[k] = sh.ll.PushFront(&cacheEntry{key: k, res: res})
-	var evicted int64
 	for sh.ll.Len() > sh.cap {
 		back := sh.ll.Back()
 		sh.ll.Remove(back)
 		delete(sh.m, back.Value.(*cacheEntry).key)
-		evicted++
+		sh.evicted++
 	}
 	sh.mu.Unlock()
-	c.evicted.Add(evicted)
 }
 
 // purgeDeployment drops every entry of the named deployment (any epoch).
 // Epoch keying already makes stale entries unreachable; the purge frees
 // their capacity eagerly.
 func (c *routeCache) purgeDeployment(dep string) {
-	var purged int64
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for el := sh.ll.Front(); el != nil; {
@@ -150,13 +159,27 @@ func (c *routeCache) purgeDeployment(dep string) {
 			if e.key.dep == dep {
 				sh.ll.Remove(el)
 				delete(sh.m, e.key)
-				purged++
+				sh.purged++
 			}
 			el = next
 		}
 		sh.mu.Unlock()
 	}
-	c.purged.Add(purged)
+}
+
+// stats sums the shard-local counters into one snapshot. A scrape-path
+// read: it takes each shard lock briefly, never on the serving path.
+func (c *routeCache) stats() cacheStats {
+	var s cacheStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.hits += sh.hits
+		s.misses += sh.misses
+		s.evicted += sh.evicted
+		s.purged += sh.purged
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // len returns the total number of live entries.

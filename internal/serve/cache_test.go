@@ -23,7 +23,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 	if !ok || res.Length != 42 {
 		t.Fatalf("get = %+v, %v; want cached result", res, ok)
 	}
-	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+	if h, m := c.stats().hits, c.stats().misses; h != 1 || m != 1 {
 		t.Fatalf("hits=%d misses=%d; want 1, 1", h, m)
 	}
 }
@@ -44,8 +44,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	if _, ok := c.get(key("d", 0, 0, 1)); !ok {
 		t.Fatal("recently used entry 0 was evicted")
 	}
-	if c.evicted.Load() != 1 {
-		t.Fatalf("evicted = %d; want 1", c.evicted.Load())
+	if c.stats().evicted != 1 {
+		t.Fatalf("evicted = %d; want 1", c.stats().evicted)
 	}
 }
 
@@ -67,8 +67,8 @@ func TestCachePurgeDeployment(t *testing.T) {
 	if got := c.len(); got != 10 {
 		t.Fatalf("len after purge = %d; want 10", got)
 	}
-	if c.purged.Load() != 10 {
-		t.Fatalf("purged = %d; want 10", c.purged.Load())
+	if c.stats().purged != 10 {
+		t.Fatalf("purged = %d; want 10", c.stats().purged)
 	}
 	for i := 0; i < 10; i++ {
 		if _, ok := c.get(key("a", 0, i, i+1)); ok {

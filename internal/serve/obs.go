@@ -39,9 +39,12 @@ type serviceObs struct {
 	traceEach int64
 	ring      traceRing
 
-	// Sampled hop-stretch measurement.
+	// Sampled hop-stretch measurement. stretchDur prices the sampling
+	// itself: the reference BFS each sample pays, in its own series so
+	// operators can see what StretchSampleEvery costs before tuning it.
 	stretchSeq  atomic.Int64
 	stretchEach int64
+	stretchDur  *obs.Histogram
 }
 
 // algObs is the pre-resolved per-algorithm series bundle.
@@ -79,7 +82,9 @@ func newServiceObs(cfg Config) *serviceObs {
 			"Route decision traces recorded (sampled plus explicit trace requests)."),
 		traceEach:   int64(cfg.TraceSampleEvery),
 		stretchEach: int64(cfg.StretchSampleEvery),
-		alg:         make(map[string]*algObs, len(Algorithms())),
+		stretchDur: obs.NewHistogram("wasn_stretch_sample_duration_us",
+			"Latency of the pooled reference hop-count search each stretch sample pays, in microseconds."),
+		alg: make(map[string]*algObs, len(Algorithms())),
 	}
 	so.ring.init(cfg.TraceRingSize)
 
@@ -108,7 +113,7 @@ func newServiceObs(cfg Config) *serviceObs {
 
 	so.reg.MustRegister(
 		so.requests, so.requestErrors, so.requestDur,
-		so.buildDur, so.repairDur, so.traces,
+		so.buildDur, so.repairDur, so.traces, so.stretchDur,
 		routesTotal, hops, phaseHops, stretch,
 	)
 	return so

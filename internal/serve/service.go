@@ -114,21 +114,22 @@ func New(cfg Config) *Service {
 		}))
 	if cfg.CacheSize >= 0 {
 		s.cache = newRouteCache(cfg.CacheSize, cfg.CacheShards)
-		// The cache keeps its own wait-free counters; the registry reads
-		// them at scrape time instead of maintaining a parallel set.
+		// The cache keeps shard-local counters bumped under the shard
+		// locks; the registry sums them at scrape time instead of
+		// maintaining a parallel set.
 		s.so.reg.MustRegister(
 			obs.NewFunc("wasn_route_cache_hits_total",
 				"Route cache lookups answered from the cache.", obs.KindCounter,
-				func() float64 { return float64(s.cache.hits.Load()) }),
+				func() float64 { return float64(s.cache.stats().hits) }),
 			obs.NewFunc("wasn_route_cache_misses_total",
 				"Route cache lookups that required a route computation.", obs.KindCounter,
-				func() float64 { return float64(s.cache.misses.Load()) }),
+				func() float64 { return float64(s.cache.stats().misses) }),
 			obs.NewFunc("wasn_route_cache_evictions_total",
 				"Route cache entries evicted by the per-shard LRU.", obs.KindCounter,
-				func() float64 { return float64(s.cache.evicted.Load()) }),
+				func() float64 { return float64(s.cache.stats().evicted) }),
 			obs.NewFunc("wasn_route_cache_purged_total",
 				"Route cache entries purged by topology changes.", obs.KindCounter,
-				func() float64 { return float64(s.cache.purged.Load()) }),
+				func() float64 { return float64(s.cache.stats().purged) }),
 			obs.NewFunc("wasn_route_cache_entries",
 				"Live route cache entries.", obs.KindGauge,
 				func() float64 { return float64(s.cache.len()) }),
@@ -369,10 +370,15 @@ func (s *Service) route(deployment, algorithm string, src, dst topo.NodeID, path
 	}
 	s.so.recordComputed(algorithm, res)
 	if res.Delivered && !isIdealAlgorithm(algorithm) && s.so.sampleStretch() {
-		// One reference BFS route per sample; still under the RLock, so
-		// the comparison runs against the same topology epoch.
-		if ires := d.routers["Ideal-hops"].Route(src, dst); ires.Delivered {
-			s.so.observeStretch(algorithm, res.Hops(), ires.Hops())
+		// One pathless reference BFS per sample (pooled scratch, no
+		// route materialized — the comparison only needs the count);
+		// still under the RLock, so it runs against the same topology
+		// epoch. Its cost lands in the dedicated duration series.
+		start := time.Now()
+		ihops := topo.HopCount(d.dep.Net, src, dst)
+		s.so.stretchDur.Observe(time.Since(start).Microseconds())
+		if ihops > 0 {
+			s.so.observeStretch(algorithm, res.Hops(), ihops)
 		}
 	}
 	if s.cache != nil {
@@ -609,10 +615,11 @@ func (s *Service) Stats() Stats {
 		RevivedNodes: s.revivals.Load(),
 	}
 	if s.cache != nil {
-		st.CacheHits = s.cache.hits.Load()
-		st.CacheMisses = s.cache.misses.Load()
-		st.CacheEvictions = s.cache.evicted.Load()
-		st.CachePurged = s.cache.purged.Load()
+		cs := s.cache.stats()
+		st.CacheHits = cs.hits
+		st.CacheMisses = cs.misses
+		st.CacheEvictions = cs.evicted
+		st.CachePurged = cs.purged
 		st.CacheEntries = s.cache.len()
 		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 			st.CacheHitRate = float64(st.CacheHits) / float64(lookups)

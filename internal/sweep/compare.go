@@ -102,6 +102,55 @@ func Compare(cur, base *CapacityCurve, tol Tolerance) []string {
 	return regressions
 }
 
+// Improvements is Compare's mirror image: it returns one message per
+// envelope expansion outside the same tolerance bands — the knee
+// disappearing, the knee rate rising beyond the knee band, or the
+// anchor-rung p99 dropping beyond the p99 band. An improvement never
+// fails a gate; it means the checked-in baseline now undersells the
+// system, so future regressions up to the improvement size would pass
+// unnoticed. The CI perf-gate surfaces these as a notice telling the
+// author to regenerate the baseline (.github/perf/README.md has the
+// recipe).
+func Improvements(cur, base *CapacityCurve, tol Tolerance) []string {
+	tol.defaults()
+	if len(base.Rungs) == 0 || len(cur.Rungs) == 0 {
+		return nil
+	}
+	var improvements []string
+
+	anchor := base.KneeRung
+	if anchor < 0 {
+		anchor = len(base.Rungs) - 1
+	}
+	bR := base.Rungs[anchor]
+	if cR := matchRung(cur, bR.OfferedRPS); cR != nil {
+		baseP99, curP99 := bR.Latency.P99us, cR.Latency.P99us
+		unit := "us"
+		if tol.Normalize {
+			b0, c0 := base.Rungs[0].Latency.P99us, cur.Rungs[0].Latency.P99us
+			if b0 > 0 && c0 > 0 {
+				baseP99, curP99 = baseP99/b0, curP99/c0
+				unit = "x light-load p99"
+			}
+		}
+		if baseP99 > 0 && curP99 < baseP99*(1-tol.P99Frac) {
+			improvements = append(improvements,
+				fmt.Sprintf("p99 at %.0f req/s improved %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
+					bR.OfferedRPS, 100*(1-curP99/baseP99), baseP99, curP99, unit, 100*tol.P99Frac))
+		}
+	}
+	switch {
+	case base.KneeRung >= 0 && cur.KneeRung < 0:
+		improvements = append(improvements,
+			fmt.Sprintf("capacity knee gone: the baseline saturated at %.0f req/s, this curve absorbed its whole ladder", base.KneeRPS))
+	case base.KneeRung >= 0 && cur.KneeRung >= 0 && cur.KneeRPS > base.KneeRPS*(1+tol.KneeFrac):
+		improvements = append(improvements,
+			fmt.Sprintf("capacity knee moved up %.1f%% (%.0f -> %.0f req/s, band %.0f%%)",
+				100*(cur.KneeRPS/base.KneeRPS-1), base.KneeRPS, cur.KneeRPS, 100*tol.KneeFrac))
+	}
+	return improvements
+}
+
 // matchRung finds the rung nearest an offered rate, within 10%
 // relative. Exact for shared geometric ladders; approximate by design
 // for bisect-mode baselines, whose refined rung rates depend on each

@@ -348,6 +348,70 @@ func TestCompare(t *testing.T) {
 	})
 }
 
+func TestImprovements(t *testing.T) {
+	baseline := curveOf(0.1, 3,
+		[3]float64{1000, 1000, 10},
+		[3]float64{2000, 2000, 12},
+		[3]float64{4000, 3500, 40}, // knee
+	)
+
+	t.Run("same curve reports nothing", func(t *testing.T) {
+		cur := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 2000, 12},
+			[3]float64{4000, 3500, 42},
+		)
+		if imps := Improvements(cur, baseline, Tolerance{}); len(imps) != 0 {
+			t.Fatalf("unchanged curve reported improvements: %v", imps)
+		}
+	})
+	t.Run("knee gone", func(t *testing.T) {
+		cur := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 2000, 12},
+			[3]float64{4000, 4000, 14}, // absorbs the whole ladder
+		)
+		if imps := Improvements(cur, baseline, Tolerance{}); len(imps) == 0 {
+			t.Fatal("vanished knee not reported")
+		}
+	})
+	t.Run("knee up beyond band", func(t *testing.T) {
+		withKnee := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 1700, 12}, // knee at 2000
+			[3]float64{4000, 2000, 40},
+		)
+		cur := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 2000, 12},
+			[3]float64{4000, 3500, 40}, // knee at 4000: 2x up
+		)
+		if imps := Improvements(cur, withKnee, Tolerance{}); len(imps) == 0 {
+			t.Fatal("knee doubling not reported")
+		}
+	})
+	t.Run("p99 drop at the anchor", func(t *testing.T) {
+		cur := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 2000, 11},
+			[3]float64{4000, 3500, 15}, // well under 40*(1-0.25)
+		)
+		if imps := Improvements(cur, baseline, Tolerance{}); len(imps) == 0 {
+			t.Fatal("anchor p99 drop not reported")
+		}
+	})
+	t.Run("improvements never flag regressions", func(t *testing.T) {
+		cur := curveOf(0.1, 3,
+			[3]float64{1000, 1000, 10},
+			[3]float64{2000, 1500, 80}, // strictly worse everywhere
+			[3]float64{4000, 1600, 300},
+		)
+		if imps := Improvements(cur, baseline, Tolerance{}); len(imps) != 0 {
+			t.Fatalf("worse curve reported improvements: %v", imps)
+		}
+	})
+}
+
 // TestCompareTolerancesJSON pins that the Tolerance wire form decodes
 // (the perf-gate reads it from flags, but keep the struct stable).
 func TestCompareTolerancesJSON(t *testing.T) {

@@ -1,0 +1,110 @@
+package topo
+
+import "github.com/straightpath/wasn/internal/geom"
+
+// A* over the Euclidean admissible heuristic: edge weights are the
+// Euclidean distances between endpoints, so h(v) = |L(v) - L(dst)| never
+// overestimates the remaining cost (triangle inequality) and is
+// consistent — the first time a node is settled its g-score is final,
+// exactly as in Dijkstra. The search therefore returns a path of the
+// same minimum total length as ShortestEuclideanPathInto while settling
+// only the nodes whose f-score beats the optimum, which on the paper's
+// disk graphs is a narrow corridor around the straight line instead of
+// a full distance ball around the source.
+
+// AStarEuclideanPathInto returns a minimum total-Euclidean-length path
+// from src to dst (inclusive), appending into buf[:0]; nil when
+// unreachable (buf is then unused). It runs over the same pooled
+// scratch as the other searches, so with a reused buffer steady-state
+// queries are allocation-free. The returned path's total length always
+// equals ShortestEuclideanPathInto's (the Dijkstra reference); the node
+// sequence may differ between equally-short optima.
+func AStarEuclideanPathInto(net *Network, src, dst NodeID, buf []NodeID) []NodeID {
+	if !net.Alive(src) || !net.Alive(dst) {
+		return nil
+	}
+	if src == dst {
+		return append(buf[:0], src)
+	}
+	const unreached = -1.0
+	s := acquireSearch(net.N())
+	defer releaseSearch(s)
+	for i := range s.dist {
+		s.dist[i] = unreached
+		s.prev[i] = NoNode
+	}
+	pd := net.Nodes[dst].Pos
+	s.dist[src] = 0
+	s.prev[src] = src
+	h := append(s.heap[:0], pqItem{node: src, dist: geom.Dist(net.Nodes[src].Pos, pd)})
+	alive := net.aliveBits
+	for len(h) > 0 {
+		var it pqItem
+		it, h = pqPop(h)
+		u := it.node
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		if u == dst {
+			s.heap = h[:0]
+			return tracePath(s.prev, src, dst, buf)
+		}
+		du := s.dist[u]
+		pu := net.Nodes[u].Pos
+		row := net.row(u)
+		xs := net.adjX[net.adjOff[u]:net.adjOff[u+1]]
+		ys := net.adjY[net.adjOff[u]:net.adjOff[u+1]]
+		for j, v := range row {
+			if alive[v>>6]&(1<<(uint(v)&63)) == 0 || s.done[v] {
+				continue
+			}
+			pv := geom.Pt(xs[j], ys[j])
+			nd := du + geom.Dist(pu, pv)
+			if s.dist[v] == unreached || nd < s.dist[v] {
+				s.dist[v] = nd
+				s.prev[v] = u
+				h = pqPush(h, pqItem{node: v, dist: nd + geom.Dist(pv, pd)})
+			}
+		}
+	}
+	s.heap = h[:0]
+	return nil
+}
+
+// HopCount returns the minimum hop count from src to dst (0 when
+// src == dst), or -1 when unreachable. It is ShortestHopPathInto
+// without the path: the BFS runs over pooled scratch, materializes
+// nothing, and allocates nothing in steady state — the form the serve
+// layer's sampled hop-stretch measurement wants, since it only compares
+// counts.
+func HopCount(net *Network, src, dst NodeID) int {
+	if !net.Alive(src) || !net.Alive(dst) {
+		return -1
+	}
+	if src == dst {
+		return 0
+	}
+	s := acquireSearch(net.N())
+	defer releaseSearch(s)
+	alive := net.aliveBits
+	s.visited[src] = true
+	s.dist[src] = 0
+	q := append(s.queue[:0], src)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		dv := s.dist[u] + 1
+		for _, v := range net.row(u) {
+			if alive[v>>6]&(1<<(uint(v)&63)) == 0 || s.visited[v] {
+				continue
+			}
+			if v == dst {
+				return int(dv)
+			}
+			s.visited[v] = true
+			s.dist[v] = dv
+			q = append(q, v)
+		}
+	}
+	return -1
+}

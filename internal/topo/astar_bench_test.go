@@ -1,0 +1,67 @@
+package topo
+
+import "testing"
+
+// benchSearchNet is the FA-600 deployment the root route benchmarks
+// use, so the search numbers line up with BenchmarkRouteIdeal*.
+func benchSearchNet(b *testing.B) (*Network, [][2]NodeID) {
+	b.Helper()
+	dep, err := Deploy(DefaultDeployConfig(ModelFA, 600, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := RoutablePairs(dep.Net, 64, 60)
+	if len(pairs) == 0 {
+		b.Fatal("no routable pairs")
+	}
+	return dep.Net, pairs
+}
+
+func BenchmarkAStarSearch(b *testing.B) {
+	net, pairs := benchSearchNet(b)
+	buf := make([]NodeID, 0, net.N())
+	for _, p := range pairs {
+		if path := AStarEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if path := AStarEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+	}
+}
+
+func BenchmarkDijkstraSearch(b *testing.B) {
+	net, pairs := benchSearchNet(b)
+	buf := make([]NodeID, 0, net.N())
+	for _, p := range pairs {
+		if path := ShortestEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if path := ShortestEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+	}
+}
+
+func BenchmarkHopCountSearch(b *testing.B) {
+	net, pairs := benchSearchNet(b)
+	for _, p := range pairs {
+		HopCount(net, p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		HopCount(net, p[0], p[1])
+	}
+}

@@ -1,0 +1,191 @@
+package topo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func deployNet(t testing.TB, model DeployModel, n int, seed uint64) *Network {
+	t.Helper()
+	dep, err := Deploy(DefaultDeployConfig(model, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep.Net
+}
+
+// checkAStarAgainstDijkstra asserts the A* path is a valid path of the
+// same minimum total Euclidean length as the Dijkstra reference for one
+// pair, returning the (possibly regrown) scratch buffers.
+func checkAStarAgainstDijkstra(t *testing.T, net *Network, src, dst NodeID, abuf, dbuf []NodeID) ([]NodeID, []NodeID) {
+	t.Helper()
+	a := AStarEuclideanPathInto(net, src, dst, abuf)
+	d := ShortestEuclideanPathInto(net, src, dst, dbuf)
+	if (a == nil) != (d == nil) {
+		t.Fatalf("%d->%d: A* reachable = %v, Dijkstra reachable = %v", src, dst, a != nil, d != nil)
+	}
+	if a == nil {
+		return abuf, dbuf
+	}
+	if a[0] != src || a[len(a)-1] != dst {
+		t.Fatalf("%d->%d: A* path endpoints %d..%d", src, dst, a[0], a[len(a)-1])
+	}
+	for i := 1; i < len(a); i++ {
+		if !net.InRange(a[i-1], a[i]) {
+			t.Fatalf("%d->%d: A* hop %d-%d out of radio range", src, dst, a[i-1], a[i])
+		}
+		if !net.Alive(a[i]) {
+			t.Fatalf("%d->%d: A* path visits dead node %d", src, dst, a[i])
+		}
+	}
+	la, ld := net.PathLength(a), net.PathLength(d)
+	// Equally-short optima may differ as node sequences; their summed
+	// lengths then agree up to float summation order.
+	if math.Abs(la-ld) > 1e-9*math.Max(1, ld) {
+		t.Fatalf("%d->%d: A* length %.12f, Dijkstra length %.12f (paths %v vs %v)", src, dst, la, ld, a, d)
+	}
+	return a[:0], d[:0]
+}
+
+// TestAStarMatchesDijkstra pins the Ideal-length rewrite: A* over the
+// Euclidean admissible heuristic must return minimum-length paths of
+// exactly the Dijkstra reference's total length, on IA and FA
+// deployments, before and after random node failures.
+func TestAStarMatchesDijkstra(t *testing.T) {
+	cases := []struct {
+		model DeployModel
+		n     int
+		seed  uint64
+	}{
+		{ModelIA, 240, 5},
+		{ModelFA, 300, 19},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			net := deployNet(t, tc.model, tc.n, tc.seed)
+			pairs := RoutablePairs(net, 48, 30)
+			if len(pairs) == 0 {
+				t.Fatal("no routable pairs")
+			}
+			abuf := make([]NodeID, 0, net.N())
+			dbuf := make([]NodeID, 0, net.N())
+			for _, p := range pairs {
+				abuf, dbuf = checkAStarAgainstDijkstra(t, net, p[0], p[1], abuf, dbuf)
+			}
+			// Knock out a random tenth of the nodes and re-check: the
+			// search must honor the liveness bitset, and pairs that
+			// became unreachable must be nil on both sides.
+			rng := rand.New(rand.NewPCG(tc.seed, 0x9e3779b97f4a7c15))
+			for k := 0; k < net.N()/10; k++ {
+				net.SetAlive(NodeID(rng.IntN(net.N())), false)
+			}
+			for _, p := range pairs {
+				abuf, dbuf = checkAStarAgainstDijkstra(t, net, p[0], p[1], abuf, dbuf)
+			}
+		})
+	}
+}
+
+// TestAStarEdgeCases pins the degenerate inputs: self-routes, dead
+// endpoints, and unreachable destinations.
+func TestAStarEdgeCases(t *testing.T) {
+	net := deployNet(t, ModelFA, 200, 11)
+	u := NodeID(0)
+	if got := AStarEuclideanPathInto(net, u, u, nil); len(got) != 1 || got[0] != u {
+		t.Errorf("self-route = %v, want [%d]", got, u)
+	}
+	if got := HopCount(net, u, u); got != 0 {
+		t.Errorf("HopCount(self) = %d, want 0", got)
+	}
+	pairs := RoutablePairs(net, 1, 30)
+	if len(pairs) == 0 {
+		t.Fatal("no routable pair")
+	}
+	src, dst := pairs[0][0], pairs[0][1]
+	net.SetAlive(dst, false)
+	if got := AStarEuclideanPathInto(net, src, dst, nil); got != nil {
+		t.Errorf("path to dead node = %v, want nil", got)
+	}
+	if got := HopCount(net, src, dst); got != -1 {
+		t.Errorf("HopCount to dead node = %d, want -1", got)
+	}
+	net.SetAlive(dst, true)
+	// Isolate dst by killing its whole neighborhood.
+	for _, v := range net.Neighbors(dst) {
+		net.SetAlive(v, false)
+	}
+	if src == dst || net.InRange(src, dst) {
+		t.Skip("pair too close to isolate")
+	}
+	if got := AStarEuclideanPathInto(net, src, dst, nil); got != nil {
+		t.Errorf("path to isolated node = %v, want nil", got)
+	}
+	if got := HopCount(net, src, dst); got != -1 {
+		t.Errorf("HopCount to isolated node = %d, want -1", got)
+	}
+}
+
+// TestHopCountMatchesBFSPath pins the pathless BFS against the
+// path-materializing one: HopCount must equal len(path)-1 everywhere
+// ShortestHopPathInto finds a path.
+func TestHopCountMatchesBFSPath(t *testing.T) {
+	net := deployNet(t, ModelFA, 300, 23)
+	pairs := RoutablePairs(net, 48, 20)
+	if len(pairs) == 0 {
+		t.Fatal("no routable pairs")
+	}
+	buf := make([]NodeID, 0, net.N())
+	for _, p := range pairs {
+		path := ShortestHopPathInto(net, p[0], p[1], buf)
+		if path == nil {
+			t.Fatalf("%d->%d: routable pair has no hop path", p[0], p[1])
+		}
+		if got, want := HopCount(net, p[0], p[1]), len(path)-1; got != want {
+			t.Fatalf("%d->%d: HopCount = %d, BFS path has %d hops", p[0], p[1], got, want)
+		}
+		buf = path[:0]
+	}
+}
+
+// TestSearchZeroAllocs pins the pooled searches at zero allocations per
+// query once warm — what lets the serve layer sample hop stretch and
+// Ideal-length routes on the request path. Skipped under the race
+// detector, whose sync.Pool deliberately drops puts.
+func TestSearchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	net := deployNet(t, ModelFA, 300, 31)
+	pairs := RoutablePairs(net, 8, 40)
+	if len(pairs) == 0 {
+		t.Fatal("no routable pairs")
+	}
+	buf := make([]NodeID, 0, net.N())
+	for _, p := range pairs {
+		if path := AStarEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+		HopCount(net, p[0], p[1])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		if path := AStarEuclideanPathInto(net, p[0], p[1], buf); path != nil {
+			buf = path[:0]
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AStarEuclideanPathInto: %v allocs/query, want 0", avg)
+	}
+	i = 0
+	avg = testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		HopCount(net, p[0], p[1])
+	})
+	if avg != 0 {
+		t.Errorf("HopCount: %v allocs/query, want 0", avg)
+	}
+}

@@ -48,6 +48,17 @@ type Network struct {
 	// walks, the routers' ray rotations, the TENT rule) never call atan2
 	// on the hot path.
 	adjAng []float64
+	// adjX/adjY[i] are the position of adjList[i], packed per edge slot
+	// in structure-of-arrays form: a candidate scan reads neighbor
+	// coordinates with two sequential float64 loads instead of chasing
+	// Nodes[v].Pos through the node table. Positions are immutable after
+	// construction, so the arrays never need repair.
+	adjX, adjY []float64
+
+	// aliveBits is the node liveness as a bitset (bit u of word u/64),
+	// maintained by SetAlive. Scans over static CSR rows test a dead
+	// candidate with one load+mask instead of touching Nodes[v].Alive.
+	aliveBits []uint64
 
 	// dead counts failed nodes network-wide. While it is zero Neighbors
 	// and Degree take the O(1) alias path without scanning liveness.
@@ -109,8 +120,11 @@ func (net *Network) buildAdjacency() {
 	net.adjOff[n] = total
 	net.adjList = make([]NodeID, total)
 	net.adjAng = make([]float64, total)
+	net.adjX = make([]float64, total)
+	net.adjY = make([]float64, total)
 
-	// Pass 2: fill and sort each row, then compute the edge bearings.
+	// Pass 2: fill and sort each row, then compute the edge bearings and
+	// pack the neighbor positions into the per-edge SoA arrays.
 	par.For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u := &net.Nodes[i]
@@ -121,12 +135,22 @@ func (net *Network) buildAdjacency() {
 				}
 			})
 			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
-			ang := net.adjAng[net.adjOff[i]:net.adjOff[i+1]]
+			base := int(net.adjOff[i])
 			for j, v := range row {
-				ang[j] = geom.Angle(u.Pos, net.Nodes[v].Pos)
+				pv := net.Nodes[v].Pos
+				net.adjAng[base+j] = geom.Angle(u.Pos, pv)
+				net.adjX[base+j] = pv.X
+				net.adjY[base+j] = pv.Y
 			}
 		}
 	})
+
+	net.aliveBits = make([]uint64, (n+63)/64)
+	for i, nd := range net.Nodes {
+		if nd.Alive {
+			net.aliveBits[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
 }
 
 // N returns the number of nodes (alive or not).
@@ -146,8 +170,10 @@ func (net *Network) SetAlive(u NodeID, alive bool) {
 	}
 	net.Nodes[u].Alive = alive
 	if alive {
+		net.aliveBits[u>>6] |= 1 << (uint(u) & 63)
 		net.dead--
 	} else {
+		net.aliveBits[u>>6] &^= 1 << (uint(u) & 63)
 		net.dead++
 	}
 }
@@ -174,6 +200,30 @@ func (net *Network) AdjacencyRow(u NodeID) []NodeID { return net.row(u) }
 func (net *Network) AdjacencyAngles(u NodeID) []float64 {
 	return net.adjAng[net.adjOff[u]:net.adjOff[u+1]]
 }
+
+// AdjacencyXY returns the packed neighbor positions of u's static CSR
+// row, index aligned with AdjacencyRow(u): xs[j]/ys[j] is the position
+// of the j-th neighbor. The structure-of-arrays layout lets candidate
+// scans gather coordinates with sequential loads instead of per-node
+// pointer chasing. Both slices alias internal storage and must not be
+// modified.
+func (net *Network) AdjacencyXY(u NodeID) (xs, ys []float64) {
+	return net.adjX[net.adjOff[u]:net.adjOff[u+1]], net.adjY[net.adjOff[u]:net.adjOff[u+1]]
+}
+
+// AliveBits returns the node-liveness bitset: bit u%64 of word u/64 is
+// set while node u is alive. Together with AdjacencyRow it lets scans
+// skip dead candidates with one load+mask; DeadCount()==0 means every
+// bit of every valid node is set and the test can be skipped entirely.
+// The slice aliases internal storage, is maintained by SetAlive, and
+// must not be modified.
+func (net *Network) AliveBits() []uint64 { return net.aliveBits }
+
+// AdjOffset returns the global CSR slot index of the first edge of u's
+// row: AdjacencyRow(u)[j] occupies slot AdjOffset(u)+j. Callers keeping
+// per-edge state in AdjSlots()-length arrays use it to address a whole
+// row without the per-edge AdjSlotOf search.
+func (net *Network) AdjOffset(u NodeID) int { return int(net.adjOff[u]) }
 
 // AdjSlots returns the number of directed CSR edge slots (the length of
 // the flat adjacency array). Together with AdjSlotOf it lets callers

@@ -1,0 +1,7 @@
+//go:build race
+
+package topo
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation pins skip under it (sync.Pool intentionally drops puts).
+const raceEnabled = true
