@@ -9,6 +9,7 @@ package wasn
 // exercises the full pipeline and prints the reproduced quantities.
 
 import (
+	"math/rand/v2"
 	"testing"
 
 	"github.com/straightpath/wasn/internal/bound"
@@ -436,3 +437,48 @@ func BenchmarkServeBatch(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(len(reqs)), "routes/op")
 }
+
+// benchmarkMove measures one 1% drift batch per op on an 800-node FA
+// deployment: 8 movers take a Gaussian step (sigma 4 m, clamped to the
+// field), the CSR adjacency is rewritten (SetPositions), and the
+// substrates are brought to the exact from-scratch state — either by
+// incremental position repair over the geometric dirty set or by a full
+// rebuild. The movers random-walk cumulatively, so later iterations
+// repair progressively displaced networks.
+func benchmarkMove(b *testing.B, incremental bool) {
+	dep, err := Deploy(FA, 800, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := dep.Net
+	m, bs, g := core.BuildSubstrates(net, true, true, true, nil)
+	rng := rand.New(rand.NewPCG(42, 0xd41f7))
+	movers := make([]NodeID, 8)
+	for i := range movers {
+		movers[i] = NodeID((i*101 + 7) % net.N())
+	}
+	moves := make([]topo.Move, len(movers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j, u := range movers {
+			p := net.Pos(u)
+			x := min(max(p.X+rng.NormFloat64()*4, net.Field.Min.X), net.Field.Max.X)
+			y := min(max(p.Y+rng.NormFloat64()*4, net.Field.Min.Y), net.Field.Max.Y)
+			moves[j] = topo.Move{Node: u, X: x, Y: y}
+		}
+		b.StartTimer()
+		dirty, err := net.SetPositions(moves)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if incremental {
+			core.RepairSubstratesMoved(m, bs, g, dirty)
+		} else {
+			m, bs, g = core.BuildSubstrates(net, true, true, true, nil)
+		}
+	}
+}
+
+func BenchmarkMoveRepairIncremental(b *testing.B) { benchmarkMove(b, true) }
+func BenchmarkMoveFullRebuild(b *testing.B)       { benchmarkMove(b, false) }

@@ -54,6 +54,12 @@ type Boundaries struct {
 	recs     []nodeRec
 	claimGen []uint32
 	claimG   uint32
+	// Repair scratch reused across calls (repairs are serialized by the
+	// caller, like claimGen): the dirty-node marks and the re-trace job
+	// list, grown to the current node count on demand.
+	tentDirty []bool
+	walkDirty []bool
+	jobs      []traceJob
 }
 
 // traceRec caches the outcome of one BOUNDHOLE walk (one stuck interval
@@ -132,28 +138,45 @@ func FindHoles(net *topo.Network) *Boundaries {
 			jobs = append(jobs, traceJob{u: res.Node, k: k})
 		}
 	}
-	b.runTraces(jobs)
+	b.runTraces(jobs, nil)
 	b.assemble()
 	return b
 }
 
 // traceJob identifies one walk to run: stuck interval k of node u. The
-// destination slot recs[u].traces[k] must already exist.
+// destination slot recs[u].traces[k] must already exist. hint, set only
+// by position repair, is the walk's previous outcome: the re-trace
+// replays it and sweeps only at dirty nodes (traceHinted).
 type traceJob struct {
-	u topo.NodeID
-	k int
+	u    topo.NodeID
+	k    int
+	hint *traceRec
 }
 
 // runTraces executes the walks. Every walk is independent (it reads the
 // network and writes only its own trace slot), so the jobs fan out
 // across GOMAXPROCS with one tracer — the walk scratch — per chunk.
-func (b *Boundaries) runTraces(jobs []traceJob) {
+func (b *Boundaries) runTraces(jobs []traceJob, dirty []bool) {
 	par.For(len(jobs), func(lo, hi int) {
 		tr := newTracer(b.net, b.maxLen)
 		for i := lo; i < hi; i++ {
 			j := jobs[i]
 			rec := &b.recs[j.u]
-			rec.traces[j.k] = traceOne(tr, j.u, rec.tent.Intervals[j.k])
+			iv := rec.tent.Intervals[j.k]
+			if j.hint == nil {
+				rec.traces[j.k] = traceOne(tr, j.u, iv)
+				continue
+			}
+			changed, cycle, touched := tr.traceHinted(j.u, iv, j.hint, dirty)
+			switch {
+			case !changed:
+				rec.traces[j.k] = *j.hint
+			case cycle != nil:
+				kept := append([]topo.NodeID(nil), cycle...)
+				rec.traces[j.k] = traceRec{cycle: kept, touched: kept}
+			default:
+				rec.traces[j.k] = traceRec{touched: append([]topo.NodeID(nil), touched...)}
+			}
 		}
 	})
 }
@@ -176,12 +199,18 @@ func traceOne(tr *tracer, u topo.NodeID, iv StuckInterval) traceRec {
 // edge wins. An incremental Repair therefore assigns the same hole ids,
 // cycles, and message counts as FindHoles on the mutated network.
 func (b *Boundaries) assemble() {
-	b.Holes = nil
-	b.byNode = make(map[topo.NodeID][]*Hole)
+	b.Holes = b.Holes[:0]
+	if b.byNode == nil {
+		b.byNode = make(map[topo.NodeID][]*Hole)
+	} else {
+		clear(b.byNode)
+	}
 	b.MessageCount = 0
 	// Claimed directed boundary edges live in a generation-stamped array
 	// indexed by CSR edge slot — O(1) to reset, no hashing per edge.
-	if b.claimGen == nil {
+	// Position repair can grow the slot count, so resize by length (the
+	// generation bump makes any slot-shifted stale stamps harmless).
+	if len(b.claimGen) < b.net.AdjSlots() {
 		b.claimGen = make([]uint32, b.net.AdjSlots())
 	}
 	b.claimG++
@@ -195,7 +224,17 @@ func (b *Boundaries) assemble() {
 				continue
 			}
 			b.MessageCount += len(t.cycle)
-			if b.claimed(t.cycle) {
+			// A trace that shares a directed edge with ANY earlier trace —
+			// kept or itself deduplicated — re-found the same hole from
+			// another stuck direction. Claiming only kept holes' edges was
+			// a long-standing bug: a dropped duplicate's remaining edges
+			// stayed unclaimed, so a third walk of the same hole entering
+			// through those edges was kept as a phantom second hole. Every
+			// emitted cycle claims its edges, dropped or not, making the
+			// duplicate relation transitive.
+			dup := b.claimed(t.cycle)
+			b.claim(t.cycle)
+			if dup {
 				continue
 			}
 			hole := &Hole{ID: len(b.Holes), Cycle: t.cycle, BBox: cycleBBox(b.net, t.cycle)}
@@ -203,7 +242,6 @@ func (b *Boundaries) assemble() {
 			for _, v := range t.cycle {
 				b.byNode[v] = append(b.byNode[v], hole)
 			}
-			b.claim(t.cycle)
 		}
 	}
 }
@@ -228,8 +266,9 @@ func (b *Boundaries) Repair(changed []topo.NodeID) {
 	// hop, so a failed node deflects exactly the walks that visited it.
 	// A revived node can newly win any sweep at its neighbors, so it
 	// dirties its whole neighborhood.
-	tentDirty := make([]bool, b.net.N())
-	walkDirty := make([]bool, b.net.N())
+	b.tentDirty = growClear(b.tentDirty, b.net.N())
+	b.walkDirty = growClear(b.walkDirty, b.net.N())
+	tentDirty, walkDirty := b.tentDirty, b.walkDirty
 	for _, x := range changed {
 		tentDirty[x] = true
 		walkDirty[x] = true
@@ -241,7 +280,47 @@ func (b *Boundaries) Repair(changed []topo.NodeID) {
 			}
 		}
 	}
-	var jobs []traceJob
+	b.repairDirty(tentDirty, walkDirty, false)
+}
+
+// RepairMoved incrementally re-derives the boundaries after node
+// positions changed (topo.Network.SetPositions already applied). dirty
+// is the geometric dirty set SetPositions returned. Both the TENT
+// analysis at a node and a CW sweep at a visited walk node read exactly
+// that node's row geometry — neighbor ids, bearings, packed positions —
+// so a node's cached analysis and the walks that swept it are invalid
+// precisely when the node is in the dirty set: tentDirty and walkDirty
+// coincide for moves.
+func (b *Boundaries) RepairMoved(dirty []topo.NodeID) {
+	b.tentDirty = growClear(b.tentDirty, b.net.N())
+	mark := b.tentDirty
+	for _, x := range dirty {
+		mark[x] = true
+	}
+	b.repairDirty(mark, mark, true)
+}
+
+// growClear returns buf grown to at least n and cleared — the dirty-mark
+// scratch shared by the repair entry points.
+func growClear(buf []bool, n int) []bool {
+	if len(buf) < n {
+		return make([]bool, n)
+	}
+	clear(buf)
+	return buf
+}
+
+// repairDirty re-runs TENT on the tentDirty nodes, re-traces every walk
+// that swept a walkDirty node, and reassembles the hole set. moved
+// selects the position-repair fast path: each touched walk re-traces
+// with its cached outcome as an oracle (traceHinted), which skips every
+// sweep at a clean row and usually proves the walk unchanged without
+// re-walking it. Sound only for moves, where every sweep a change could
+// affect reads a dirty row; liveness changes flip sweep outcomes
+// through the Alive bits at rows that are not marked dirty, so those
+// walks re-trace from scratch.
+func (b *Boundaries) repairDirty(tentDirty, walkDirty []bool, moved bool) {
+	jobs := b.jobs[:0]
 	for i := range b.recs {
 		u := topo.NodeID(i)
 		if tentDirty[i] {
@@ -256,26 +335,74 @@ func (b *Boundaries) Repair(changed []topo.NodeID) {
 			}
 			// When the stuck intervals survived the change, the cached
 			// walks stay valid too (walk outcomes depend on the seed
-			// interval and the swept sweeps only); fall through to the
-			// per-walk check. Otherwise every walk re-runs.
+			// interval and the swept rows only); fall through to the
+			// per-walk check. For moves the intervals rarely survive
+			// bit-for-bit — every bearing of a dirty row jitters the
+			// float endpoints — but a walk is a function of its start
+			// node and FIRST HOP alone (the interval only seeds the
+			// first sweep), so jittered and even re-partitioned
+			// interval lists still replay their old walks: each new
+			// interval is matched to the cached walk that starts with
+			// the same first hop and re-traced against it.
 			if !slices.Equal(res.Intervals, b.recs[i].tent.Intervals) {
-				b.recs[i] = nodeRec{tent: res, traces: make([]traceRec, len(res.Intervals))}
-				for k := range res.Intervals {
-					jobs = append(jobs, traceJob{u: u, k: k})
+				if !moved {
+					b.recs[i] = nodeRec{tent: res, traces: make([]traceRec, len(res.Intervals))}
+					for k := range res.Intervals {
+						jobs = append(jobs, traceJob{u: u, k: k})
+					}
+					continue
 				}
-				continue
+				if len(res.Intervals) != len(b.recs[i].traces) {
+					old := b.recs[i].traces
+					b.recs[i] = nodeRec{tent: res, traces: make([]traceRec, len(res.Intervals))}
+					for k := range res.Intervals {
+						jobs = append(jobs, traceJob{u: u, k: k, hint: matchHint(b.net, u, res.Intervals[k], old)})
+					}
+					continue
+				}
 			}
 			b.recs[i].tent = res
 		}
 		// Re-trace only the walks that swept a walk-dirty node.
 		for k := range b.recs[i].traces {
-			if touchesDirty(b.recs[i].traces[k].touched, walkDirty) {
+			tr := &b.recs[i].traces[k]
+			if !touchesDirty(tr.touched, walkDirty) {
+				continue
+			}
+			if moved {
+				jobs = append(jobs, traceJob{u: u, k: k, hint: tr})
+			} else {
 				jobs = append(jobs, traceJob{u: u, k: k})
 			}
 		}
 	}
-	b.runTraces(jobs)
+	b.jobs = jobs
+	b.runTraces(jobs, walkDirty)
 	b.assemble()
+	// Drop the hint pointers so retired trace records can be collected
+	// (the jobs buffer is retained across repairs).
+	for i := range jobs {
+		jobs[i].hint = nil
+	}
+}
+
+// matchHint picks the cached walk a fresh walk seeded by iv would
+// replay. The whole course of a walk is a function of its start node
+// and first hop — the interval steers nothing past the first sweep —
+// so the cached walk with the same first hop is the right oracle even
+// when the interval list was re-partitioned. nil (no way into the gap,
+// or a genuinely new first hop) re-traces from scratch.
+func matchHint(net *topo.Network, u topo.NodeID, iv StuckInterval, old []traceRec) *traceRec {
+	first := sweepCW(net, u, iv.MidDirection(), topo.NoNode)
+	if first == topo.NoNode {
+		return nil
+	}
+	for m := range old {
+		if t := old[m].touched; len(t) >= 2 && t[1] == first {
+			return &old[m]
+		}
+	}
+	return nil
 }
 
 // touchesDirty reports whether any of the nodes is marked dirty.
@@ -329,6 +456,19 @@ type tracer struct {
 	cycle   []topo.NodeID
 	edgeGen []uint32
 	gen     uint32
+	// Hint re-convergence index for position-repair replays: node →
+	// position in the current hint sequence, generation-stamped like
+	// edgeGen and allocated on the first divergent hinted walk.
+	hintIdx []int32
+	hintGen []uint32
+	hintG   uint32
+	// Successor memo for position-repair replays, keyed by the in-edge
+	// CSR slot of a walk state (prev, cur): the boundary successor and
+	// its out-edge slot, both pure functions of the state on the
+	// round's frozen network (resumeLive). Allocated on first use.
+	succNext []topo.NodeID
+	succSlot []int32
+	succSet  []bool
 }
 
 func newTracer(net *topo.Network, maxLen int) *tracer {
@@ -352,12 +492,19 @@ func (tr *tracer) beginWalk() {
 // walkEdge stamps the directed edge u→v as walked, reporting whether it
 // had already been walked this generation.
 func (tr *tracer) walkEdge(u, v topo.NodeID) (again bool) {
-	slot := tr.net.AdjSlotOf(u, v)
+	_, again = tr.walkEdgeSlot(u, v)
+	return again
+}
+
+// walkEdgeSlot is walkEdge returning the edge's CSR slot as well, for
+// callers that keep walking from it.
+func (tr *tracer) walkEdgeSlot(u, v topo.NodeID) (slot int32, again bool) {
+	slot = int32(tr.net.AdjSlotOf(u, v))
 	if tr.edgeGen[slot] == tr.gen {
-		return true
+		return slot, true
 	}
 	tr.edgeGen[slot] = tr.gen
-	return false
+	return slot, false
 }
 
 // trace walks the hole boundary starting at stuck node t0, heading into
@@ -418,16 +565,280 @@ func (tr *tracer) trace(t0 topo.NodeID, iv StuckInterval) (cycle, touched []topo
 	return nil, buf
 }
 
+// traceHinted re-runs the walk (t0, iv) after a position batch, using
+// its cached outcome as an oracle. Soundness: a CW sweep at a node
+// whose adjacency row the batch did not touch (dirty=false) reads
+// exactly the neighbor ids, bearings, and liveness it read when the
+// cache was built — position batches change no Alive bit — so from an
+// identical walk state (prev, cur) it must reproduce the cached
+// successor without being re-run. The walk is therefore REPLAYED
+// index by index, sweeping only at dirty nodes, and the first
+// mismatched successor is the divergence point: the fresh walk equals
+// the cached prefix up to it and resumes live from there (resumeLive),
+// free to re-converge onto the cached sequence. A touched walk whose
+// dirty sweeps all match replays to its cached end and is proven
+// unchanged in O(dirty·deg) instead of being re-walked in O(len·deg).
+//
+// Visited-edge stamps are skipped during the replay: the prefix edges
+// are a sub-path of the cached walk, which never repeats a directed
+// edge, so the repeat-edge abort cannot fire before the divergence
+// point; resumeLive stamps the prefix in bulk when it takes over. The
+// step budget cannot bind either — the visit buffer grows every step,
+// so the length cap (maxLen ≪ budget) always trips first, and the
+// cached walk already respected it.
+//
+// changed=false reports that the fresh walk reproduces the cached
+// outcome bit for bit: the caller keeps the cached record and
+// allocates nothing. Sound for position repair only — a liveness flip
+// at x alters sweeps at x's neighbors through the Alive bits, which
+// row-dirtiness does not capture.
+func (tr *tracer) traceHinted(t0 topo.NodeID, iv StuckInterval, hint *traceRec, dirty []bool) (changed bool, cycle, touched []topo.NodeID) {
+	nodes := hint.touched // == cycle for closed walks (they share the slice)
+	closed := hint.cycle != nil
+	n := len(nodes)
+	// First hop. A clean t0 keeps its cached (bit-equal) interval and
+	// row, so the first sweep reproduces unswept; a dirty t0 — or a
+	// jittered/re-matched interval, which implies a dirty t0 — sweeps
+	// live against the new seed direction.
+	var first topo.NodeID
+	if !dirty[t0] {
+		if n < 2 {
+			return false, nil, nil // still no way into the gap
+		}
+		first = nodes[1]
+	} else {
+		first = sweepCW(tr.net, t0, iv.MidDirection(), topo.NoNode)
+		if first == topo.NoNode {
+			if n < 2 && !closed {
+				return false, nil, nil
+			}
+			buf := append(tr.cycle[:0], t0)
+			tr.cycle = buf[:0]
+			return true, nil, buf
+		}
+	}
+	if n < 2 || first != nodes[1] {
+		return tr.resumeLive(t0, nodes, closed, dirty, 0, first)
+	}
+	for j := 1; ; j++ {
+		cur := nodes[j]
+		if j == n-1 {
+			if !closed && n > tr.maxLen {
+				// The cached walk aborted overlong at the append of its
+				// last node; the fresh walk appends and aborts there
+				// too, before ever sweeping at it.
+				return false, nil, nil
+			}
+			if !dirty[cur] {
+				// Closed: the clean final sweep returns to t0 as
+				// cached. Failed: the aborting sweep replays against an
+				// identical row and stamp history, aborting identically.
+				return false, nil, nil
+			}
+			next := tr.succOf(nodes[j-1], cur)
+			if closed && next == t0 {
+				return false, nil, nil
+			}
+			return tr.resumeLive(t0, nodes, closed, dirty, j, next)
+		}
+		if !dirty[cur] {
+			continue
+		}
+		next := tr.succOf(nodes[j-1], cur)
+		if next != nodes[j+1] {
+			return tr.resumeLive(t0, nodes, closed, dirty, j, next)
+		}
+	}
+}
+
+// resumeLive continues a hinted walk that diverged at the sweep at
+// nodes[j], which picked next instead of the cached successor (j=0:
+// the first hop itself diverged). The fresh walk's prefix equals
+// nodes[:j+1]; its edges are stamped in bulk and the walk proceeds
+// exactly as trace would — except that whenever the live state
+// (prev, cur) matches a cached state at a clean node, the next hop is
+// read from the cache instead of swept, an O(1) fast-forward that
+// carries the walk along unchanged stretches of a re-joined boundary.
+// Repeat-edge aborts, the length cap, and the closing return stay live:
+// only sweep outcomes are oracled, never the walk bookkeeping.
+// resumeLive continues a hinted walk that diverged at the sweep at
+// nodes[j], which picked next instead of the cached successor (j=0: the
+// first hop itself diverged). The fresh walk's prefix equals
+// nodes[:j+1]; its edges are stamped in bulk and the walk proceeds
+// exactly as trace would, with two accelerations that change no
+// outcome:
+//
+//   - Successor memo: one repair round runs against one frozen network,
+//     so the boundary successor of a walk state (prev, cur) — the CW
+//     sweep from the back-edge bearing — is a pure function of the
+//     state. Every successor computed this round is memoized under the
+//     in-edge's CSR slot, and diverged walks re-walking the same
+//     stretch (hole rims and the overlong outer-face orbits are
+//     re-walked by many stuck intervals) replay it at O(1) per step
+//     instead of O(deg). The memo also stores the out-edge slot, making
+//     the visited-edge stamp O(1) on a hit.
+//   - Hint fast-forward: whenever the live state matches a cached state
+//     at a clean node (beginHint/hintAt), the cached successor is valid
+//     by the row-identity argument (traceHinted) and is taken — and
+//     memoized — without sweeping.
+//
+// Repeat-edge aborts, the length cap, and the closing return stay live:
+// only sweep outcomes are oracled, never the walk bookkeeping.
+func (tr *tracer) resumeLive(t0 topo.NodeID, nodes []topo.NodeID, closed bool, dirty []bool, j int, next topo.NodeID) (bool, []topo.NodeID, []topo.NodeID) {
+	buf := append(tr.cycle[:0], nodes[:j+1]...)
+	tr.beginWalk()
+	for i := 0; i < j; i++ {
+		tr.walkEdge(nodes[i], nodes[i+1])
+	}
+	inSlot, again := tr.walkEdgeSlot(nodes[j], next)
+	if again {
+		tr.cycle = buf[:0]
+		return true, nil, buf
+	}
+	tr.beginHint(nodes)
+	tr.ensureMemo()
+	prev, cur := nodes[j], next
+	budget := maxBoundarySteps(tr.net)
+	for step := j; step < budget; step++ {
+		if cur == t0 {
+			tr.cycle = buf[:0]
+			return true, buf, buf
+		}
+		buf = append(buf, cur)
+		if len(buf) > tr.maxLen {
+			tr.cycle = buf[:0]
+			return true, nil, buf
+		}
+		var nxt topo.NodeID
+		var outSlot int32
+		if tr.succSet[inSlot] {
+			nxt, outSlot = tr.succNext[inSlot], tr.succSlot[inSlot]
+		} else {
+			if k := tr.hintAt(cur); k > 0 && nodes[k-1] == prev && !dirty[cur] && (k < len(nodes)-1 || closed) {
+				if k == len(nodes)-1 {
+					nxt = t0 // the cached closing sweep
+				} else {
+					nxt = nodes[k+1]
+				}
+				outSlot = int32(tr.net.AdjSlotOf(cur, nxt))
+			} else {
+				nxt, outSlot = tr.sweepFromSlot(cur, prev)
+			}
+			tr.succSet[inSlot] = true
+			tr.succNext[inSlot] = nxt
+			tr.succSlot[inSlot] = outSlot
+		}
+		if tr.stampSlot(outSlot) {
+			tr.cycle = buf[:0]
+			return true, nil, buf
+		}
+		prev, cur, inSlot = cur, nxt, outSlot
+	}
+	tr.cycle = buf[:0]
+	return true, nil, buf
+}
+
+// sweepFromSlot runs one boundary step live — sweep CW from the
+// back-edge direction, bouncing off dead ends, exactly as trace does —
+// and also reports the CSR slot of the chosen out-edge cur→next.
+func (tr *tracer) sweepFromSlot(cur, prev topo.NodeID) (topo.NodeID, int32) {
+	from, _ := tr.net.EdgeBearing(cur, prev)
+	next, slot := sweepCWSlot(tr.net, cur, from, prev)
+	if next == topo.NoNode {
+		return prev, int32(tr.net.AdjSlotOf(cur, prev)) // dead end: bounce back
+	}
+	return next, slot
+}
+
+// succOf resolves the boundary successor of the state (prev, cur)
+// through the round's memo — the replay-phase counterpart of the
+// resumeLive step, used where no visited-edge stamp is needed.
+func (tr *tracer) succOf(prev, cur topo.NodeID) topo.NodeID {
+	tr.ensureMemo()
+	inSlot := tr.net.AdjSlotOf(prev, cur)
+	if tr.succSet[inSlot] {
+		return tr.succNext[inSlot]
+	}
+	next, outSlot := tr.sweepFromSlot(cur, prev)
+	tr.succSet[inSlot] = true
+	tr.succNext[inSlot] = next
+	tr.succSlot[inSlot] = outSlot
+	return next
+}
+
+// ensureMemo allocates the successor memo on first use. The tracer
+// lives for one runTraces call — one repair round on one frozen
+// network — so entries never need invalidating within its lifetime.
+func (tr *tracer) ensureMemo() {
+	if tr.succSet == nil {
+		n := tr.net.AdjSlots()
+		tr.succSet = make([]bool, n)
+		tr.succNext = make([]topo.NodeID, n)
+		tr.succSlot = make([]int32, n)
+	}
+}
+
+// stampSlot stamps a directed edge by its known CSR slot, reporting
+// whether it had already been walked this generation — walkEdge minus
+// the slot search.
+func (tr *tracer) stampSlot(slot int32) (again bool) {
+	if tr.edgeGen[slot] == tr.gen {
+		return true
+	}
+	tr.edgeGen[slot] = tr.gen
+	return false
+}
+
+// beginHint indexes the hint sequence by node so a diverged walk can
+// re-converge onto it: hintAt returns a node's position, or 0 when the
+// node is absent or visited more than once (an ambiguous position
+// cannot identify a unique walk state).
+func (tr *tracer) beginHint(nodes []topo.NodeID) {
+	if len(tr.hintIdx) < tr.net.N() {
+		tr.hintIdx = make([]int32, tr.net.N())
+		tr.hintGen = make([]uint32, tr.net.N())
+	}
+	tr.hintG++
+	if tr.hintG == 0 {
+		clear(tr.hintGen)
+		tr.hintG = 1
+	}
+	for i := 1; i < len(nodes); i++ {
+		v := nodes[i]
+		if tr.hintGen[v] == tr.hintG {
+			tr.hintIdx[v] = 0
+			continue
+		}
+		tr.hintGen[v] = tr.hintG
+		tr.hintIdx[v] = int32(i)
+	}
+}
+
+func (tr *tracer) hintAt(v topo.NodeID) int {
+	if tr.hintGen[v] != tr.hintG {
+		return 0
+	}
+	return int(tr.hintIdx[v])
+}
+
 // sweepCW returns the neighbor of u whose direction is first reached when
 // rotating clockwise from the angle `from`, skipping `exclude` (pass
 // topo.NoNode to allow all neighbors). It runs on the network's
 // precomputed edge bearings, so a sweep step performs no trigonometry.
 func sweepCW(net *topo.Network, u topo.NodeID, from float64, exclude topo.NodeID) topo.NodeID {
+	next, _ := sweepCWSlot(net, u, from, exclude)
+	return next
+}
+
+// sweepCWSlot is sweepCW returning the winning edge's CSR slot as well
+// (-1 when no neighbor qualifies).
+func sweepCWSlot(net *topo.Network, u topo.NodeID, from float64, exclude topo.NodeID) (topo.NodeID, int32) {
 	row := net.AdjacencyRow(u)
 	angs := net.AdjacencyAngles(u)
 	checkAlive := net.DeadCount() > 0
 	best := topo.NoNode
 	bestDelta := geom.TwoPi + 1
+	bestJ := -1
 	for j, v := range row {
 		if v == exclude || (checkAlive && !net.Alive(v)) {
 			continue
@@ -439,9 +850,13 @@ func sweepCW(net *topo.Network, u topo.NodeID, from float64, exclude topo.NodeID
 		if delta < bestDelta {
 			bestDelta = delta
 			best = v
+			bestJ = j
 		}
 	}
-	return best
+	if bestJ < 0 {
+		return topo.NoNode, -1
+	}
+	return best, int32(net.AdjOffset(u) + bestJ)
 }
 
 // FollowBoundary returns the boundary successor of u on hole h moving in

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/bound"
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/planar"
+	"github.com/straightpath/wasn/internal/safety"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// buildRouterTable mirrors the serve layer's 7-algorithm table over one
+// set of substrates.
+func buildRouterTable(net *topo.Network, m *safety.Model, b *bound.Boundaries, g *planar.Graph) map[string]Router {
+	return map[string]Router{
+		"GF":           NewGF(net, b),
+		"LGF":          NewLGF(net),
+		"SLGF":         NewSLGF(net, m),
+		"SLGF2":        NewSLGF2(net, m, WithPlanarGraph(g)),
+		"GPSR":         NewGPSR(net, g),
+		"Ideal-hops":   NewIdeal(net, IdealMinHop),
+		"Ideal-length": NewIdeal(net, IdealMinLength),
+	}
+}
+
+// mutatePositions applies one random drift batch (occasionally a long
+// teleport) through SetPositions and returns the dirty set.
+func mutatePositions(t *testing.T, rng *rand.Rand, net *topo.Network) []topo.NodeID {
+	t.Helper()
+	k := 1 + rng.IntN(6)
+	moves := make([]topo.Move, 0, k)
+	for len(moves) < k {
+		u := topo.NodeID(rng.IntN(net.N()))
+		p := net.Pos(u)
+		var np geom.Point
+		if rng.Float64() < 0.15 {
+			np = geom.Pt(
+				net.Field.Min.X+rng.Float64()*net.Field.Width(),
+				net.Field.Min.Y+rng.Float64()*net.Field.Height(),
+			)
+		} else {
+			np = geom.Pt(p.X+rng.NormFloat64()*6, p.Y+rng.NormFloat64()*6)
+			np.X = min(max(np.X, net.Field.Min.X), net.Field.Max.X)
+			np.Y = min(max(np.Y, net.Field.Min.Y), net.Field.Max.Y)
+		}
+		moves = append(moves, topo.Move{Node: u, X: np.X, Y: np.Y})
+	}
+	dirty, err := net.SetPositions(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirty
+}
+
+// freshClone rebuilds the network from scratch over the mutated
+// positions and liveness — the from-scratch oracle for repaired state.
+func freshClone(t *testing.T, net *topo.Network) *topo.Network {
+	t.Helper()
+	fresh, err := topo.NewNetwork(net.Positions(), net.Radius, net.Field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < net.N(); u++ {
+		if !net.Alive(topo.NodeID(u)) {
+			fresh.SetAlive(topo.NodeID(u), false)
+		}
+	}
+	return fresh
+}
+
+// compareRoutes asserts that every algorithm routes a sample of pairs
+// identically over the repaired substrates and the fresh rebuild.
+func compareRoutes(t *testing.T, step int, rng *rand.Rand, net *topo.Network,
+	got, want map[string]Router) {
+	t.Helper()
+	alive := net.AliveIDs()
+	if len(alive) < 2 {
+		return
+	}
+	for pair := 0; pair < 20; pair++ {
+		src := alive[rng.IntN(len(alive))]
+		dst := alive[rng.IntN(len(alive))]
+		if src == dst {
+			continue
+		}
+		for name, gr := range got {
+			g := gr.Route(src, dst)
+			w := want[name].Route(src, dst)
+			if g.Delivered != w.Delivered || g.Reason != w.Reason ||
+				g.Length != w.Length || g.PhaseHops != w.PhaseHops ||
+				!slices.Equal(g.Path, w.Path) {
+				t.Errorf("step %d: %s route %d->%d diverged: repaired {delivered=%v reason=%v len=%v hops=%v path=%v} fresh {delivered=%v reason=%v len=%v hops=%v path=%v}",
+					step, name, src, dst,
+					g.Delivered, g.Reason, g.Length, g.PhaseHops, g.Path,
+					w.Delivered, w.Reason, w.Length, w.PhaseHops, w.Path)
+			}
+		}
+	}
+}
+
+// TestRepairSubstratesMovedMatchesFullRebuild is the position-churn
+// differential battery: seeded interleavings of drift/teleport batches,
+// failures, and revivals over IA, FA, and obstacle-field deployments,
+// asserting after every mutation that the incrementally repaired
+// substrates — safety labels, pins, shapes, confinement boxes, hole
+// cycles, planar rows — are indistinguishable from substrates built from
+// scratch on the mutated network, and that all 7 routing algorithms are
+// route-output-identical over repaired vs rebuilt state.
+func TestRepairSubstratesMovedMatchesFullRebuild(t *testing.T) {
+	cases := []struct {
+		model topo.DeployModel
+		n     int
+		seed  uint64
+	}{
+		{topo.ModelIA, 220, 5},
+		{topo.ModelFA, 260, 9},
+		{topo.ModelOB, 240, 13},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			dep, err := topo.Deploy(topo.DefaultDeployConfig(tc.model, tc.n, tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := dep.Net
+			m, b, g := BuildSubstrates(net, true, true, true, nil)
+
+			rng := rand.New(rand.NewPCG(tc.seed, 0xab54a98ceb1f0ad2))
+			var dead []topo.NodeID
+			moved := false
+			for step := 0; step < 16; step++ {
+				var changed []topo.NodeID
+				if rng.IntN(2) == 0 {
+					changed = mutatePositions(t, rng, net)
+					RepairSubstratesMoved(m, b, g, changed)
+					moved = true
+				} else {
+					changed = mutateLiveness(rng, net, &dead)
+					if len(changed) == 0 {
+						continue
+					}
+					RepairSubstrates(m, b, g, changed)
+				}
+
+				fresh := freshClone(t, net)
+				fm, fb, fg := BuildSubstrates(fresh, true, true, true, nil)
+				compareSafety(t, step, net, m, fm)
+				compareBounds(t, step, b, fb)
+				comparePlanar(t, step, net, g, fg)
+				compareRoutes(t, step, rng, net,
+					buildRouterTable(net, m, b, g),
+					buildRouterTable(fresh, fm, fb, fg))
+				if t.Failed() {
+					t.Fatalf("step %d: repaired substrates diverged after changing %v (dead set %v)", step, changed, dead)
+				}
+			}
+			if !moved {
+				t.Fatal("mutation sequence never moved a node")
+			}
+		})
+	}
+}

@@ -77,6 +77,37 @@ func RepairSubstrates(m *safety.Model, b *bound.Boundaries, g *planar.Graph, cha
 	fanOut(tasks)
 }
 
+// RepairSubstratesMoved incrementally repairs previously built
+// substrates after node positions changed (topo.Network.SetPositions
+// already applied). dirty is the geometric dirty set SetPositions
+// returned — every node whose own position, in-range set, or neighbor
+// coordinates changed. The safety model relabels a reset region grown
+// from the dirty set, BOUNDHOLE re-analyzes the dirty nodes and
+// re-traces the walks that swept them, and the planar graph rebuilds
+// exactly the dirty rows. Nil substrates are skipped; the repairs run
+// concurrently like BuildSubstrates (same panic propagation).
+//
+// Like RepairSubstrates, each repaired substrate is identical to a
+// from-scratch BuildSubstrates on the moved network, but the work
+// scales with the moved nodes' geometric neighborhoods. Callers must
+// serialize against in-flight routes as with SetAlive — and because
+// moves can resize CSR rows, any per-edge state keyed by AdjSlots must
+// be length-checked or generation-stamped by its owner (the engine's
+// scratch and the boundary claim arrays already are).
+func RepairSubstratesMoved(m *safety.Model, b *bound.Boundaries, g *planar.Graph, dirty []topo.NodeID) {
+	var tasks []func()
+	if m != nil {
+		tasks = append(tasks, func() { m.RepairMoved(dirty) })
+	}
+	if b != nil {
+		tasks = append(tasks, func() { b.RepairMoved(dirty) })
+	}
+	if g != nil {
+		tasks = append(tasks, func() { g.RepairRows(dirty) })
+	}
+	fanOut(tasks)
+}
+
 // fanOut runs the tasks concurrently, waits for all of them, and
 // re-raises the first panic on the calling goroutine.
 func fanOut(tasks []func()) {

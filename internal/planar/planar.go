@@ -39,6 +39,10 @@ type Graph struct {
 	// so face steps rotate without recomputing atan2.
 	adj [][]topo.NodeID
 	ang [][]float64
+	// Repair scratch reused across calls (repairs are serialized by the
+	// caller): the touched marks and the expanded dirty-row id list.
+	touched  []bool
+	dirtyIDs []topo.NodeID
 }
 
 // Build computes the planar subgraph of net under rule k. Dead nodes are
@@ -94,8 +98,13 @@ func (g *Graph) rebuildRow(u topo.NodeID) {
 // identical to Build on the mutated network at O(|N(x)| · deg²) cost
 // instead of O(n · deg²).
 func (g *Graph) Repair(changed []topo.NodeID) {
-	touched := make([]bool, g.Net.N())
-	var ids []topo.NodeID
+	if len(g.touched) < g.Net.N() {
+		g.touched = make([]bool, g.Net.N())
+	} else {
+		clear(g.touched)
+	}
+	touched := g.touched
+	ids := g.dirtyIDs[:0]
 	add := func(u topo.NodeID) {
 		if !touched[u] {
 			touched[u] = true
@@ -108,9 +117,26 @@ func (g *Graph) Repair(changed []topo.NodeID) {
 			add(v)
 		}
 	}
+	g.dirtyIDs = ids
 	par.For(len(ids), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g.rebuildRow(ids[i])
+		}
+	})
+}
+
+// RepairRows rebuilds exactly the given planar rows after node positions
+// changed (topo.Network.SetPositions already applied). Unlike Repair it
+// does NOT expand the set: the geometric dirty set SetPositions returns
+// is already neighborhood-closed — it contains every node whose own
+// position, in-range set, or neighbor coordinates changed, and a planar
+// row (witness tests included) reads only those inputs — so expanding
+// again would rebuild rows that provably cannot have changed. The result
+// is identical to Build on the moved network.
+func (g *Graph) RepairRows(dirty []topo.NodeID) {
+	par.For(len(dirty), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.rebuildRow(dirty[i])
 		}
 	})
 }

@@ -229,6 +229,73 @@ func (m *Model) Repair(changed ...topo.NodeID) {
 	m.propagateShapes()
 }
 
+// RepairMoved incrementally re-derives the model after node positions
+// changed (topo.Network.SetPositions already applied). dirty is the
+// geometric dirty set SetPositions returned: every node whose own
+// position, neighbor set, or neighbor coordinates changed. The result is
+// always exactly the from-scratch labeling of the moved network.
+//
+// Moves are not monotone — a node may gain safety when a neighbor drifts
+// into its forwarding zone — so the failure-path worklist alone is not
+// enough. Instead a reset region R is grown and re-labeled from above:
+//
+//   - R starts as dirty plus every node whose edge-pin status changed
+//     (hull pins move with the hull, both ways);
+//   - R closes over alive neighbors that are not fully safe under the
+//     old labels. Any node that could gain a status bit must support the
+//     gain through such a chain back into R: a node outside dirty has an
+//     unchanged Definition 1 evaluation, so a gain at it demands a gain
+//     at a neighbor, inductively ending in R. Fully safe nodes cannot
+//     gain, which bounds the closure.
+//
+// Resetting R to all-safe (respecting liveness and the new pins) yields
+// a state that dominates the fresh fixpoint everywhere, and the monotone
+// worklist seeded with R then lowers it to exactly that fixpoint: labels
+// outside R still satisfy their (unchanged) conditions against a state
+// that only went up, and every lowering propagates through the worklist.
+func (m *Model) RepairMoved(dirty []topo.NodeID) {
+	newEdge := m.Edge.EdgeNodes(m.Net)
+	n := m.Net.N()
+	inR := make([]bool, n)
+	region := make([]topo.NodeID, 0, len(dirty)*4)
+	push := func(u topo.NodeID) {
+		if !inR[u] {
+			inR[u] = true
+			region = append(region, u)
+		}
+	}
+	for _, u := range dirty {
+		push(u)
+	}
+	for i := range m.info {
+		pinned := newEdge[i] && m.Net.Alive(topo.NodeID(i))
+		if pinned != m.info[i].Pinned {
+			push(topo.NodeID(i))
+		}
+	}
+	// Closure over potential gainers, judged against the OLD labels —
+	// this must run before the reset below.
+	for qi := 0; qi < len(region); qi++ {
+		for _, v := range m.Net.Neighbors(region[qi]) {
+			if !inR[v] && !m.fullySafe(int(v)) {
+				push(v)
+			}
+		}
+	}
+
+	m.edge = newEdge
+	for _, u := range region {
+		i := int(u)
+		alive := m.Net.Alive(u)
+		m.info[i].Pinned = newEdge[i] && alive
+		for z := 0; z < geom.NumZones; z++ {
+			m.info[i].Safe[z] = alive
+		}
+	}
+	m.repairFrom(region)
+	m.propagateShapes()
+}
+
 // fullySafe reports whether node i holds the (1,1,1,1) tuple.
 func (m *Model) fullySafe(i int) bool {
 	for _, s := range m.info[i].Safe {

@@ -1,0 +1,110 @@
+package safety
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// requireModelEqual compares every observable of the repaired model —
+// safety statuses, pins, unsafe-area shape endpoints, confinement boxes
+// — against a from-scratch build.
+func requireModelEqual(t *testing.T, step int, net *topo.Network, got, want *Model) {
+	t.Helper()
+	for i := range net.Nodes {
+		u := topo.NodeID(i)
+		if got.Pinned(u) != want.Pinned(u) {
+			t.Fatalf("step %d: node %d pinned=%v, fresh %v", step, u, got.Pinned(u), want.Pinned(u))
+		}
+		for _, z := range geom.AllZones {
+			if got.Safe(u, z) != want.Safe(u, z) {
+				t.Fatalf("step %d: node %d type-%d safe=%v, fresh %v",
+					step, u, z, got.Safe(u, z), want.Safe(u, z))
+			}
+			if got.U1(u, z) != want.U1(u, z) || got.U2(u, z) != want.U2(u, z) {
+				t.Fatalf("step %d: node %d type-%d shape endpoints differ", step, u, z)
+			}
+			gr, gok := got.Shape(u, z)
+			wr, wok := want.Shape(u, z)
+			if gok != wok || gr != wr {
+				t.Fatalf("step %d: node %d type-%d shape (%v,%v) vs fresh (%v,%v)",
+					step, u, z, gr, gok, wr, wok)
+			}
+		}
+	}
+}
+
+// TestReviveHeavyRepairEqualsRebuild pins the full-relabel fallback in
+// Repair: revivals (and failures that expose unsafe edge nodes) cannot
+// be served by the monotone failure worklist, so Repair must detect them
+// and relabel from scratch. Random revive-heavy churn sequences — kills
+// in clumps, revivals in bursts, frequently reviving the most recent
+// casualties so unsafe→safe flips actually occur — are replayed on IA,
+// FA, and obstacle deployments, comparing every label, pin, and shape
+// against a fresh Build after each batch.
+func TestReviveHeavyRepairEqualsRebuild(t *testing.T) {
+	cases := []struct {
+		model topo.DeployModel
+		n     int
+		seed  uint64
+	}{
+		{topo.ModelIA, 250, 3},
+		{topo.ModelFA, 300, 8},
+		{topo.ModelOB, 260, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			dep, err := topo.Deploy(topo.DefaultDeployConfig(tc.model, tc.n, tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := dep.Net
+			m := Build(net)
+			rng := rand.New(rand.NewPCG(tc.seed, 0xda942042e4dd58b5))
+
+			var dead []topo.NodeID
+			revivals := 0
+			for step := 0; step < 24; step++ {
+				var batch []topo.NodeID
+				// Revive-heavy mix: 2/3 of batches revive when possible.
+				if len(dead) > 0 && rng.IntN(3) > 0 {
+					k := 1 + rng.IntN(min(3, len(dead)))
+					for j := 0; j < k; j++ {
+						// Mostly the most recent casualty (guaranteeing
+						// unsafe neighborhoods flip back), sometimes random.
+						idx := len(dead) - 1
+						if rng.IntN(4) == 0 {
+							idx = rng.IntN(len(dead))
+						}
+						u := dead[idx]
+						dead = append(dead[:idx], dead[idx+1:]...)
+						net.SetAlive(u, true)
+						batch = append(batch, u)
+						revivals++
+					}
+				} else {
+					k := 1 + rng.IntN(3)
+					for j := 0; j < k; j++ {
+						u := topo.NodeID(rng.IntN(net.N()))
+						if !net.Alive(u) {
+							continue
+						}
+						net.SetAlive(u, false)
+						dead = append(dead, u)
+						batch = append(batch, u)
+					}
+				}
+				if len(batch) == 0 {
+					continue
+				}
+				m.Repair(batch...)
+				requireModelEqual(t, step, net, m, Build(net))
+			}
+			if revivals < 8 {
+				t.Fatalf("sequence exercised only %d revivals; want a revive-heavy mix", revivals)
+			}
+		})
+	}
+}

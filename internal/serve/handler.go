@@ -13,11 +13,12 @@ import (
 
 // Handler returns the HTTP/JSON API over the service:
 //
-//	POST /deploy  {"name"?, "model", "n", "seed", "build"?}
+//	POST /deploy  {"name"?, "model", "n", "seed", "coverage"?, "build"?}
 //	POST /route   {"deployment", "algorithm", "src", "dst", "path"?, "trace"?}
 //	POST /batch   {"requests": [RouteRequest, ...]}
 //	POST /fail    {"deployment", "nodes": [id, ...]}
 //	POST /revive  {"deployment", "nodes": [id, ...]}
+//	POST /move    {"deployment", "moves": [{"node", "x", "y"}, ...]}
 //	GET  /stats
 //	GET  /metrics
 //	GET  /traces
@@ -32,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
 	mux.HandleFunc("/fail", s.instrument("/fail", s.handleFail))
 	mux.HandleFunc("/revive", s.instrument("/revive", s.handleRevive))
+	mux.HandleFunc("/move", s.instrument("/move", s.handleMove))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/traces", s.instrument("/traces", s.handleTraces))
@@ -112,6 +114,9 @@ type deployRequest struct {
 	Model string `json:"model"`
 	N     int    `json:"n"`
 	Seed  uint64 `json:"seed"`
+	// Coverage is the obstacle lattice-coverage target for model "ob"
+	// (0 means the default; ignored for other models).
+	Coverage float64 `json:"coverage"`
 	// Build forces the substrates to be built before responding; by
 	// default the first route pays that cost.
 	Build bool `json:"build"`
@@ -138,7 +143,7 @@ func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("node count must be positive, got %d", req.N))
 		return
 	}
-	spec := Spec{Model: model, N: req.N, Seed: req.Seed}
+	spec := Spec{Model: model, N: req.N, Seed: req.Seed, Coverage: req.Coverage}
 	name, err := s.Deploy(req.Name, spec)
 	if err != nil {
 		// The only Deploy error left after validation is a live name
@@ -259,6 +264,28 @@ func (s *Service) handleRevive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, failResponse{Deployment: req.Deployment, Failed: failed})
+}
+
+type moveRequest struct {
+	Deployment string      `json:"deployment"`
+	Moves      []topo.Move `json:"moves"`
+}
+
+type moveResponse struct {
+	Deployment string `json:"deployment"`
+	Moved      int    `json:"moved"`
+}
+
+func (s *Service) handleMove(w http.ResponseWriter, r *http.Request) {
+	var req moveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Move(req.Deployment, req.Moves); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, moveResponse{Deployment: req.Deployment, Moved: len(req.Moves)})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

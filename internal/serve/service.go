@@ -19,17 +19,26 @@ import (
 	"github.com/straightpath/wasn/internal/trace"
 )
 
-// Spec names a reproducible deployment: the same (model, n, seed) always
-// generates the same network, so a spec is all the registry must persist.
+// Spec names a reproducible deployment: the same (model, n, seed,
+// coverage) always generates the same network, so a spec is all the
+// registry must persist.
 type Spec struct {
 	Model topo.DeployModel
 	N     int
 	Seed  uint64
+	// Coverage is the obstacle-field coverage target under topo.ModelOB
+	// (0 means topo.DefaultObstacleCoverage); ignored for IA/FA.
+	Coverage float64
 }
 
 // DefaultName derives the registry name used when a deployment is
-// registered without one, e.g. "FA-500-42".
+// registered without one, e.g. "FA-500-42". Obstacle deployments with an
+// explicit coverage target append it ("OB-500-42-c25"), so coverage
+// ladder rungs register as distinct deployments.
 func (sp Spec) DefaultName() string {
+	if sp.Model == topo.ModelOB && sp.Coverage > 0 {
+		return fmt.Sprintf("%s-%d-%d-c%g", sp.Model, sp.N, sp.Seed, sp.Coverage*100)
+	}
 	return fmt.Sprintf("%s-%d-%d", sp.Model, sp.N, sp.Seed)
 }
 
@@ -86,6 +95,7 @@ type Service struct {
 	batches  *obs.Counter
 	failures *obs.Counter
 	revivals *obs.Counter
+	moves    *obs.Counter
 }
 
 // New builds a Service.
@@ -104,8 +114,10 @@ func New(cfg Config) *Service {
 			"Nodes transitioned to failed."),
 		revivals: obs.NewCounter("wasn_revived_nodes_total",
 			"Nodes transitioned back to alive."),
+		moves: obs.NewCounter("wasn_moved_nodes_total",
+			"Node position updates applied."),
 	}
-	s.so.reg.MustRegister(s.builds, s.routes, s.batches, s.failures, s.revivals)
+	s.so.reg.MustRegister(s.builds, s.routes, s.batches, s.failures, s.revivals, s.moves)
 	s.so.reg.MustRegister(obs.NewFunc("wasn_deployments",
 		"Registered deployments.", obs.KindGauge, func() float64 {
 			s.mu.RLock()
@@ -183,11 +195,14 @@ type deployment struct {
 // error. The returned string is the effective name. Substrates are not
 // built here — the first route (or an explicit Build) pays that cost.
 func (s *Service) Deploy(name string, spec Spec) (string, error) {
-	if spec.Model != topo.ModelIA && spec.Model != topo.ModelFA {
+	if spec.Model != topo.ModelIA && spec.Model != topo.ModelFA && spec.Model != topo.ModelOB {
 		return "", fmt.Errorf("serve: unknown deployment model %v", spec.Model)
 	}
 	if spec.N <= 0 {
 		return "", fmt.Errorf("serve: node count must be positive, got %d", spec.N)
+	}
+	if spec.Coverage < 0 || spec.Coverage >= 1 {
+		return "", fmt.Errorf("serve: obstacle coverage must be in [0,1), got %v", spec.Coverage)
 	}
 	if name == "" {
 		name = spec.DefaultName()
@@ -248,7 +263,11 @@ func (s *Service) ensureBuilt(d *deployment) error {
 			return nil
 		}
 		start := time.Now()
-		dep, err := topo.Deploy(topo.DefaultDeployConfig(d.spec.Model, d.spec.N, d.spec.Seed))
+		cfg := topo.DefaultDeployConfig(d.spec.Model, d.spec.N, d.spec.Seed)
+		if d.spec.Coverage > 0 {
+			cfg.ObstacleCoverage = d.spec.Coverage
+		}
+		dep, err := topo.Deploy(cfg)
 		if err != nil {
 			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
 		}
@@ -450,7 +469,7 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, false)
 		d.failed[u] = true
 	}
-	s.applyTopologyChange(d, fresh)
+	s.applyTopologyChange(d, fresh, false)
 	s.failures.Add(int64(len(fresh)))
 	return nil
 }
@@ -490,16 +509,53 @@ func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, true)
 		delete(d.failed, u)
 	}
-	s.applyTopologyChange(d, fresh)
+	s.applyTopologyChange(d, fresh, false)
 	s.revivals.Add(int64(len(fresh)))
 	return nil
 }
 
+// Move relocates nodes of the named deployment under live traffic: the
+// position batch is applied atomically (topo.Network.SetPositions), all
+// three substrates are repaired in place over the returned geometric
+// dirty set (core.RepairSubstratesMoved — identical to a from-scratch
+// build on the moved topology, the same differential contract as Fail),
+// and the deployment's cached routes are invalidated. Moving a dead node
+// is allowed; liveness is orthogonal to position.
+func (s *Service) Move(deployment string, moves []topo.Move) error {
+	d, err := s.lookup(deployment)
+	if err != nil {
+		return err
+	}
+	if err := s.ensureBuilt(d); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	net := d.dep.Net
+	for _, m := range moves {
+		if m.Node < 0 || int(m.Node) >= net.N() {
+			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), m.Node)
+		}
+	}
+	if len(moves) == 0 {
+		return nil
+	}
+	dirty, err := net.SetPositions(moves)
+	if err != nil {
+		return err
+	}
+	s.applyTopologyChange(d, dirty, true)
+	s.moves.Add(int64(len(moves)))
+	return nil
+}
+
 // applyTopologyChange repairs (or, under the FullRebuildOnFail oracle,
-// rebuilds) the substrates after the liveness of changed flipped, bumps
-// the deployment epoch, and purges its cached routes. Callers hold the
-// deployment write lock with SetAlive already applied.
-func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID) {
+// rebuilds) the substrates after the liveness or positions of changed
+// nodes mutated (SetAlive/SetPositions already applied; moved selects
+// the position-repair path), bumps the deployment epoch, and purges its
+// cached routes. Callers hold the deployment write lock.
+func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID, moved bool) {
 	net := d.dep.Net
 	start := time.Now()
 	if s.cfg.FullRebuildOnFail {
@@ -509,7 +565,11 @@ func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID) {
 		s.so.repairDur.With(d.name, "rebuild").Observe(time.Since(start).Microseconds())
 	} else {
 		// In-place repair: the routers keep their substrate pointers.
-		core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
+		if moved {
+			core.RepairSubstratesMoved(d.model, d.bounds, d.planarg, changed)
+		} else {
+			core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
+		}
 		d.repairs.Add(1)
 		s.so.repairDur.With(d.name, "repair").Observe(time.Since(start).Microseconds())
 	}
@@ -573,6 +633,7 @@ type Stats struct {
 	Batches        int64 `json:"batches"`
 	FailedNodes    int64 `json:"failed_nodes"`
 	RevivedNodes   int64 `json:"revived_nodes"`
+	MovedNodes     int64 `json:"moved_nodes"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
@@ -613,6 +674,7 @@ func (s *Service) Stats() Stats {
 		Batches:      s.batches.Load(),
 		FailedNodes:  s.failures.Load(),
 		RevivedNodes: s.revivals.Load(),
+		MovedNodes:   s.moves.Load(),
 	}
 	if s.cache != nil {
 		cs := s.cache.stats()

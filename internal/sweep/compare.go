@@ -54,10 +54,11 @@ func Compare(cur, base *CapacityCurve, tol Tolerance) []string {
 		anchor = len(base.Rungs) - 1
 	}
 	bR := base.Rungs[anchor]
-	cR := matchRung(cur, bR.OfferedRPS)
+	at := fmt.Sprintf("%g %s", rungAnchor(base.Axis, &bR), axisUnit(base.Axis))
+	cR := matchRung(cur, rungAnchor(base.Axis, &bR))
 	if cR == nil {
 		regressions = append(regressions,
-			fmt.Sprintf("no rung at the baseline's %.0f req/s anchor (ladders diverged)", bR.OfferedRPS))
+			fmt.Sprintf("no rung at the baseline's %s anchor (ladders diverged)", at))
 		return regressions
 	}
 
@@ -72,13 +73,13 @@ func Compare(cur, base *CapacityCurve, tol Tolerance) []string {
 	}
 	if baseP99 > 0 && curP99 > baseP99*(1+tol.P99Frac) {
 		regressions = append(regressions,
-			fmt.Sprintf("p99 at %.0f req/s regressed %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
-				bR.OfferedRPS, 100*(curP99/baseP99-1), baseP99, curP99, unit, 100*tol.P99Frac))
+			fmt.Sprintf("p99 at %s regressed %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
+				at, 100*(curP99/baseP99-1), baseP99, curP99, unit, 100*tol.P99Frac))
 	}
 	if cR.DeliveryRate < bR.DeliveryRate*(1-tol.DeliveryFrac) {
 		regressions = append(regressions,
-			fmt.Sprintf("delivery at %.0f req/s regressed %.1f%% (%.4f -> %.4f, band %.0f%%)",
-				bR.OfferedRPS, 100*(1-cR.DeliveryRate/bR.DeliveryRate), bR.DeliveryRate, cR.DeliveryRate, 100*tol.DeliveryFrac))
+			fmt.Sprintf("delivery at %s regressed %.1f%% (%.4f -> %.4f, band %.0f%%)",
+				at, 100*(1-cR.DeliveryRate/bR.DeliveryRate), bR.DeliveryRate, cR.DeliveryRate, 100*tol.DeliveryFrac))
 	}
 	// Capacity checks. Delivery above only covers processed requests;
 	// a collapse sheds or under-achieves instead, so the anchor rung
@@ -87,8 +88,8 @@ func Compare(cur, base *CapacityCurve, tol Tolerance) []string {
 	// saturated (KneeRung -1) and the knee-shrink band can't anchor.
 	if (cR.Saturated || cR.Dropped > 0) && !bR.Saturated && bR.Dropped == 0 {
 		regressions = append(regressions,
-			fmt.Sprintf("capacity at %.0f req/s collapsed: achieved %.0f, shed %d (baseline achieved %.0f cleanly)",
-				bR.OfferedRPS, cR.AchievedRPS, cR.Dropped, bR.AchievedRPS))
+			fmt.Sprintf("capacity at %s collapsed: achieved %.0f, shed %d (baseline achieved %.0f cleanly)",
+				at, cR.AchievedRPS, cR.Dropped, bR.AchievedRPS))
 	}
 	switch {
 	case base.KneeRung < 0 && cur.KneeRung >= 0:
@@ -123,7 +124,8 @@ func Improvements(cur, base *CapacityCurve, tol Tolerance) []string {
 		anchor = len(base.Rungs) - 1
 	}
 	bR := base.Rungs[anchor]
-	if cR := matchRung(cur, bR.OfferedRPS); cR != nil {
+	at := fmt.Sprintf("%g %s", rungAnchor(base.Axis, &bR), axisUnit(base.Axis))
+	if cR := matchRung(cur, rungAnchor(base.Axis, &bR)); cR != nil {
 		baseP99, curP99 := bR.Latency.P99us, cR.Latency.P99us
 		unit := "us"
 		if tol.Normalize {
@@ -135,8 +137,8 @@ func Improvements(cur, base *CapacityCurve, tol Tolerance) []string {
 		}
 		if baseP99 > 0 && curP99 < baseP99*(1-tol.P99Frac) {
 			improvements = append(improvements,
-				fmt.Sprintf("p99 at %.0f req/s improved %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
-					bR.OfferedRPS, 100*(1-curP99/baseP99), baseP99, curP99, unit, 100*tol.P99Frac))
+				fmt.Sprintf("p99 at %s improved %.1f%% (%.2f -> %.2f %s, band %.0f%%)",
+					at, 100*(1-curP99/baseP99), baseP99, curP99, unit, 100*tol.P99Frac))
 		}
 	}
 	switch {
@@ -151,15 +153,25 @@ func Improvements(cur, base *CapacityCurve, tol Tolerance) []string {
 	return improvements
 }
 
-// matchRung finds the rung nearest an offered rate, within 10%
+// rungAnchor is the value rungs are matched on between curves: the
+// swept axis value for non-rate curves, the offered rate otherwise
+// (curves predating axes carry no axis_value and match on rate).
+func rungAnchor(axis string, r *Rung) float64 {
+	if axis != "" && axis != AxisRate {
+		return r.AxisValue
+	}
+	return r.OfferedRPS
+}
+
+// matchRung finds the rung nearest an anchor value, within 10%
 // relative. Exact for shared geometric ladders; approximate by design
 // for bisect-mode baselines, whose refined rung rates depend on each
 // run's measured saturation bracket and never line up exactly.
-func matchRung(c *CapacityCurve, offered float64) *Rung {
+func matchRung(c *CapacityCurve, anchor float64) *Rung {
 	var best *Rung
-	bestGap := 0.10 * offered
+	bestGap := 0.10 * anchor
 	for i := range c.Rungs {
-		if gap := math.Abs(c.Rungs[i].OfferedRPS - offered); gap <= bestGap {
+		if gap := math.Abs(rungAnchor(c.Axis, &c.Rungs[i]) - anchor); gap <= bestGap {
 			best, bestGap = &c.Rungs[i], gap
 		}
 	}

@@ -12,11 +12,18 @@ import (
 )
 
 // Rung is one operating point of the curve: the base scenario run at
-// one offered rate.
+// one swept value (offered rate by default).
 type Rung struct {
+	// AxisValue is the swept knob's value at this rung (equal to
+	// OfferedRPS on rate sweeps; churn fail rate, drift fraction, or
+	// obstacle coverage on the other axes).
+	AxisValue   float64 `json:"axis_value,omitempty"`
 	OfferedRPS  float64 `json:"offered_rps"`
 	AchievedRPS float64 `json:"achieved_rps"`
 	Requests    int64   `json:"requests"`
+	// MovedNodes totals mobility-schedule position changes during the
+	// rung (drift and churn axes chart delivery against it).
+	MovedNodes int64 `json:"moved_nodes,omitempty"`
 	// Dropped counts arrivals shed by the open loop's bounded queue —
 	// nonzero is the engine-side signature of saturation.
 	Dropped      int64            `json:"dropped,omitempty"`
@@ -33,14 +40,17 @@ type Rung struct {
 // CapacityCurve is the sweep's one JSON artifact: every rung plus the
 // detected landmarks, comparable across builds (Compare).
 type CapacityCurve struct {
-	Name          string                  `json:"name"`
-	Scenario      string                  `json:"scenario"`
-	Driver        string                  `json:"driver"`
-	Deployment    workload.DeploymentSpec `json:"deployment"`
-	Algorithm     string                  `json:"algorithm"`
-	Mode          string                  `json:"mode"`
-	KneeTolerance float64                 `json:"knee_tolerance"`
-	CliffFactor   float64                 `json:"cliff_factor"`
+	Name       string                  `json:"name"`
+	Scenario   string                  `json:"scenario"`
+	Driver     string                  `json:"driver"`
+	Deployment workload.DeploymentSpec `json:"deployment"`
+	Algorithm  string                  `json:"algorithm"`
+	// Axis is the swept knob ("rate" when absent — curves predating
+	// non-rate axes are all rate sweeps).
+	Axis          string  `json:"axis,omitempty"`
+	Mode          string  `json:"mode"`
+	KneeTolerance float64 `json:"knee_tolerance"`
+	CliffFactor   float64 `json:"cliff_factor"`
 
 	// Rungs is sorted by offered rate.
 	Rungs []Rung `json:"rungs"`
@@ -132,8 +142,16 @@ func ParseCurveFile(path string) (*CapacityCurve, error) {
 // Summary renders the human-readable curve table the CLI prints.
 func (c *CapacityCurve) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "capacity curve %s [%s] %s over %s-%d-%d (%s ladder)\n",
-		c.Name, c.Driver, c.Algorithm, strings.ToUpper(c.Deployment.Model), c.Deployment.N, c.Deployment.Seed, c.Mode)
+	kind := "capacity"
+	if c.Axis != "" && c.Axis != AxisRate {
+		kind = c.Axis
+	}
+	fmt.Fprintf(&b, "%s curve %s [%s] %s over %s-%d-%d (%s ladder)\n",
+		kind, c.Name, c.Driver, c.Algorithm, strings.ToUpper(c.Deployment.Model), c.Deployment.N, c.Deployment.Seed, c.Mode)
+	axisCol := c.Axis != "" && c.Axis != AxisRate
+	if axisCol {
+		fmt.Fprintf(&b, "  %10s", axisUnit(c.Axis))
+	}
 	fmt.Fprintf(&b, "  %10s %10s %9s %8s %8s %10s %10s\n",
 		"offered/s", "achieved/s", "delivered", "cached", "dropped", "p50", "p99")
 	for i, r := range c.Rungs {
@@ -145,6 +163,11 @@ func (c *CapacityCurve) Summary() string {
 		}
 		if i == c.CliffRung {
 			mark += "C"
+		}
+		if axisCol {
+			// %.4g: geometric-ladder values carry float-multiply noise
+			// (4.000000000000001) that would wreck the column.
+			fmt.Fprintf(&b, "  %10.4g", r.AxisValue)
 		}
 		fmt.Fprintf(&b, "  %10.0f %10.0f %8.2f%% %7.1f%% %8d %9.1fus %9.1fus %s\n",
 			r.OfferedRPS, r.AchievedRPS, 100*r.DeliveryRate, 100*r.CachedShare, r.Dropped,

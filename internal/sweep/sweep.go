@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/topo"
@@ -20,17 +21,41 @@ const (
 	ModeBisect    = "bisect"
 )
 
-// Config describes one capacity sweep: a base scenario whose open-loop
-// rate is swept over a ladder of offered rates.
+// Sweep axes: which scenario knob the ladder walks.
+const (
+	// AxisRate sweeps the open-loop offered rate (the capacity curve).
+	AxisRate = "rate"
+	// AxisChurn sweeps the Poisson churn process's fail rate, scaling
+	// the revive rate proportionally — the delivery-under-churn curve.
+	AxisChurn = "churn"
+	// AxisDrift sweeps the mobility schedule's drift fraction.
+	AxisDrift = "drift"
+	// AxisCoverage sweeps the obstacle-field coverage, redeploying per
+	// rung (each coverage is a different topology).
+	AxisCoverage = "coverage"
+)
+
+// Config describes one sweep: a base scenario with one knob — offered
+// rate by default, or churn rate / drift fraction / obstacle coverage —
+// swept over a ladder of values.
 type Config struct {
 	// Name labels the curve artifact.
 	Name string `json:"name"`
 	// Scenario is the base workload; its arrival process must be
-	// open-loop (poisson or bursty — the swept axis is rate_hz).
+	// open-loop (poisson or bursty).
 	Scenario workload.Scenario `json:"scenario"`
-	// MinRateHz..MaxRateHz bound the ladder.
-	MinRateHz float64 `json:"min_rate_hz"`
-	MaxRateHz float64 `json:"max_rate_hz"`
+	// Axis selects the swept knob (default "rate"). Non-rate axes hold
+	// the offered rate fixed at the scenario's rate_hz and ladder over
+	// min_value..max_value instead of min_rate_hz..max_rate_hz: "churn"
+	// needs a churn_process in the scenario, "drift" a mobility block,
+	// "coverage" an obstacle-field (ob) deployment.
+	Axis string `json:"axis,omitempty"`
+	// MinRateHz..MaxRateHz bound the rate ladder (axis "rate" only).
+	MinRateHz float64 `json:"min_rate_hz,omitempty"`
+	MaxRateHz float64 `json:"max_rate_hz,omitempty"`
+	// MinValue..MaxValue bound the ladder for non-rate axes.
+	MinValue float64 `json:"min_value,omitempty"`
+	MaxValue float64 `json:"max_value,omitempty"`
 	// Steps is the geometric ladder's rung count (>= 2).
 	Steps int `json:"steps"`
 	// Mode is "geometric" (default) or "bisect" — geometric ladder plus
@@ -65,14 +90,52 @@ func (c *Config) Validate() error {
 	if c.RungDurationMS > 0 {
 		c.Scenario.Arrival.DurationMS = c.RungDurationMS
 	}
-	if c.Scenario.Arrival.RateHz == 0 {
+	if c.Axis == "" {
+		c.Axis = AxisRate
+	}
+	if c.Scenario.Arrival.RateHz == 0 && c.Axis == AxisRate {
 		c.Scenario.Arrival.RateHz = c.MinRateHz
 	}
 	if err := c.Scenario.Validate(); err != nil {
 		return err
 	}
-	if c.MinRateHz <= 0 || c.MaxRateHz < c.MinRateHz {
-		return fmt.Errorf("sweep: need 0 < min_rate_hz <= max_rate_hz, got [%v, %v]", c.MinRateHz, c.MaxRateHz)
+	switch c.Axis {
+	case AxisRate:
+		if c.MinRateHz <= 0 || c.MaxRateHz < c.MinRateHz {
+			return fmt.Errorf("sweep: need 0 < min_rate_hz <= max_rate_hz, got [%v, %v]", c.MinRateHz, c.MaxRateHz)
+		}
+	case AxisChurn, AxisDrift, AxisCoverage:
+		if c.Scenario.Arrival.RateHz <= 0 {
+			return fmt.Errorf("sweep: axis %q holds the offered rate fixed; set the scenario's rate_hz", c.Axis)
+		}
+		if c.MinValue <= 0 || c.MaxValue < c.MinValue {
+			return fmt.Errorf("sweep: need 0 < min_value <= max_value, got [%v, %v]", c.MinValue, c.MaxValue)
+		}
+		if c.Mode == ModeBisect {
+			return fmt.Errorf("sweep: bisect mode refines the rate knee; axis %q supports only the geometric ladder", c.Axis)
+		}
+		switch c.Axis {
+		case AxisChurn:
+			if c.Scenario.ChurnProcess == nil || c.Scenario.ChurnProcess.FailRateHz <= 0 {
+				return fmt.Errorf("sweep: axis churn sweeps the scenario's churn_process fail rate; none configured")
+			}
+		case AxisDrift:
+			if c.Scenario.Mobility == nil {
+				return fmt.Errorf("sweep: axis drift sweeps the scenario's mobility drift fraction; no mobility block configured")
+			}
+			if c.MaxValue > 1 {
+				return fmt.Errorf("sweep: drift fraction max_value %v exceeds 1", c.MaxValue)
+			}
+		case AxisCoverage:
+			if !strings.EqualFold(c.Scenario.Deployment.Model, "ob") {
+				return fmt.Errorf("sweep: axis coverage needs an obstacle-field (ob) deployment, got %q", c.Scenario.Deployment.Model)
+			}
+			if c.MaxValue >= 1 {
+				return fmt.Errorf("sweep: obstacle coverage max_value %v must stay below 1", c.MaxValue)
+			}
+		}
+	default:
+		return fmt.Errorf("sweep: unknown axis %q (want %s, %s, %s, or %s)", c.Axis, AxisRate, AxisChurn, AxisDrift, AxisCoverage)
 	}
 	if c.Steps < 2 {
 		return fmt.Errorf("sweep: need steps >= 2, got %d", c.Steps)
@@ -159,6 +222,7 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 		Driver:        drv.Name(),
 		Deployment:    cfg.Scenario.Deployment,
 		Algorithm:     cfg.Scenario.Algorithm,
+		Axis:          cfg.Axis,
 		Mode:          cfg.Mode,
 		KneeTolerance: cfg.KneeTolerance,
 		CliffFactor:   cfg.CliffFactor,
@@ -170,20 +234,31 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 	// delta rather than failing the sweep).
 	before, beforeErr := drv.ScrapeMetrics()
 
-	for i, rate := range ladder(cfg.MinRateHz, cfg.MaxRateHz, cfg.Steps) {
-		r, err := runRung(drv, cfg, rate, i, opt)
+	lo, hi := cfg.MinRateHz, cfg.MaxRateHz
+	if cfg.Axis != AxisRate {
+		lo, hi = cfg.MinValue, cfg.MaxValue
+	}
+	for i, v := range ladder(lo, hi, cfg.Steps) {
+		r, err := runRung(drv, cfg, v, i, opt)
 		if err != nil {
 			return nil, err
 		}
 		curve.Rungs = append(curve.Rungs, r)
-		opt.progressf("rung %d/%d @%.0f req/s: achieved %.0f, delivered %.2f%%, p99=%.1fus",
-			i+1, cfg.Steps, rate, r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
+		opt.progressf("rung %d/%d @%g %s: achieved %.0f req/s, delivered %.2f%%, p99=%.1fus",
+			i+1, cfg.Steps, v, axisUnit(cfg.Axis), r.AchievedRPS, 100*r.DeliveryRate, r.Latency.P99us)
 		if opt.Progress != nil {
 			opt.Progress(r)
 		}
-		if cfg.StopOnCollapse && r.AchievedRPS < rate/2 {
+		// Collapse cuts the ladder short: rate rungs collapse by failing
+		// to achieve the offered rate, non-rate rungs (fixed rate) by
+		// delivery falling through the floor.
+		collapsed := r.AchievedRPS < r.OfferedRPS/2
+		if cfg.Axis != AxisRate {
+			collapsed = r.DeliveryRate < 0.5
+		}
+		if cfg.StopOnCollapse && collapsed {
 			curve.SkippedRungs = cfg.Steps - i - 1
-			opt.progressf("collapse at %.0f req/s: skipping %d remaining rungs", rate, curve.SkippedRungs)
+			opt.progressf("collapse at %g %s: skipping %d remaining rungs", v, axisUnit(cfg.Axis), curve.SkippedRungs)
 			break
 		}
 	}
@@ -213,18 +288,56 @@ func ladder(lo, hi float64, steps int) []float64 {
 	return rates
 }
 
-// runRung executes the base scenario at one offered rate and distills
+// axisUnit names a swept value's unit for progress lines and summaries.
+func axisUnit(axis string) string {
+	switch axis {
+	case AxisChurn:
+		return "fail/s"
+	case AxisDrift:
+		return "drift"
+	case AxisCoverage:
+		return "coverage"
+	default:
+		return "req/s"
+	}
+}
+
+// runRung executes the base scenario at one swept value and distills
 // the rung. The scenario value is copied per rung (Run mutates it);
 // the churn schedule is shared read-only and any nodes it left dead
 // are revived afterwards.
-func runRung(drv workload.Driver, cfg *Config, rate float64, idx int, opt Options) (Rung, error) {
+func runRung(drv workload.Driver, cfg *Config, v float64, idx int, opt Options) (Rung, error) {
 	sc := cfg.Scenario // copy
-	sc.Name = fmt.Sprintf("%s@%.0f", cfg.Scenario.Name, rate)
-	sc.Arrival.RateHz = rate
+	sc.Name = fmt.Sprintf("%s@%g", cfg.Scenario.Name, v)
 	sc.Churn = append([]workload.ChurnEvent(nil), cfg.Scenario.Churn...)
-	if idx > 0 {
+	switch cfg.Axis {
+	case AxisChurn:
+		// Scale fail and revive rates together so the swept value moves
+		// churn *pressure*, not the dead-population equilibrium shape.
+		cp := *cfg.Scenario.ChurnProcess
+		scale := v / cp.FailRateHz
+		cp.FailRateHz = v
+		cp.ReviveRateHz *= scale
+		sc.ChurnProcess = &cp
+	case AxisDrift:
+		mb := *cfg.Scenario.Mobility
+		mb.DriftFraction = v
+		sc.Mobility = &mb
+	case AxisCoverage:
+		// Each coverage is a different topology: clear any explicit
+		// deployment name so the driver default-names (and builds) a
+		// distinct deployment per rung instead of silently reusing the
+		// first rung's network.
+		sc.Deployment.Coverage = v
+		sc.Deployment.Name = ""
+	default:
+		sc.Arrival.RateHz = v
+	}
+	if idx > 0 && cfg.Axis != AxisCoverage {
 		// The first rung paid the build and primed the cache; repeating
 		// the warmup every rung would only re-skew the cached share.
+		// (Coverage rungs deploy fresh topologies, so each keeps its
+		// warmup.)
 		sc.WarmupRequests = 0
 	}
 	rep, err := workload.RunWith(drv, &sc, workload.Options{
@@ -232,18 +345,20 @@ func runRung(drv workload.Driver, cfg *Config, rate float64, idx int, opt Option
 		ProgressEveryMS: opt.ProgressEveryMS,
 	})
 	if err != nil {
-		return Rung{}, fmt.Errorf("sweep: rung at %.0f req/s: %w", rate, err)
+		return Rung{}, fmt.Errorf("sweep: rung at %g %s: %w", v, axisUnit(cfg.Axis), err)
 	}
 	if err := reviveResidual(drv, rep); err != nil {
-		return Rung{}, fmt.Errorf("sweep: restoring topology after rung at %.0f req/s: %w", rate, err)
+		return Rung{}, fmt.Errorf("sweep: restoring topology after rung at %g %s: %w", v, axisUnit(cfg.Axis), err)
 	}
 	return Rung{
+		AxisValue:    v,
 		OfferedRPS:   rep.OfferedRPS,
 		AchievedRPS:  rep.ThroughputRPS,
 		Requests:     rep.Requests,
 		Dropped:      rep.Dropped,
 		Errors:       rep.Errors,
 		DeliveryRate: rep.DeliveryRate,
+		MovedNodes:   rep.MovedNodes,
 		CachedShare:  rep.CachedShare,
 		Latency:      rep.Latency,
 		ElapsedMS:    rep.ElapsedMS,

@@ -7,13 +7,19 @@ import (
 	"github.com/straightpath/wasn/internal/geom"
 )
 
-// DeployModel names the two deployment models of §5.
+// DeployModel names the deployment models: the paper's §5 pair plus the
+// obstacle-field extension.
 type DeployModel int
 
-// Deployment models. IA is the ideal uniform model; FA adds forbidden areas.
+// Deployment models. IA is the ideal uniform model; FA adds a few random
+// forbidden areas; OB is the hostile obstacle-field variant, which keeps
+// drawing forbidden areas until a target fraction of the field is covered
+// (see ObstacleField) — the large irregular multi-hole geometries
+// boundary detection exists for.
 const (
 	ModelIA DeployModel = iota + 1
 	ModelFA
+	ModelOB
 )
 
 // String implements fmt.Stringer.
@@ -23,20 +29,24 @@ func (m DeployModel) String() string {
 		return "IA"
 	case ModelFA:
 		return "FA"
+	case ModelOB:
+		return "OB"
 	default:
 		return fmt.Sprintf("model(%d)", int(m))
 	}
 }
 
-// ParseDeployModel converts "ia"/"fa" (any case) to a DeployModel.
+// ParseDeployModel converts "ia"/"fa"/"ob" (any case) to a DeployModel.
 func ParseDeployModel(s string) (DeployModel, error) {
 	switch s {
 	case "ia", "IA", "Ia":
 		return ModelIA, nil
 	case "fa", "FA", "Fa":
 		return ModelFA, nil
+	case "ob", "OB", "Ob":
+		return ModelOB, nil
 	default:
-		return 0, fmt.Errorf("topo: unknown deployment model %q (want ia or fa)", s)
+		return 0, fmt.Errorf("topo: unknown deployment model %q (want ia, fa or ob)", s)
 	}
 }
 
@@ -50,8 +60,14 @@ type DeployConfig struct {
 	Radius float64
 	// Field is the interest area (200x200 m in the paper).
 	Field geom.Rect
-	// Forbidden parameterizes FA hole generation; ignored under IA.
+	// Forbidden parameterizes FA hole generation; under OB its size,
+	// shape and margin parameters are reused per obstacle while Count is
+	// replaced by the coverage target. Ignored under IA.
 	Forbidden ForbiddenConfig
+	// ObstacleCoverage is the target fraction of the field covered by
+	// obstacles under OB (0 means DefaultObstacleCoverage); ignored
+	// otherwise.
+	ObstacleCoverage float64
 	// Seed1, Seed2 seed the PCG generator; the same seeds always produce
 	// the same network.
 	Seed1, Seed2 uint64
@@ -61,13 +77,14 @@ type DeployConfig struct {
 // node count: 200x200 field, radius 20.
 func DefaultDeployConfig(model DeployModel, n int, seed uint64) DeployConfig {
 	return DeployConfig{
-		Model:     model,
-		N:         n,
-		Radius:    20,
-		Field:     geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)),
-		Forbidden: DefaultForbiddenConfig(),
-		Seed1:     seed,
-		Seed2:     seed ^ 0x9e3779b97f4a7c15, // golden-ratio mix for the PCG stream
+		Model:            model,
+		N:                n,
+		Radius:           20,
+		Field:            geom.FromCorners(geom.Pt(0, 0), geom.Pt(200, 200)),
+		Forbidden:        DefaultForbiddenConfig(),
+		ObstacleCoverage: DefaultObstacleCoverage,
+		Seed1:            seed,
+		Seed2:            seed ^ 0x9e3779b97f4a7c15, // golden-ratio mix for the PCG stream
 	}
 }
 
@@ -93,8 +110,11 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	rng := rand.New(rand.NewPCG(cfg.Seed1, cfg.Seed2))
 
 	var holes AreaSet
-	if cfg.Model == ModelFA {
+	switch cfg.Model {
+	case ModelFA:
 		holes = RandomForbiddenAreas(rng, cfg.Field, cfg.Forbidden)
+	case ModelOB:
+		holes = ObstacleField(rng, cfg.Field, cfg.ObstacleCoverage, cfg.Forbidden)
 	}
 
 	pts := make([]geom.Point, 0, cfg.N)

@@ -93,25 +93,82 @@ func RandomForbiddenAreas(rng *rand.Rand, field geom.Rect, cfg ForbiddenConfig) 
 	if cfg.Count <= 0 {
 		return nil
 	}
+	out := make(AreaSet, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		out = append(out, randomArea(rng, field, cfg))
+	}
+	return out
+}
+
+// randomArea draws one forbidden area per cfg's size/shape/margin knobs.
+func randomArea(rng *rand.Rand, field geom.Rect, cfg ForbiddenConfig) Area {
 	span := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
 	inner := field.Inflate(-cfg.Margin)
 	if inner.Empty() {
 		inner = field
 	}
-	out := make(AreaSet, 0, cfg.Count)
-	for i := 0; i < cfg.Count; i++ {
-		c := geom.Pt(span(inner.Min.X, inner.Max.X), span(inner.Min.Y, inner.Max.Y))
-		size := span(cfg.MinSize, cfg.MaxSize)
-		if rng.Float64() < cfg.DiscFraction {
-			out = append(out, DiscArea{Center: c, Radius: size / 2})
-			continue
+	c := geom.Pt(span(inner.Min.X, inner.Max.X), span(inner.Min.Y, inner.Max.Y))
+	size := span(cfg.MinSize, cfg.MaxSize)
+	if rng.Float64() < cfg.DiscFraction {
+		return DiscArea{Center: c, Radius: size / 2}
+	}
+	w := size
+	h := span(cfg.MinSize, cfg.MaxSize)
+	return RectArea{R: geom.FromCorners(
+		geom.Pt(c.X-w/2, c.Y-h/2),
+		geom.Pt(c.X+w/2, c.Y+h/2),
+	)}
+}
+
+// Obstacle-field (OB) generation limits. Coverage is capped so rejection
+// sampling always finds free field for node placement, and the area count
+// is bounded against degenerate configs whose areas cannot reach the
+// coverage target.
+const (
+	// DefaultObstacleCoverage is the OB coverage target used when
+	// DeployConfig.ObstacleCoverage is zero.
+	DefaultObstacleCoverage = 0.15
+	maxObstacleCoverage     = 0.45
+	maxObstacleAreas        = 64
+	coverageGridN           = 64
+)
+
+// ObstacleField draws forbidden areas until the given fraction of the
+// field is covered, measured on a deterministic coverageGridN² point
+// lattice (cell centers). Unlike RandomForbiddenAreas the area count is
+// not fixed — cfg contributes the per-area size, shape and margin knobs
+// while coverage decides how many get drawn, so laddering coverage from
+// sparse FA-like fields to obstacle mazes is a single scalar sweep.
+// Coverage is clamped to [0, 0.45] to keep node placement feasible.
+func ObstacleField(rng *rand.Rand, field geom.Rect, coverage float64, cfg ForbiddenConfig) AreaSet {
+	if coverage == 0 {
+		coverage = DefaultObstacleCoverage
+	}
+	if coverage <= 0 {
+		return nil
+	}
+	coverage = min(coverage, maxObstacleCoverage)
+	covered := make([]bool, coverageGridN*coverageGridN)
+	target := int(coverage * float64(len(covered)))
+	count := 0
+	var out AreaSet
+	for count < target && len(out) < maxObstacleAreas {
+		a := randomArea(rng, field, cfg)
+		out = append(out, a)
+		for iy := 0; iy < coverageGridN; iy++ {
+			y := field.Min.Y + (float64(iy)+0.5)/coverageGridN*field.Height()
+			for ix := 0; ix < coverageGridN; ix++ {
+				idx := iy*coverageGridN + ix
+				if covered[idx] {
+					continue
+				}
+				x := field.Min.X + (float64(ix)+0.5)/coverageGridN*field.Width()
+				if a.Contains(geom.Pt(x, y)) {
+					covered[idx] = true
+					count++
+				}
+			}
 		}
-		w := size
-		h := span(cfg.MinSize, cfg.MaxSize)
-		out = append(out, RectArea{R: geom.FromCorners(
-			geom.Pt(c.X-w/2, c.Y-h/2),
-			geom.Pt(c.X+w/2, c.Y+h/2),
-		)})
 	}
 	return out
 }

@@ -53,6 +53,30 @@ func (g *grid) cellOf(p geom.Point) (ix, iy int) {
 	return ix, iy
 }
 
+// move rehashes node id from its old position's cell to its new one.
+// Within-cell moves are free; cross-cell moves swap-remove from the old
+// cell (order inside a cell is irrelevant — every query distance-filters)
+// and append to the new, so a retained grid tracks position churn in O(1)
+// amortized per move.
+func (g *grid) move(id NodeID, from, to geom.Point) {
+	fx, fy := g.cellOf(from)
+	tx, ty := g.cellOf(to)
+	if fx == tx && fy == ty {
+		return
+	}
+	fi := fy*g.nx + fx
+	cell := g.cells[fi]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[fi] = cell[:len(cell)-1]
+			break
+		}
+	}
+	ti := ty*g.nx + tx
+	g.cells[ti] = append(g.cells[ti], id)
+}
+
 // visitNear calls fn for every node id stored in cells that could contain a
 // point within distance r of p. Callers must still distance-filter.
 func (g *grid) visitNear(p geom.Point, r float64, fn func(NodeID)) {

@@ -1,0 +1,200 @@
+package topo
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/straightpath/wasn/internal/geom"
+	"github.com/straightpath/wasn/internal/par"
+)
+
+// Move is one position update: node Node relocates to (X, Y). Batches of
+// moves are applied atomically by SetPositions; the JSON tags are the
+// wire shape of the serve /move endpoint and the workload trace format.
+type Move struct {
+	Node NodeID  `json:"node"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// SetPosition relocates one node. It is SetPositions on a single-move
+// batch; prefer SetPositions for drift batches — the CSR rewrite cost is
+// amortized across the whole batch.
+func (net *Network) SetPosition(u NodeID, p geom.Point) ([]NodeID, error) {
+	return net.SetPositions([]Move{{Node: u, X: p.X, Y: p.Y}})
+}
+
+// SetPositions applies a batch of position updates and repairs the CSR
+// adjacency in place: coordinates, the packed AdjacencyXY arrays, and the
+// rows/bearings of every edge entering or leaving radio range. It returns
+// the sorted ids of all nodes whose geometric neighborhood changed — the
+// moved nodes, their old static neighbors, and their new in-range
+// neighbors — which is exactly the dirty set substrate position repair
+// (core.RepairSubstratesMoved) needs.
+//
+// The rewrite is double-buffered: rows of clean nodes are copied span-
+// for-span into scratch backing arrays, dirty rows are recomputed from
+// the retained spatial grid, and the buffers are swapped. After warmup
+// the scratch is reused, so steady-state drift batches allocate nothing.
+// The returned slice aliases internal scratch and is only valid until the
+// next SetPositions call.
+//
+// Liveness is orthogonal: dead nodes may move, and moving never changes
+// alive bits. Edge-slot consumers beware: row offsets (AdjOffset,
+// AdjSlotOf, AdjSlots) shift when rows resize, so per-edge state keyed by
+// slot index must be re-derived or generation-stamped after a move batch.
+func (net *Network) SetPositions(moves []Move) ([]NodeID, error) {
+	if len(moves) == 0 {
+		return nil, nil
+	}
+	n := len(net.Nodes)
+	for _, m := range moves {
+		if m.Node < 0 || int(m.Node) >= n {
+			return nil, fmt.Errorf("topo: move of unknown node %d (have %d)", m.Node, n)
+		}
+	}
+	if net.mvMark == nil || len(net.mvMark) < n {
+		net.mvMark = make([]uint32, n)
+		net.mvGen = 0
+	}
+	net.mvGen++
+	gen := net.mvGen
+	dirty := net.mvDirty[:0]
+	mark := func(v NodeID) {
+		if net.mvMark[v] != gen {
+			net.mvMark[v] = gen
+			dirty = append(dirty, v)
+		}
+	}
+
+	// Phase 1 — while the static rows still describe the old geometry:
+	// mark each moved node and everyone who could see it at its old
+	// position (its old static row), then apply the position update to
+	// the node table and the spatial grid.
+	for _, m := range moves {
+		u := m.Node
+		mark(u)
+		for _, v := range net.row(u) {
+			mark(v)
+		}
+		np := geom.Pt(m.X, m.Y)
+		net.grid.move(u, net.Nodes[u].Pos, np)
+		net.Nodes[u].Pos = np
+	}
+
+	// Phase 2 — with every new position in place: mark everyone who can
+	// see a moved node now. A node's row changes iff it moved, or a moved
+	// node was in range (phase 1) or is in range (here); nothing else can
+	// alter its in-range set or any neighbor coordinate.
+	r2 := net.Radius * net.Radius
+	for _, m := range moves {
+		u := m.Node
+		p := net.Nodes[u].Pos
+		net.grid.visitNear(p, net.Radius, func(v NodeID) {
+			if v != u && geom.Dist2(p, net.Nodes[v].Pos) <= r2 {
+				mark(v)
+			}
+		})
+	}
+
+	slices.Sort(dirty)
+	net.mvDirty = dirty
+	net.rebuildRows(dirty, gen)
+	return dirty, nil
+}
+
+// rebuildRows rewrites the CSR backing arrays with fresh rows for the
+// dirty nodes (mvMark[i]==gen) and span copies for everyone else, then
+// swaps the double buffers.
+func (net *Network) rebuildRows(dirty []NodeID, gen uint32) {
+	n := len(net.Nodes)
+	r2 := net.Radius * net.Radius
+
+	// Count pass: new row sizes for dirty nodes only.
+	net.mvCounts = growScratch(net.mvCounts, len(dirty))
+	counts := net.mvCounts[:len(dirty)]
+	par.For(len(dirty), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := dirty[i]
+			p := net.Nodes[u].Pos
+			var c int32
+			net.grid.visitNear(p, net.Radius, func(v NodeID) {
+				if v != u && geom.Dist2(p, net.Nodes[v].Pos) <= r2 {
+					c++
+				}
+			})
+			counts[i] = c
+		}
+	})
+
+	// Prefix-sum old and new row sizes into the scratch offsets.
+	net.offScratch = growScratch(net.offScratch, n+1)
+	off2 := net.offScratch[:n+1]
+	var total int32
+	di := 0
+	for i := 0; i < n; i++ {
+		off2[i] = total
+		if di < len(dirty) && dirty[di] == NodeID(i) {
+			total += counts[di]
+			di++
+		} else {
+			total += net.adjOff[i+1] - net.adjOff[i]
+		}
+	}
+	off2[n] = total
+
+	net.listScratch = growScratch(net.listScratch, int(total))
+	net.angScratch = growScratch(net.angScratch, int(total))
+	net.xScratch = growScratch(net.xScratch, int(total))
+	net.yScratch = growScratch(net.yScratch, int(total))
+	list2 := net.listScratch[:total]
+	ang2 := net.angScratch[:total]
+	x2 := net.xScratch[:total]
+	y2 := net.yScratch[:total]
+
+	// Fill pass: recompute dirty rows (sorted, with bearings and packed
+	// positions), copy clean spans verbatim.
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst, end := off2[i], off2[i+1]
+			if net.mvMark[i] != gen {
+				src := net.adjOff[i]
+				copy(list2[dst:end], net.adjList[src:])
+				copy(ang2[dst:end], net.adjAng[src:])
+				copy(x2[dst:end], net.adjX[src:])
+				copy(y2[dst:end], net.adjY[src:])
+				continue
+			}
+			u := &net.Nodes[i]
+			row := list2[dst:dst:end]
+			net.grid.visitNear(u.Pos, net.Radius, func(v NodeID) {
+				if v != u.ID && geom.Dist2(u.Pos, net.Nodes[v].Pos) <= r2 {
+					row = append(row, v)
+				}
+			})
+			slices.Sort(row)
+			for j, v := range row {
+				pv := net.Nodes[v].Pos
+				ang2[int(dst)+j] = geom.Angle(u.Pos, pv)
+				x2[int(dst)+j] = pv.X
+				y2[int(dst)+j] = pv.Y
+			}
+		}
+	})
+
+	net.adjOff, net.offScratch = off2, net.adjOff
+	net.adjList, net.listScratch = list2, net.adjList
+	net.adjAng, net.angScratch = ang2, net.adjAng
+	net.adjX, net.xScratch = x2, net.adjX
+	net.adjY, net.yScratch = y2, net.adjY
+}
+
+// growScratch returns s resliced to its full capacity, reallocating with
+// 25% headroom when the capacity is below need — the double-buffered CSR
+// rewrite reuses these buffers so steady-state batches allocate nothing.
+func growScratch[T any](s []T, need int) []T {
+	if cap(s) < need {
+		return make([]T, need+need/4+8)
+	}
+	return s[:cap(s)]
+}

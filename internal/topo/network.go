@@ -28,13 +28,15 @@ import (
 // Neighbors returns a subslice of the internal CSR backing array whenever
 // it can (always while no node has failed, and for rows untouched by
 // failures afterwards). Callers MUST treat the returned slice as
-// immutable and MUST NOT retain it across a SetAlive call. Only rows
+// immutable and MUST NOT retain it across a SetAlive or SetPositions
+// call: position repair double-buffers the CSR backing arrays and a swap
+// leaves retained row slices pointing at recycled scratch. Only rows
 // containing a dead neighbor are filtered into a freshly allocated copy.
 //
 // A Network is safe for concurrent reads after construction as long as no
-// SetAlive calls race with them; the experiment harness builds one network
-// per goroutine and the serve package serializes mutations behind a
-// per-deployment RWMutex.
+// SetAlive or SetPositions calls race with them; the experiment harness
+// builds one network per goroutine and the serve package serializes
+// mutations behind a per-deployment RWMutex.
 type Network struct {
 	Nodes  []Node
 	Radius float64
@@ -51,8 +53,8 @@ type Network struct {
 	// adjX/adjY[i] are the position of adjList[i], packed per edge slot
 	// in structure-of-arrays form: a candidate scan reads neighbor
 	// coordinates with two sequential float64 loads instead of chasing
-	// Nodes[v].Pos through the node table. Positions are immutable after
-	// construction, so the arrays never need repair.
+	// Nodes[v].Pos through the node table. SetPositions keeps them
+	// consistent by rewriting exactly the rows whose geometry changed.
 	adjX, adjY []float64
 
 	// aliveBits is the node liveness as a bitset (bit u of word u/64),
@@ -63,6 +65,24 @@ type Network struct {
 	// dead counts failed nodes network-wide. While it is zero Neighbors
 	// and Degree take the O(1) alias path without scanning liveness.
 	dead int
+
+	// grid is the spatial hash built during construction, retained and
+	// maintained incrementally by SetPositions so position repair can
+	// re-query in-range sets without rehashing the whole node table.
+	grid *grid
+
+	// Move scratch (see SetPositions): generation-stamped dirty marks and
+	// double-buffered CSR backing arrays, so steady-state drift batches
+	// rewrite adjacency without reallocating.
+	mvGen       uint32
+	mvMark      []uint32
+	mvDirty     []NodeID
+	mvCounts    []int32
+	offScratch  []int32
+	listScratch []NodeID
+	angScratch  []float64
+	xScratch    []float64
+	yScratch    []float64
 }
 
 // NewNetwork builds the unit-disk graph over the given positions.
@@ -93,6 +113,7 @@ func NewNetwork(positions []geom.Point, radius float64, field geom.Rect) (*Netwo
 func (net *Network) buildAdjacency() {
 	n := len(net.Nodes)
 	g := newGrid(net.Field, net.Radius, net.Nodes)
+	net.grid = g
 	r2 := net.Radius * net.Radius
 
 	// Pass 1: count neighbors per node.

@@ -36,6 +36,9 @@ type Driver interface {
 	Fail(deployment string, nodes []topo.NodeID) error
 	// Revive resurrects nodes.
 	Revive(deployment string, nodes []topo.NodeID) error
+	// Move relocates nodes; the serve layer repairs the substrates in
+	// place. Like Fail/Revive it may run concurrently with Route.
+	Move(deployment string, moves []topo.Move) error
 	// Stats snapshots the server counters for the report.
 	Stats() (serve.Stats, error)
 	// ScrapeMetrics parses the driver's current metrics exposition,
@@ -67,7 +70,7 @@ func (d *InProcess) Deploy(name string, spec DeploymentSpec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	eff, err := d.svc.Deploy(name, serve.Spec{Model: model, N: spec.N, Seed: spec.Seed})
+	eff, err := d.svc.Deploy(name, serve.Spec{Model: model, N: spec.N, Seed: spec.Seed, Coverage: spec.Coverage})
 	if err != nil {
 		return "", err
 	}
@@ -94,6 +97,11 @@ func (d *InProcess) Fail(deployment string, nodes []topo.NodeID) error {
 // Revive implements Driver.
 func (d *InProcess) Revive(deployment string, nodes []topo.NodeID) error {
 	return d.svc.Revive(deployment, nodes)
+}
+
+// Move implements Driver.
+func (d *InProcess) Move(deployment string, moves []topo.Move) error {
+	return d.svc.Move(deployment, moves)
 }
 
 // Stats implements Driver.

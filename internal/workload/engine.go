@@ -5,10 +5,12 @@ import (
 	"io"
 	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/straightpath/wasn/internal/geom"
 	"github.com/straightpath/wasn/internal/metrics"
 	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/topo"
@@ -59,8 +61,15 @@ type run struct {
 	failed    atomic.Pointer[map[topo.NodeID]bool]
 	timeline  []atomic.Int64
 	dropped   atomic.Int64
+	moved     atomic.Int64
 	errSample atomic.Pointer[string]
 	churn     []AppliedChurn // owned by the churn goroutine
+	// churnPlan is the schedule with every victim set resolved up
+	// front — a pure function of the scenario seed. The churn goroutine
+	// applies it; the open-loop generator reads it to know which nodes
+	// are *scheduled* dead at each arrival, so pair picks never depend
+	// on how late an event actually fired.
+	churnPlan []resolvedChurn
 	// rec is non-nil when the driver is a *Recorder: the engine feeds
 	// it each request's intended arrival offset (the Driver interface
 	// carries no timestamps).
@@ -81,6 +90,11 @@ func RunWith(drv Driver, sc *Scenario, opts Options) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	// Expand any generated churn process into concrete events. This
+	// happens here, not in Validate, so re-validating a scenario (the
+	// sweep ladder does, per rung) can never double the schedule; the
+	// caller's scenario is left untouched.
+	sc = sc.expandChurn()
 	tr, err := buildTraffic(sc)
 	if err != nil {
 		return nil, err
@@ -205,6 +219,7 @@ func (r *run) measure() (*Report, error) {
 		buckets = sc.Arrival.DurationMS/sc.TimelineBucketMS + 64
 	}
 	r.initPhases(len(sc.Churn), buckets)
+	r.churnPlan = r.resolveChurn()
 
 	// A scrape failure degrades the report (no delta) rather than
 	// failing the run: the HTTP driver may face a wasnd predating
@@ -226,6 +241,13 @@ func (r *run) measure() (*Report, error) {
 	} else {
 		close(progDone)
 	}
+	stopMob := make(chan struct{})
+	mobDone := make(chan struct{})
+	if sc.Mobility != nil {
+		go r.runMobility(stopMob, mobDone)
+	} else {
+		close(mobDone)
+	}
 
 	if sc.Arrival.Process == ArrivalClosed {
 		r.runClosed()
@@ -235,8 +257,10 @@ func (r *run) measure() (*Report, error) {
 	elapsed := time.Since(r.start)
 	close(stopChurn)
 	close(stopProg)
+	close(stopMob)
 	<-churnDone
 	<-progDone
+	<-mobDone
 	rep, err := r.report(elapsed)
 	if rep != nil && beforeErr == nil {
 		if after, aerr := r.drv.ScrapeMetrics(); aerr == nil {
@@ -328,25 +352,38 @@ func (r *run) runClosed() {
 // in real time for DurationMS, dispatching arrivals to a worker pool
 // through a bounded queue. Latency is measured from each arrival's
 // scheduled time, so queueing under overload is charged to the request.
+//
+// The generator draws each arrival's (src, dst) pair itself — workers
+// only route. Pair picks consult the *resolved* churn plan at the
+// arrival's scheduled offset, not the live dead set, so the request
+// stream is a pure function of the scenario seed: recording the same
+// scenario twice yields bit-identical request lines regardless of
+// worker scheduling or how late a churn event actually applied.
 func (r *run) runOpen() {
 	sc := r.sc
 	conc := sc.Arrival.Concurrency
 	if conc <= 0 {
 		conc = 4 * runtime.GOMAXPROCS(0)
 	}
-	queue := make(chan time.Time, openQueueCap)
+	type arrival struct {
+		t0       time.Time
+		src, dst topo.NodeID
+	}
+	queue := make(chan arrival, openQueueCap)
 	var wg sync.WaitGroup
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			pick := r.tr.picker(uint64(w), r.alive)
-			for t0 := range queue {
-				src, dst := pick()
-				r.routeOnce(t0, t0.Sub(r.start), src, dst)
+			for a := range queue {
+				r.routeOnce(a.t0, a.t0.Sub(r.start), a.src, a.dst)
 			}
-		}(w)
+		}()
 	}
+
+	schedDead := make(map[topo.NodeID]bool)
+	nextEv := 0
+	pick := r.tr.picker(0, func(u topo.NodeID) bool { return !schedDead[u] })
 
 	rng := rand.New(rand.NewPCG(sc.Seed, 0xa5a5a5a5))
 	duration := time.Duration(sc.Arrival.DurationMS) * time.Millisecond
@@ -357,6 +394,19 @@ func (r *run) runOpen() {
 		if offset >= duration {
 			break
 		}
+		// Advance the scheduled dead set to this arrival's instant, then
+		// draw the pair before sleeping (the pick depends only on the
+		// schedule, never on wall-clock state).
+		for nextEv < len(r.churnPlan) && time.Duration(r.churnPlan[nextEv].atMS)*time.Millisecond <= offset {
+			for _, u := range r.churnPlan[nextEv].fail {
+				schedDead[u] = true
+			}
+			for _, u := range r.churnPlan[nextEv].revive {
+				delete(schedDead, u)
+			}
+			nextEv++
+		}
+		src, dst := pick()
 		at := r.start.Add(offset)
 		// Sleep coarse, spin fine: time.Sleep routinely oversleeps by
 		// hundreds of microseconds, which would be charged to every
@@ -371,7 +421,7 @@ func (r *run) runOpen() {
 			runtime.Gosched()
 		}
 		select {
-		case queue <- at:
+		case queue <- arrival{t0: at, src: src, dst: dst}:
 		default:
 			r.dropped.Add(1)
 		}
@@ -396,18 +446,69 @@ func (r *run) wallOffset(onTime float64) time.Duration {
 	return time.Duration((float64(full)*cycle + rem) * float64(time.Second))
 }
 
-// runChurn fires the schedule: each event fails/revives nodes through
-// the driver, swaps the copy-on-write dead-set snapshot, and opens the
-// next phase.
+// resolvedChurn is one churn firing with its victim sets fixed before
+// the run starts.
+type resolvedChurn struct {
+	atMS   int
+	fail   []topo.NodeID
+	revive []topo.NodeID
+}
+
+// resolveChurn fixes every churn event's victims up front, walking the
+// schedule with the same seeded rng and the same draw order the live
+// churn goroutine used to, so the resolved plan is a pure function of
+// the scenario seed. The plan assumes every event applies (a driver
+// error at fire time leaves the *live* dead set behind the scheduled
+// one, but never changes what was scheduled — recorded traces stay
+// deterministic even across transient driver failures).
+func (r *run) resolveChurn() []resolvedChurn {
+	rng := rand.New(rand.NewPCG(r.sc.Seed, 0xc0ffee))
+	deadSet := make(map[topo.NodeID]bool)
+	plan := make([]resolvedChurn, 0, len(r.sc.Churn))
+	for _, ev := range r.sc.Churn {
+		rc := resolvedChurn{atMS: ev.AtMS}
+		rc.fail = append(append([]topo.NodeID{}, ev.Fail...), r.tr.randomVictims(rng, ev.FailRandom, deadSet)...)
+		for _, u := range rc.fail {
+			deadSet[u] = true
+		}
+		rc.revive = append([]topo.NodeID{}, ev.Revive...)
+		if ev.ReviveAll || ev.ReviveRandom > 0 {
+			// Deterministic order: the dead set is a map, so sort before
+			// picking or appending.
+			dead := make([]topo.NodeID, 0, len(deadSet))
+			for u := range deadSet {
+				dead = append(dead, u)
+			}
+			slices.Sort(dead)
+			if ev.ReviveAll {
+				rc.revive = append(rc.revive, dead...)
+			} else {
+				for j := 0; j < ev.ReviveRandom && len(dead) > 0; j++ {
+					i := rng.IntN(len(dead))
+					rc.revive = append(rc.revive, dead[i])
+					dead = append(dead[:i], dead[i+1:]...)
+				}
+			}
+		}
+		for _, u := range rc.revive {
+			delete(deadSet, u)
+		}
+		plan = append(plan, rc)
+	}
+	return plan
+}
+
+// runChurn fires the resolved plan: each event fails/revives its
+// precomputed victims through the driver, swaps the copy-on-write
+// dead-set snapshot, and opens the next phase.
 func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	rng := rand.New(rand.NewPCG(r.sc.Seed, 0xc0ffee))
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
 	}
-	for i, ev := range r.sc.Churn {
-		timer.Reset(time.Duration(ev.AtMS)*time.Millisecond - time.Since(r.start))
+	for i, ev := range r.churnPlan {
+		timer.Reset(time.Duration(ev.atMS)*time.Millisecond - time.Since(r.start))
 		select {
 		case <-stop:
 			timer.Stop()
@@ -420,30 +521,23 @@ func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 		for u := range cur {
 			next[u] = true
 		}
-		applied := AppliedChurn{AtMS: ev.AtMS}
-		toFail := append(append([]topo.NodeID{}, ev.Fail...), r.tr.randomVictims(rng, ev.FailRandom, next)...)
-		if len(toFail) > 0 {
-			if err := r.drv.Fail(r.dep, toFail); err != nil {
+		applied := AppliedChurn{AtMS: ev.atMS}
+		if len(ev.fail) > 0 {
+			if err := r.drv.Fail(r.dep, ev.fail); err != nil {
 				applied.Err = err.Error()
 			} else {
-				applied.Failed = toFail
-				for _, u := range toFail {
+				applied.Failed = ev.fail
+				for _, u := range ev.fail {
 					next[u] = true
 				}
 			}
 		}
-		toRevive := append([]topo.NodeID{}, ev.Revive...)
-		if ev.ReviveAll {
-			for u := range next {
-				toRevive = append(toRevive, u)
-			}
-		}
-		if len(toRevive) > 0 && applied.Err == "" {
-			if err := r.drv.Revive(r.dep, toRevive); err != nil {
+		if len(ev.revive) > 0 && applied.Err == "" {
+			if err := r.drv.Revive(r.dep, ev.revive); err != nil {
 				applied.Err = err.Error()
 			} else {
-				applied.Revived = toRevive
-				for _, u := range toRevive {
+				applied.Revived = ev.revive
+				for _, u := range ev.revive {
 					delete(next, u)
 				}
 			}
@@ -452,16 +546,16 @@ func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 		applied.AppliedMS = float64(time.Since(r.start).Microseconds()) / 1000
 		r.churn = append(r.churn, applied)
 		if applied.Err != "" {
-			r.progressf("churn @%dms failed to apply: %s", ev.AtMS, applied.Err)
+			r.progressf("churn @%dms failed to apply: %s", ev.atMS, applied.Err)
 		} else {
 			r.progressf("churn @%dms: failed=%d revived=%d -> %s",
-				ev.AtMS, len(applied.Failed), len(applied.Revived), r.phases[i+1].name)
+				ev.atMS, len(applied.Failed), len(applied.Revived), r.phases[i+1].name)
 		}
 		if r.rec != nil {
 			// Recorded at the *scheduled* offset, not the applied wall
 			// time: re-recording a replay then reproduces the original
 			// churn lines bit-for-bit.
-			at := time.Duration(ev.AtMS) * time.Millisecond
+			at := time.Duration(ev.atMS) * time.Millisecond
 			r.rec.recordChurn(at, traceKindFail, applied.Failed)
 			r.rec.recordChurn(at, traceKindRevive, applied.Revived)
 		}
@@ -470,6 +564,111 @@ func (r *run) runChurn(stop <-chan struct{}, done chan<- struct{}) {
 		// boundary; with events rare relative to requests the smear is
 		// negligible).
 		r.openPhase(i + 1)
+	}
+}
+
+// runMobility drives the scenario's position churn: every IntervalMS it
+// advances the mobile sinks one step along their seeded random-waypoint
+// walks, redraws a seeded DriftFraction of the nodes with Gaussian
+// drift, and ships the batch through Driver.Move. The walk state lives
+// entirely on the offline position snapshot, so the k-th batch is a
+// pure function of the scenario — wall-clock only decides *when* a
+// batch applies, never what it contains — and the recorder logs each
+// batch at its scheduled offset. Mobility ticks do not open report
+// phases (they are continuous background churn, not schedule
+// boundaries); their volume lands in Report.MovedNodes.
+func (r *run) runMobility(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	mb := r.sc.Mobility
+	rng := rand.New(rand.NewPCG(r.sc.Seed, 0x6d6f62696c697479))
+	pos := append([]geom.Point(nil), r.tr.positions...)
+	field := r.tr.field
+
+	// Mobile sinks: the convergecast sinks themselves when the traffic
+	// pattern has them (the paper's mobile-sink regime), seeded picks
+	// otherwise.
+	var sinks []topo.NodeID
+	if len(r.tr.sinks) > 0 {
+		sinks = append(sinks, r.tr.sinks...)
+		if len(sinks) > mb.Sinks {
+			sinks = sinks[:mb.Sinks]
+		}
+	} else {
+		for _, i := range rng.Perm(len(r.tr.members))[:mb.Sinks] {
+			sinks = append(sinks, r.tr.members[i])
+		}
+	}
+	isSink := make(map[topo.NodeID]bool, len(sinks))
+	waypoint := make([]geom.Point, len(sinks))
+	randPoint := func() geom.Point {
+		return geom.Pt(field.Min.X+rng.Float64()*field.Width(), field.Min.Y+rng.Float64()*field.Height())
+	}
+	for i, s := range sinks {
+		isSink[s] = true
+		waypoint[i] = randPoint()
+	}
+
+	step := mb.SinkSpeed * float64(mb.IntervalMS) / 1000
+	interval := time.Duration(mb.IntervalMS) * time.Millisecond
+	duration := time.Duration(r.sc.Arrival.DurationMS) * time.Millisecond
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for k := 1; ; k++ {
+		at := time.Duration(k) * interval
+		if at >= duration {
+			return
+		}
+		// Compute the batch before waiting: the schedule is deterministic
+		// even if a tick fires late.
+		var moves []topo.Move
+		for i, s := range sinks {
+			p := pos[s]
+			for {
+				d := geom.Dist(p, waypoint[i])
+				if d > step {
+					t := step / d
+					p = geom.Pt(p.X+(waypoint[i].X-p.X)*t, p.Y+(waypoint[i].Y-p.Y)*t)
+					break
+				}
+				p = waypoint[i]
+				waypoint[i] = randPoint()
+			}
+			pos[s] = p
+			moves = append(moves, topo.Move{Node: s, X: p.X, Y: p.Y})
+		}
+		if mb.DriftFraction > 0 {
+			for _, u := range r.tr.members {
+				if isSink[u] || rng.Float64() >= mb.DriftFraction {
+					continue
+				}
+				p := geom.Pt(pos[u].X+rng.NormFloat64()*mb.DriftSigma, pos[u].Y+rng.NormFloat64()*mb.DriftSigma)
+				p.X = min(max(p.X, field.Min.X), field.Max.X)
+				p.Y = min(max(p.Y, field.Min.Y), field.Max.Y)
+				pos[u] = p
+				moves = append(moves, topo.Move{Node: u, X: p.X, Y: p.Y})
+			}
+		}
+		if len(moves) == 0 {
+			continue
+		}
+
+		timer.Reset(at - time.Since(r.start))
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if err := r.drv.Move(r.dep, moves); err != nil {
+			r.progressf("mobility @%dms failed to apply: %v", at/time.Millisecond, err)
+			continue
+		}
+		r.moved.Add(int64(len(moves)))
+		if r.rec != nil {
+			r.rec.recordMove(at, moves)
+		}
 	}
 }
 
@@ -485,6 +684,7 @@ func (r *run) report(elapsed time.Duration) (*Report, error) {
 		Traffic:    sc.Traffic,
 		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
 		Dropped:    r.dropped.Load(),
+		MovedNodes: r.moved.Load(),
 		Churn:      r.churn,
 	}
 	if sc.Arrival.Process == ArrivalPoisson {

@@ -85,6 +85,11 @@ func (d *HTTP) Deploy(name string, spec DeploymentSpec) (string, error) {
 		"name": name, "model": spec.Model, "n": spec.N, "seed": spec.Seed,
 		"build": true,
 	}
+	if spec.Coverage > 0 {
+		// Only sent when set, so default-coverage scenarios stay
+		// compatible with servers predating the knob.
+		req["coverage"] = spec.Coverage
+	}
 	var resp struct {
 		Name string `json:"name"`
 	}
@@ -120,6 +125,16 @@ func (d *HTTP) Fail(deployment string, nodes []topo.NodeID) error {
 // Revive implements Driver.
 func (d *HTTP) Revive(deployment string, nodes []topo.NodeID) error {
 	return d.post("/revive", churnRequest{Deployment: deployment, Nodes: nodes}, nil)
+}
+
+type moveRequest struct {
+	Deployment string      `json:"deployment"`
+	Moves      []topo.Move `json:"moves"`
+}
+
+// Move implements Driver.
+func (d *HTTP) Move(deployment string, moves []topo.Move) error {
+	return d.post("/move", moveRequest{Deployment: deployment, Moves: moves}, nil)
 }
 
 // Stats implements Driver.

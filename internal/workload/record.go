@@ -21,6 +21,7 @@ const (
 	traceKindRequest = "r"
 	traceKindFail    = "f"
 	traceKindRevive  = "v"
+	traceKindMove    = "m"
 	traceKindSummary = "s"
 )
 
@@ -52,6 +53,10 @@ type TraceEvent struct {
 	Dst topo.NodeID `json:"dst"`
 	// Nodes is set on churn ("f"/"v") lines.
 	Nodes []topo.NodeID `json:"nodes,omitempty"`
+	// Moves is set on mobility ("m") lines. The kind is additive — old
+	// traces never carry it, and readers predating it reject it via the
+	// unknown-kind check rather than misreading lines.
+	Moves []topo.Move `json:"moves,omitempty"`
 }
 
 // TraceSummary is the last line of a trace: the recorded run's outcome
@@ -159,18 +164,31 @@ func (rec *Recorder) recordChurn(at time.Duration, kind string, nodes []topo.Nod
 	rec.mu.Unlock()
 }
 
-// traceEventRank orders kinds at the same instant: churn sorts before
-// requests, so a request scheduled exactly at a churn time replays
-// against the post-event topology, matching the engine's phase
-// accounting.
+// recordMove captures one applied mobility batch at its scheduled
+// offset.
+func (rec *Recorder) recordMove(at time.Duration, moves []topo.Move) {
+	if len(moves) == 0 {
+		return
+	}
+	rec.mu.Lock()
+	rec.churn = append(rec.churn, TraceEvent{Kind: traceKindMove, At: int64(at), Moves: append([]topo.Move(nil), moves...)})
+	rec.mu.Unlock()
+}
+
+// traceEventRank orders kinds at the same instant: topology mutations
+// sort before requests, so a request scheduled exactly at a mutation
+// time replays against the post-event topology, matching the engine's
+// phase accounting.
 func traceEventRank(kind string) int {
 	switch kind {
 	case traceKindFail:
 		return 0
 	case traceKindRevive:
 		return 1
-	default:
+	case traceKindMove:
 		return 2
+	default:
+		return 3
 	}
 }
 
@@ -279,7 +297,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if tr.Header.Version != traceVersion {
 				return nil, fmt.Errorf("workload: trace version %d (this build reads %d)", tr.Header.Version, traceVersion)
 			}
-		case traceKindRequest, traceKindFail, traceKindRevive:
+		case traceKindRequest, traceKindFail, traceKindRevive, traceKindMove:
 			var ev TraceEvent
 			if err := json.Unmarshal(raw, &ev); err != nil {
 				return nil, fmt.Errorf("workload: bad trace line %d: %w", n+1, err)

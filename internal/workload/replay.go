@@ -71,9 +71,13 @@ func Replay(drv Driver, tr *Trace, opt ReplayOptions) (*Report, error) {
 	events := append([]TraceEvent(nil), tr.Events...)
 	sortTraceEvents(events)
 
+	// Fail/revive lines open report phases like the engine's schedule;
+	// move lines are barriers too (so replay outcomes stay
+	// deterministic) but remain inside their phase, matching how the
+	// engine treats continuous mobility.
 	churnLines := 0
 	for _, ev := range events {
-		if ev.Kind != traceKindRequest {
+		if ev.Kind == traceKindFail || ev.Kind == traceKindRevive {
 			churnLines++
 		}
 	}
@@ -127,6 +131,17 @@ func Replay(drv Driver, tr *Trace, opt ReplayOptions) (*Report, error) {
 				}
 			}
 			queue <- item{t0: t0, at: at, src: ev.Src, dst: ev.Dst}
+		case traceKindMove:
+			// Mobility barrier: drain, move, resume inside the same phase.
+			close(queue)
+			wg.Wait()
+			if err := drv.Move(dep, ev.Moves); err == nil {
+				r.moved.Add(int64(len(ev.Moves)))
+				if r.rec != nil {
+					r.rec.recordMove(at, ev.Moves)
+				}
+			}
+			startPool()
 		default:
 			// Churn barrier: drain in-flight requests, mutate, open the
 			// next phase, restart the pool.

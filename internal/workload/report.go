@@ -84,6 +84,9 @@ type Report struct {
 	// queue was full — nonzero means the offered rate exceeded what
 	// the driver could absorb.
 	Dropped int64 `json:"dropped,omitempty"`
+	// MovedNodes totals the node positions changed by the mobility
+	// schedule (and by replayed move lines) during the measured window.
+	MovedNodes int64 `json:"moved_nodes,omitempty"`
 	// OfferedRPS is the open-loop target rate (0 for closed loops);
 	// ThroughputRPS is what actually completed per second.
 	OfferedRPS    float64 `json:"offered_rps,omitempty"`
@@ -121,8 +124,12 @@ func (r *Report) Summary() string {
 	if r.OfferedRPS > 0 {
 		fmt.Fprintf(&b, " (offered %.0f)", r.OfferedRPS)
 	}
-	fmt.Fprintf(&b, "\n  delivered %.2f%%  cached %.1f%%  errors %d  dropped %d\n",
+	fmt.Fprintf(&b, "\n  delivered %.2f%%  cached %.1f%%  errors %d  dropped %d",
 		100*r.DeliveryRate, 100*r.CachedShare, r.Errors, r.Dropped)
+	if r.MovedNodes > 0 {
+		fmt.Fprintf(&b, "  moved %d", r.MovedNodes)
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "  latency p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n",
 		r.Latency.P50us, r.Latency.P90us, r.Latency.P99us, r.Latency.P999us, r.Latency.MaxUs)
 	for _, p := range r.Phases {

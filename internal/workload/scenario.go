@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"sort"
 
@@ -27,14 +28,18 @@ const (
 // DeploymentSpec names the deployment a scenario runs against, in the
 // wire vocabulary of the /deploy endpoint.
 type DeploymentSpec struct {
-	// Name is the registry name; empty means the MODEL-N-SEED default.
+	// Name is the registry name; empty means the server's default
+	// (MODEL-N-SEED, with a coverage suffix for obstacle fields).
 	Name string `json:"name,omitempty"`
-	// Model is "ia" or "fa".
+	// Model is "ia", "fa", or "ob".
 	Model string `json:"model"`
 	// N is the node count.
 	N int `json:"n"`
 	// Seed is the deployment seed.
 	Seed uint64 `json:"seed"`
+	// Coverage is the "ob" model's obstacle lattice-coverage target in
+	// [0,1); 0 means the server default. Ignored for ia/fa.
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
 // Arrival selects and parameterizes the arrival process.
@@ -91,8 +96,50 @@ type ChurnEvent struct {
 	FailRandom int `json:"fail_random,omitempty"`
 	// Revive lists explicit nodes to bring back.
 	Revive []topo.NodeID `json:"revive,omitempty"`
+	// ReviveRandom brings back that many scenario-seeded random nodes
+	// from the currently failed set (fewer when the set is smaller).
+	ReviveRandom int `json:"revive_random,omitempty"`
 	// ReviveAll brings back every node failed so far.
 	ReviveAll bool `json:"revive_all,omitempty"`
+}
+
+// ChurnProcess generates a continuous churn schedule instead of (or on
+// top of) hand-written ChurnEvents: node failures arrive as a seeded
+// Poisson process at FailRateHz and revivals at ReviveRateHz over the
+// open-loop run. The engine expands the process into concrete
+// fail_random/revive_random events at run start (seeded by the scenario
+// seed, so the same scenario yields the same schedule).
+type ChurnProcess struct {
+	// Process names the generator; "poisson" is the only one.
+	Process string `json:"process"`
+	// FailRateHz is the mean node-failure arrival rate.
+	FailRateHz float64 `json:"fail_rate_hz,omitempty"`
+	// ReviveRateHz is the mean revival arrival rate.
+	ReviveRateHz float64 `json:"revive_rate_hz,omitempty"`
+}
+
+// Mobility is the continuous position-churn schedule: a few mobile
+// sinks on seeded random-waypoint walks plus Gaussian drift over a
+// fraction of the field, applied as timed /move batches under live
+// traffic. The walks run against an offline copy of the deployment, so
+// the schedule is a pure function of the scenario (same seed, same
+// batches) for both drivers.
+type Mobility struct {
+	// Sinks is how many nodes walk waypoint trajectories (for
+	// convergecast traffic these are the traffic sinks themselves — the
+	// paper's mobile-sink regime; otherwise seeded random picks).
+	Sinks int `json:"sinks,omitempty"`
+	// SinkSpeed is the waypoint walk speed in field units per second
+	// (default 20).
+	SinkSpeed float64 `json:"sink_speed,omitempty"`
+	// DriftSigma is the per-interval Gaussian displacement of drifting
+	// nodes in field units (default 2).
+	DriftSigma float64 `json:"drift_sigma,omitempty"`
+	// DriftFraction is the fraction of nodes redrawn with Gaussian
+	// drift each interval (default 0.01).
+	DriftFraction float64 `json:"drift_fraction,omitempty"`
+	// IntervalMS is the batch period (default 250).
+	IntervalMS int `json:"interval_ms,omitempty"`
 }
 
 // Scenario is one complete workload description. The zero value is not
@@ -108,6 +155,11 @@ type Scenario struct {
 	Traffic   Traffic `json:"traffic"`
 	// Churn is the mutation schedule, sorted by AtMS (Validate sorts).
 	Churn []ChurnEvent `json:"churn,omitempty"`
+	// ChurnProcess generates additional continuous churn; the engine
+	// expands it into concrete events at run start.
+	ChurnProcess *ChurnProcess `json:"churn_process,omitempty"`
+	// Mobility moves nodes continuously during the run.
+	Mobility *Mobility `json:"mobility,omitempty"`
 	// Seed drives every workload random choice (pair picks, Zipf
 	// draws, FailRandom victims) — same scenario, same traffic.
 	Seed uint64 `json:"seed,omitempty"`
@@ -184,15 +236,55 @@ func (sc *Scenario) Validate() error {
 			tr.Pattern, TrafficUniform, TrafficZipf, TrafficConvergecast)
 	}
 
+	if cp := sc.ChurnProcess; cp != nil {
+		if cp.Process != "poisson" {
+			return fmt.Errorf("workload: unknown churn process %q (want poisson)", cp.Process)
+		}
+		if cp.FailRateHz < 0 || cp.ReviveRateHz < 0 {
+			return fmt.Errorf("workload: churn process rates must be >= 0")
+		}
+		if cp.FailRateHz == 0 && cp.ReviveRateHz == 0 {
+			return fmt.Errorf("workload: churn process does nothing (both rates zero)")
+		}
+		if a.Process == ArrivalClosed {
+			return fmt.Errorf("workload: churn_process needs an open-loop arrival (its events span duration_ms)")
+		}
+	}
+	if mb := sc.Mobility; mb != nil {
+		if a.Process == ArrivalClosed {
+			return fmt.Errorf("workload: mobility needs an open-loop arrival (its schedule spans duration_ms)")
+		}
+		if mb.Sinks < 0 || mb.Sinks >= sc.Deployment.N {
+			return fmt.Errorf("workload: mobility sinks must be in [0,%d)", sc.Deployment.N)
+		}
+		if mb.DriftSigma < 0 || mb.DriftFraction < 0 || mb.DriftFraction > 1 {
+			return fmt.Errorf("workload: mobility drift_sigma must be >= 0 and drift_fraction in [0,1]")
+		}
+		if mb.Sinks == 0 && (mb.DriftFraction == 0 || mb.DriftSigma == 0) {
+			return fmt.Errorf("workload: mobility moves nothing (no sinks, no drift)")
+		}
+		if mb.SinkSpeed < 0 {
+			return fmt.Errorf("workload: mobility sink_speed must be >= 0")
+		}
+		if mb.SinkSpeed == 0 {
+			mb.SinkSpeed = 20
+		}
+		if mb.DriftFraction > 0 && mb.DriftSigma == 0 {
+			mb.DriftSigma = 2
+		}
+		if mb.IntervalMS <= 0 {
+			mb.IntervalMS = 250
+		}
+	}
 	for i := range sc.Churn {
 		ev := &sc.Churn[i]
 		if ev.AtMS < 0 {
 			return fmt.Errorf("workload: churn event %d at negative time %d", i, ev.AtMS)
 		}
-		if ev.FailRandom < 0 {
-			return fmt.Errorf("workload: churn event %d: fail_random must be >= 0", i)
+		if ev.FailRandom < 0 || ev.ReviveRandom < 0 {
+			return fmt.Errorf("workload: churn event %d: fail_random and revive_random must be >= 0", i)
 		}
-		if len(ev.Fail) == 0 && len(ev.Revive) == 0 && ev.FailRandom == 0 && !ev.ReviveAll {
+		if len(ev.Fail) == 0 && len(ev.Revive) == 0 && ev.FailRandom == 0 && ev.ReviveRandom == 0 && !ev.ReviveAll {
 			return fmt.Errorf("workload: churn event %d does nothing", i)
 		}
 		for _, u := range append(append([]topo.NodeID{}, ev.Fail...), ev.Revive...) {
@@ -213,6 +305,42 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("workload: warmup_requests must be >= 0")
 	}
 	return nil
+}
+
+// expandChurn returns the scenario with its ChurnProcess expanded into
+// concrete fail_random/revive_random events merged into the churn
+// schedule, or the scenario itself when there is nothing to expand. The
+// receiver is never mutated (sweeps run one scenario template across
+// many rungs). Expansion draws both Poisson streams from the scenario
+// seed, so one scenario always yields one schedule — the determinism
+// the trace recorder pins.
+func (sc *Scenario) expandChurn() *Scenario {
+	cp := sc.ChurnProcess
+	if cp == nil {
+		return sc
+	}
+	out := *sc
+	out.ChurnProcess = nil
+	out.Churn = append([]ChurnEvent(nil), sc.Churn...)
+	rng := rand.New(rand.NewPCG(sc.Seed, 0x636875726e2d7073))
+	stream := func(rateHz float64, mk func() ChurnEvent) {
+		if rateHz <= 0 {
+			return
+		}
+		for tMS := 0.0; ; {
+			tMS += rng.ExpFloat64() / rateHz * 1000
+			if int(tMS) >= sc.Arrival.DurationMS {
+				return
+			}
+			ev := mk()
+			ev.AtMS = int(tMS)
+			out.Churn = append(out.Churn, ev)
+		}
+	}
+	stream(cp.FailRateHz, func() ChurnEvent { return ChurnEvent{FailRandom: 1} })
+	stream(cp.ReviveRateHz, func() ChurnEvent { return ChurnEvent{ReviveRandom: 1} })
+	sort.SliceStable(out.Churn, func(i, j int) bool { return out.Churn[i].AtMS < out.Churn[j].AtMS })
+	return &out
 }
 
 // Parse strictly decodes a scenario JSON document (unknown fields are
@@ -245,7 +373,7 @@ func ParseFile(path string) (*Scenario, error) {
 
 // Presets lists the canned scenario names.
 func Presets() []string {
-	return []string{"steady", "hotspot", "convergecast", "churn-storm"}
+	return []string{"steady", "hotspot", "convergecast", "churn-storm", "mobile-sink"}
 }
 
 // Preset returns a canned scenario by name, validated. The presets
@@ -259,6 +387,10 @@ func Presets() []string {
 //     paper-native sensor-field pattern.
 //   - churn-storm: bursty convergecast with nodes dying every second
 //     and a mass revival — the repair path under live load.
+//   - mobile-sink: convergecast on an obstacle field whose sinks walk
+//     waypoint trajectories while 2%% of nodes drift each half second
+//     and Poisson fail/revive churn runs continuously — hostile
+//     geometry plus mobility, the position-repair path under live load.
 func Preset(name string) (*Scenario, error) {
 	dep := DeploymentSpec{Model: "fa", N: 500, Seed: 42}
 	var sc *Scenario
@@ -304,6 +436,19 @@ func Preset(name string) (*Scenario, error) {
 				{AtMS: 7000, FailRandom: 5},
 				{AtMS: 8000, ReviveAll: true},
 			},
+		}
+	case "mobile-sink":
+		sc = &Scenario{
+			Name:       "mobile-sink",
+			Deployment: DeploymentSpec{Model: "ob", N: 400, Seed: 42, Coverage: 0.2},
+			Algorithm:  "SLGF2",
+			Arrival:    Arrival{Process: ArrivalPoisson, RateHz: 1500, DurationMS: 10000},
+			Traffic:    Traffic{Pattern: TrafficConvergecast, Sinks: 3},
+			Mobility: &Mobility{
+				Sinks: 3, SinkSpeed: 25,
+				DriftSigma: 3, DriftFraction: 0.02, IntervalMS: 500,
+			},
+			ChurnProcess: &ChurnProcess{Process: "poisson", FailRateHz: 1.5, ReviveRateHz: 1},
 		}
 	default:
 		return nil, fmt.Errorf("workload: unknown preset %q (want one of %v)", name, Presets())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"github.com/straightpath/wasn/internal/geom"
 	"github.com/straightpath/wasn/internal/topo"
 )
 
@@ -31,6 +32,11 @@ type traffic struct {
 	nearestSink map[topo.NodeID]topo.NodeID
 	// protected nodes (sinks, hotspots) are exempt from FailRandom.
 	protected map[topo.NodeID]bool
+	// positions and field snapshot the offline copy's geometry — the
+	// mobility schedule walks these (the driver's network starts
+	// identical, so the schedule is reproducible from the scenario).
+	positions []geom.Point
+	field     geom.Rect
 }
 
 // buildTraffic deploys the offline topology copy and precomputes the
@@ -40,7 +46,11 @@ func buildTraffic(sc *Scenario) (*traffic, error) {
 	if err != nil {
 		return nil, err
 	}
-	dep, err := topo.Deploy(topo.DefaultDeployConfig(model, sc.Deployment.N, sc.Deployment.Seed))
+	cfg := topo.DefaultDeployConfig(model, sc.Deployment.N, sc.Deployment.Seed)
+	if sc.Deployment.Coverage > 0 {
+		cfg.ObstacleCoverage = sc.Deployment.Coverage
+	}
+	dep, err := topo.Deploy(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("workload: deploying traffic model: %w", err)
 	}
@@ -59,7 +69,7 @@ func buildTraffic(sc *Scenario) (*traffic, error) {
 			largest = l
 		}
 	}
-	tr := &traffic{sc: sc, protected: make(map[topo.NodeID]bool)}
+	tr := &traffic{sc: sc, protected: make(map[topo.NodeID]bool), positions: net.Positions(), field: net.Field}
 	for u, l := range labels {
 		if l == largest {
 			tr.members = append(tr.members, topo.NodeID(u))

@@ -29,13 +29,14 @@
 //	_ = svc.Fail(name, []wasn.NodeID{17})   // kills node 17, invalidates cached routes
 //	http.ListenAndServe(":8080", svc.Handler())
 //
-// Node failures and revivals (Service.Fail, Service.Revive, Sim.Fail)
-// repair the routing substrates incrementally in place — work scales
-// with the failure neighborhood, not the network — and are
-// differentially tested to match a from-scratch rebuild.
+// Node failures, revivals, and position changes (Service.Fail,
+// Service.Revive, Service.Move, Sim.Fail, Sim.Move) repair the routing
+// substrates incrementally in place — work scales with the changed
+// neighborhood, not the network — and are differentially tested (and
+// fuzzed) to match a from-scratch rebuild.
 //
 // cmd/wasnd serves the same service over HTTP/JSON (/deploy, /route,
-// /batch, /fail, /revive, /stats) and ships a scenario-driven load
+// /batch, /fail, /revive, /move, /stats) and ships a scenario-driven load
 // mode (wasnd -load, internal/workload): open-loop and bursty arrival
 // processes, uniform/Zipf/convergecast traffic matrices, and timed
 // churn schedules, driven in-process or over HTTP, reporting latency
@@ -70,10 +71,12 @@ import (
 type Model = topo.DeployModel
 
 // Deployment models: IA is ideal uniform placement, FA adds random
-// forbidden areas (large holes).
+// forbidden areas (large holes), OB scatters rectangular obstacles
+// that nodes can neither occupy nor see through.
 const (
 	IA = topo.ModelIA
 	FA = topo.ModelFA
+	OB = topo.ModelOB
 )
 
 // Algorithm names a routing algorithm.
@@ -92,6 +95,9 @@ const (
 
 // NodeID identifies a node.
 type NodeID = topo.NodeID
+
+// Move is one position update: node Node relocates to (X, Y).
+type Move = topo.Move
 
 // Result is a routing outcome.
 type Result = core.Result
@@ -178,6 +184,28 @@ func (s *Sim) Fail(nodes ...NodeID) {
 		return
 	}
 	core.RepairSubstrates(s.Safety, s.bounds, s.planarg, fresh)
+}
+
+// Move relocates nodes and repairs every substrate incrementally over
+// the geometric dirty set the CSR rewrite reports
+// (core.RepairSubstratesMoved): each substrate recomputes only the
+// moved nodes' neighborhoods, and the result is identical to rebuilding
+// the Sim from scratch at the new positions — the same differential
+// contract as Fail. Dead nodes may move; liveness is orthogonal to
+// position.
+//
+// Like Fail, Move mutates the shared network and substrates and must
+// not run concurrently with Route calls; the Service layer serializes
+// this for servers.
+func (s *Sim) Move(moves ...Move) error {
+	dirty, err := s.Dep.Net.SetPositions(moves)
+	if err != nil {
+		return err
+	}
+	if len(dirty) > 0 {
+		core.RepairSubstratesMoved(s.Safety, s.bounds, s.planarg, dirty)
+	}
+	return nil
 }
 
 // Net returns the underlying network.

@@ -166,3 +166,55 @@ func TestSimFailMatchesFreshSim(t *testing.T) {
 		}
 	}
 }
+
+func TestSimMoveMatchesFreshSim(t *testing.T) {
+	dep, err := Deploy(OB, 300, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topo.RoutablePairs(dep.Net, 6, 40)
+	if len(pairs) == 0 {
+		t.Skip("no routable pairs")
+	}
+	// Drift a handful of nodes a few meters each; one mover is dead to
+	// cover the liveness-orthogonal contract.
+	var moves []Move
+	for u := 0; len(moves) < 6; u += 41 {
+		id := NodeID(u % dep.Net.N())
+		p := dep.Net.Pos(id)
+		moves = append(moves, Move{Node: id, X: p.X + 3.5, Y: p.Y - 2.5})
+	}
+	sim.Fail(moves[0].Node)
+	if err := sim.Move(moves...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Move(); err != nil { // empty batch is a no-op
+		t.Fatal(err)
+	}
+
+	refDep, err := Deploy(OB, 300, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDep.Net.SetAlive(moves[0].Node, false)
+	if _, err := refDep.Net.SetPositions(moves); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSim(refDep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range sim.Algorithms() {
+		for _, p := range pairs {
+			got := sim.Route(alg, p[0], p[1])
+			want := ref.Route(alg, p[0], p[1])
+			if got.Delivered != want.Delivered || got.Hops() != want.Hops() || got.Length != want.Length {
+				t.Errorf("%s %v: moved sim %+v, fresh sim %+v", alg, p, got, want)
+			}
+		}
+	}
+}
