@@ -21,6 +21,18 @@
 //	curl localhost:8080/metrics
 //	wasnd -check-metrics http://localhost:8080/metrics   # CI gate: required series present?
 //
+// The flight recorder adds the time dimension: -sample-every (default
+// 1s) samples the registry into a fixed-memory timeline served at
+// /timeline, every build/fail/revive/move lands in the /events journal
+// with request IDs and per-substrate repair spans, /debug/dash charts
+// both live, and -render turns report/curve/BENCH JSON artifacts into
+// SVG trajectory figures:
+//
+//	wasnd -addr :8080 -sample-every 250
+//	curl 'localhost:8080/events?kind=fail'
+//	open http://localhost:8080/debug/dash
+//	wasnd -render report.json -out report.svg
+//
 // Load mode is a thin shim over the internal/workload scenario engine:
 // canned presets or scenario JSON files compose an arrival process
 // (closed-loop, open-loop Poisson, bursty), a traffic matrix (uniform,
@@ -81,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		shards    = fs.Int("shards", 0, "route cache shards (0 = default)")
 		workers   = fs.Int("workers", 0, "batch worker pool size (0 = NumCPU)")
 		fullRb    = fs.Bool("full-rebuild", false, "rebuild substrates from scratch on /fail and /revive instead of repairing incrementally (differential oracle)")
+		sampleEv  = fs.Int("sample-every", 1000, "flight-recorder timeline sampling period in ms (0 disables the sampler; /timeline and /debug/dash then stay empty)")
 
 		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logFormat = fs.String("log-format", "text", "log output: text or json")
@@ -90,6 +103,7 @@ func run(args []string, out io.Writer) error {
 		cpuProf   = fs.String("cpuprofile", "", "load/sweep/replay: write a CPU profile of the run here")
 		progressF = fs.Bool("progress", false, "load/sweep: stream live progress lines to stderr")
 		checkURL  = fs.String("check-metrics", "", "scrape this /metrics URL, verify the required series exist, and exit (CI gate)")
+		renderIn  = fs.String("render", "", "render this report/curve/BENCH JSON file to an SVG trajectory figure and exit (-out names the SVG; default input with .svg)")
 
 		load     = fs.Bool("load", false, "run the workload engine instead of serving")
 		preset   = fs.String("preset", "steady", "load: canned scenario (steady, hotspot, convergecast, churn-storm)")
@@ -125,6 +139,7 @@ func run(args []string, out io.Writer) error {
 	cfg := serve.Config{
 		CacheSize: *cacheSize, CacheShards: *shards, Workers: *workers, FullRebuildOnFail: *fullRb,
 		TraceSampleEvery: *traceN, StretchSampleEvery: *stretchN,
+		SampleEveryMS: *sampleEv,
 	}
 	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -135,6 +150,9 @@ func run(args []string, out io.Writer) error {
 	// trace must not get a green exit and a missing file.
 	if *checkURL != "" && (*load || *replayF != "" || *sweepCfg != "") {
 		return fmt.Errorf("-check-metrics is exclusive with -load, -sweep and -replay")
+	}
+	if *renderIn != "" && (*load || *replayF != "" || *sweepCfg != "" || *checkURL != "") {
+		return fmt.Errorf("-render is exclusive with -load, -sweep, -replay and -check-metrics")
 	}
 	if *sweepCfg != "" && (*load || *replayF != "") {
 		return fmt.Errorf("-sweep is exclusive with -load and -replay")
@@ -155,6 +173,8 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *checkURL != "":
 		return runCheckMetrics(out, *checkURL)
+	case *renderIn != "":
+		return runRender(out, *renderIn, *outFile)
 	case *sweepCfg != "":
 		tol := sweep.Tolerance{P99Frac: *p99Tol, DeliveryFrac: *delTol, KneeFrac: *kneeTol, Normalize: *normal}
 		return withCPUProfile(*cpuProf, func() error {
@@ -232,6 +252,7 @@ var requiredMetricFamilies = []string{
 	"wasn_routes_computed_total",
 	"wasn_route_hops",
 	"wasn_route_phase_hops_total",
+	"wasn_repair_substrate_duration_us",
 	"wasn_traces_recorded_total",
 }
 
@@ -264,8 +285,10 @@ func runCheckMetrics(out io.Writer, url string) error {
 // The service handler is wrapped in request-ID logging middleware;
 // -pprof additionally mounts net/http/pprof under /debug/pprof/.
 func serveHTTP(logger *slog.Logger, cfg serve.Config, addr string, withPprof bool) error {
+	svc := serve.New(cfg)
+	defer svc.Close() // stop the flight-recorder sampler goroutine
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.New(cfg).Handler())
+	mux.Handle("/", svc.Handler())
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

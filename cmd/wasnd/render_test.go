@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRenderBenchArtifacts renders the checked-in BENCH aggregates —
+// the CI smoke that fails when their schema drifts away from what the
+// renderer validates.
+func TestRenderBenchArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_pr4.json", "BENCH_pr5.json", "BENCH_pr7.json", "BENCH_pr8.json"} {
+		in := filepath.Join("..", "..", name)
+		if _, err := os.Stat(in); err != nil {
+			t.Fatalf("checked-in artifact missing: %v", err)
+		}
+		outSVG := filepath.Join(dir, name+".svg")
+		var out bytes.Buffer
+		if err := run([]string{"-render", in, "-out", outSVG}, &out); err != nil {
+			t.Fatalf("render %s: %v\n%s", name, err, out.String())
+		}
+		svg, err := os.ReadFile(outSVG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(svg, []byte("<svg")) || !bytes.Contains(svg, []byte("</svg>")) {
+			t.Fatalf("render %s: output is not an SVG document", name)
+		}
+		if !strings.Contains(out.String(), "rendered") {
+			t.Fatalf("render %s: no confirmation:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRenderLoadReportRoundTrip runs a tiny churny load with the
+// sampler on (the wasnd default) and renders the resulting report —
+// the report must embed the flight-recorder timeline and the figure
+// must include the server-sampled panels.
+func TestRenderLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	scFile := filepath.Join(dir, "sc.json")
+	repFile := filepath.Join(dir, "rep.json")
+	svgFile := filepath.Join(dir, "rep.svg")
+	sc := `{
+  "name": "render-rt",
+  "deployment": {"model": "fa", "n": 300, "seed": 7},
+  "algorithm": "SLGF2",
+  "arrival": {"process": "poisson", "rate_hz": 800, "duration_ms": 600},
+  "traffic": {"pattern": "uniform"},
+  "churn": [{"at_ms": 250, "fail_random": 3}],
+  "warmup_requests": 50
+}`
+	if err := os.WriteFile(scFile, []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-load", "-scenario", scFile, "-sample-every", "100", "-out", repFile}, &out)
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "flight recorder:") {
+		t.Fatalf("summary lacks the flight-recorder line:\n%s", out.String())
+	}
+	var rep struct {
+		SampledTimeline *json.RawMessage `json:"sampled_timeline"`
+		Journal         []any            `json:"journal"`
+	}
+	data, err := os.ReadFile(repFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SampledTimeline == nil || len(rep.Journal) == 0 {
+		t.Fatalf("report lacks sampled_timeline/journal (timeline nil: %v, %d events)",
+			rep.SampledTimeline == nil, len(rep.Journal))
+	}
+
+	out.Reset()
+	if err := run([]string{"-render", repFile, "-out", svgFile}, &out); err != nil {
+		t.Fatalf("render: %v\n%s", err, out.String())
+	}
+	svg, err := os.ReadFile(svgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Client throughput", "Server sampled throughput", "Server repair p99"} {
+		if !strings.Contains(string(svg), want) {
+			t.Fatalf("rendered figure lacks panel %q", want)
+		}
+	}
+}
+
+// TestRenderCurve renders a handcrafted capacity-curve artifact with
+// knee and cliff markers.
+func TestRenderCurve(t *testing.T) {
+	dir := t.TempDir()
+	curveFile := filepath.Join(dir, "curve.json")
+	svgFile := filepath.Join(dir, "curve.svg")
+	curve := `{
+  "name": "tiny", "scenario": "s", "driver": "inprocess",
+  "deployment": {"model": "fa", "n": 300, "seed": 7},
+  "algorithm": "SLGF2", "mode": "geometric",
+  "knee_tolerance": 0.05, "cliff_factor": 4,
+  "rungs": [
+    {"offered_rps": 100, "achieved_rps": 100, "requests": 10, "delivery_rate": 1, "cached_share": 0.5,
+     "latency": {"p50_us": 10, "p90_us": 20, "p99_us": 30, "p999_us": 40, "mean_us": 12, "max_us": 50},
+     "elapsed_ms": 100},
+    {"offered_rps": 400, "achieved_rps": 250, "requests": 25, "delivery_rate": 0.9, "cached_share": 0.6,
+     "latency": {"p50_us": 40, "p90_us": 100, "p99_us": 200, "p999_us": 300, "mean_us": 60, "max_us": 400},
+     "elapsed_ms": 100, "saturated": true}
+  ],
+  "knee_rung": 1, "knee_rps": 400, "cliff_rung": 1, "cliff_rps": 400
+}`
+	if err := os.WriteFile(curveFile, []byte(curve), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-render", curveFile, "-out", svgFile}, &out); err != nil {
+		t.Fatalf("render: %v\n%s", err, out.String())
+	}
+	svg, err := os.ReadFile(svgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Delivery &amp; cached share", "Latency", "Achieved vs offered", "knee", "cliff"} {
+		if !strings.Contains(string(svg), want) {
+			t.Fatalf("curve figure lacks %q", want)
+		}
+	}
+}
+
+// TestRenderRejectsMalformed pins the schema-drift gate: rung arrays
+// with missing or mistyped curve fields fail the render.
+func TestRenderRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"missing-p99", `{"x": {"rungs": [{"offered_rps": 10, "delivery_rate": 1}]}}`, "p99_us"},
+		{"missing-x", `{"x": {"rungs": [{"delivery_rate": 1, "p99_us": 5}]}}`, "no axis_value"},
+		{"mistyped-delivery", `{"x": {"rungs": [{"offered_rps": 10, "delivery_rate": "high", "p99_us": 5}]}}`, "not a number"},
+		{"empty-rungs", `{"x": {"rungs": []}}`, "empty"},
+		{"nothing", `{"bench": {"ns_per_op": 120}}`, "no report timeline or curve rungs"},
+		{"not-object", `[1, 2, 3]`, "not an object"},
+		{"bad-json", `{`, "bad JSON"},
+	}
+	for _, tc := range cases {
+		in := filepath.Join(dir, tc.name+".json")
+		if err := os.WriteFile(in, []byte(tc.doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run([]string{"-render", in, "-out", filepath.Join(dir, tc.name+".svg")}, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v; want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Mode exclusivity.
+	var out bytes.Buffer
+	if err := run([]string{"-render", "x.json", "-load"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "exclusive") {
+		t.Fatalf("-render combined with -load accepted: %v", err)
+	}
+}

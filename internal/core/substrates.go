@@ -2,12 +2,34 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"github.com/straightpath/wasn/internal/bound"
 	"github.com/straightpath/wasn/internal/planar"
 	"github.com/straightpath/wasn/internal/safety"
 	"github.com/straightpath/wasn/internal/topo"
 )
+
+// SubstrateTimings reports the wall time each substrate's repair pass
+// took inside a RepairSubstrates/RepairSubstratesMoved fan-out. The
+// repairs run concurrently, so the spans overlap — the fan-out's total
+// wall time is roughly the maximum, not the sum. A zero span means the
+// substrate was nil (skipped). The serving layer feeds these into its
+// per-substrate repair histograms and flight-recorder journal.
+type SubstrateTimings struct {
+	Safety time.Duration
+	Bound  time.Duration
+	Planar time.Duration
+}
+
+// timed wraps a fan-out task so its wall time lands in *d.
+func timed(d *time.Duration, f func()) func() {
+	return func() {
+		start := time.Now()
+		f()
+		*d = time.Since(start)
+	}
+}
 
 // BuildSubstrates constructs the routing substrates the algorithm table
 // needs — the safety information model, the BOUNDHOLE boundaries, and
@@ -62,19 +84,21 @@ func BuildSubstrates(net *topo.Network, needSafety, needBounds, needPlanar bool,
 // routers already holding these substrate pointers serve the mutated
 // topology immediately and need not be rebuilt; callers must serialize
 // repairs against in-flight routes exactly as they do SetAlive (see
-// Router).
-func RepairSubstrates(m *safety.Model, b *bound.Boundaries, g *planar.Graph, changed []topo.NodeID) {
+// Router). The returned timings break the fan-out down by substrate.
+func RepairSubstrates(m *safety.Model, b *bound.Boundaries, g *planar.Graph, changed []topo.NodeID) SubstrateTimings {
+	var t SubstrateTimings
 	var tasks []func()
 	if m != nil {
-		tasks = append(tasks, func() { m.Repair(changed...) })
+		tasks = append(tasks, timed(&t.Safety, func() { m.Repair(changed...) }))
 	}
 	if b != nil {
-		tasks = append(tasks, func() { b.Repair(changed) })
+		tasks = append(tasks, timed(&t.Bound, func() { b.Repair(changed) }))
 	}
 	if g != nil {
-		tasks = append(tasks, func() { g.Repair(changed) })
+		tasks = append(tasks, timed(&t.Planar, func() { g.Repair(changed) }))
 	}
 	fanOut(tasks)
+	return t
 }
 
 // RepairSubstratesMoved incrementally repairs previously built
@@ -93,19 +117,22 @@ func RepairSubstrates(m *safety.Model, b *bound.Boundaries, g *planar.Graph, cha
 // serialize against in-flight routes as with SetAlive — and because
 // moves can resize CSR rows, any per-edge state keyed by AdjSlots must
 // be length-checked or generation-stamped by its owner (the engine's
-// scratch and the boundary claim arrays already are).
-func RepairSubstratesMoved(m *safety.Model, b *bound.Boundaries, g *planar.Graph, dirty []topo.NodeID) {
+// scratch and the boundary claim arrays already are). The returned
+// timings break the fan-out down by substrate.
+func RepairSubstratesMoved(m *safety.Model, b *bound.Boundaries, g *planar.Graph, dirty []topo.NodeID) SubstrateTimings {
+	var t SubstrateTimings
 	var tasks []func()
 	if m != nil {
-		tasks = append(tasks, func() { m.RepairMoved(dirty) })
+		tasks = append(tasks, timed(&t.Safety, func() { m.RepairMoved(dirty) }))
 	}
 	if b != nil {
-		tasks = append(tasks, func() { b.RepairMoved(dirty) })
+		tasks = append(tasks, timed(&t.Bound, func() { b.RepairMoved(dirty) }))
 	}
 	if g != nil {
-		tasks = append(tasks, func() { g.RepairRows(dirty) })
+		tasks = append(tasks, timed(&t.Planar, func() { g.RepairRows(dirty) }))
 	}
 	fanOut(tasks)
+	return t
 }
 
 // fanOut runs the tasks concurrently, waits for all of them, and

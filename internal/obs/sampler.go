@@ -1,0 +1,435 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SeriesKind selects how a sampled timeline series is derived from
+// consecutive registry scrapes.
+type SeriesKind uint8
+
+// The four derivations the sampler supports. Rates and quantiles are
+// computed from scrape-to-scrape deltas (so a timeline point describes
+// the window since the previous sample); gauges are instantaneous.
+const (
+	// SeriesGauge samples the current value (sum over matching series).
+	SeriesGauge SeriesKind = iota + 1
+	// SeriesRate samples the per-second counter movement since the
+	// previous scrape, reset-clamped to zero. On histogram families the
+	// _count series contribute, so the rate is observations per second.
+	SeriesRate
+	// SeriesRatio samples dNum/(dNum+dDen) over the inter-scrape window
+	// — hit shares, delivery rates.
+	SeriesRatio
+	// SeriesQuantile estimates a quantile from the histogram bucket
+	// deltas between scrapes: the tail of the last window, not of the
+	// process lifetime.
+	SeriesQuantile
+)
+
+var seriesKindNames = [...]string{"", "gauge", "rate", "ratio", "quantile"}
+
+// String names the kind for the JSON window ("rate", "quantile", ...).
+func (k SeriesKind) String() string {
+	if int(k) < len(seriesKindNames) {
+		return seriesKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Term selects registry series by family name plus an optional label
+// substring: Family "wasn_routes_computed_total" with Match
+// `outcome="delivered"` sums the delivered child of every algorithm.
+type Term struct {
+	Family string
+	// Match, when non-empty, must appear verbatim in the series
+	// identity (typically one `key="value"` pair).
+	Match string
+}
+
+func (t Term) matches(series string) bool {
+	return familyOf(series) == t.Family &&
+		(t.Match == "" || strings.Contains(series, t.Match))
+}
+
+// SeriesSpec declares one timeline series the sampler maintains.
+type SeriesSpec struct {
+	// Name is the output series name ("routes_per_s", "repair_p99_us").
+	Name string
+	Kind SeriesKind
+	// Num is the measured term (the numerator for SeriesRatio; the
+	// histogram family for SeriesQuantile).
+	Num Term
+	// Den is the ratio's complement term: ratio = dNum/(dNum+dDen).
+	Den Term
+	// Q is the quantile for SeriesQuantile (e.g. 0.99).
+	Q float64
+}
+
+// SamplerConfig configures NewSampler.
+type SamplerConfig struct {
+	// Scrape produces the current parsed exposition (typically
+	// ParseText over Registry.WriteText). Called once per sample, on
+	// the sampler's own goroutine — never on a serving hot path.
+	Scrape func() (map[string]float64, error)
+	Specs  []SeriesSpec
+	// Every is the sampling period for Start (default 1s).
+	Every time.Duration
+	// Window is the number of samples retained (default 512). Memory
+	// is fixed at setup: Window × (len(Specs)+1) ring cells.
+	Window int
+}
+
+// Sampler periodically snapshots selected registry series into
+// fixed-memory ring-buffered time series. All rings are written with
+// atomic stores and read with atomic loads, so Snapshot is lock-free
+// and safe to call from any number of scraping handlers while the
+// sampling goroutine runs.
+type Sampler struct {
+	cfg   SamplerConfig
+	every time.Duration
+
+	// total counts samples ever taken; cell i of each ring holds
+	// sample total-1-((total-1-i) mod window)… i.e. rings are indexed
+	// total%window, published by the total store.
+	total atomic.Uint64
+	ts    []atomic.Int64    // unix ms per sample
+	vals  [][]atomic.Uint64 // per spec: Float64bits per sample
+
+	mu      sync.Mutex // serializes writers (ticker + manual Sample)
+	prev    map[string]float64
+	prevMS  int64
+	scratch []bucketDelta // quantile scratch, reused across samples
+	errs    atomic.Uint64 // scrape failures, surfaced in the window
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type bucketDelta struct {
+	le float64
+	d  float64
+}
+
+// NewSampler builds a sampler; it takes no samples until Start or
+// Sample is called.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.Window <= 0 {
+		cfg.Window = 512
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = time.Second
+	}
+	s := &Sampler{
+		cfg:     cfg,
+		every:   cfg.Every,
+		ts:      make([]atomic.Int64, cfg.Window),
+		vals:    make([][]atomic.Uint64, len(cfg.Specs)),
+		scratch: make([]bucketDelta, 0, 64),
+	}
+	for i := range s.vals {
+		s.vals[i] = make([]atomic.Uint64, cfg.Window)
+	}
+	return s
+}
+
+// Start launches the periodic sampling goroutine. Idempotent; Stop
+// ends it.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop, s.done = make(chan struct{}), make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(s.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.Sample()
+		}
+	}
+}
+
+// Stop halts the sampling goroutine and waits for it to exit.
+// Idempotent; the recorded window stays queryable.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Sample takes one sample now: scrape, derive every spec, append to
+// the rings. Exposed so tests and end-of-run flushes don't have to
+// wait for a tick.
+func (s *Sampler) Sample() {
+	cur, err := s.cfg.Scrape()
+	now := time.Now().UnixMilli()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errs.Add(1)
+		return
+	}
+	s.record(now, cur)
+}
+
+// record derives every spec from (prev, cur) and publishes one sample.
+// It is allocation-free in steady state (pinned by TestSamplerAllocs):
+// the rings are fixed, the quantile scratch is reused, and cur is
+// retained as the next prev rather than copied.
+func (s *Sampler) record(unixMS int64, cur map[string]float64) {
+	i := s.total.Load()
+	idx := int(i % uint64(len(s.ts)))
+	dtSec := 0.0
+	if s.prev != nil && unixMS > s.prevMS {
+		dtSec = float64(unixMS-s.prevMS) / 1000
+	}
+	for si := range s.cfg.Specs {
+		spec := &s.cfg.Specs[si]
+		v := 0.0
+		switch spec.Kind {
+		case SeriesGauge:
+			v = sumTerm(cur, spec.Num)
+		case SeriesRate:
+			if dtSec > 0 {
+				if d := sumTerm(cur, spec.Num) - sumTerm(s.prev, spec.Num); d > 0 {
+					v = d / dtSec
+				}
+			}
+		case SeriesRatio:
+			if s.prev != nil {
+				dn := sumTerm(cur, spec.Num) - sumTerm(s.prev, spec.Num)
+				dd := sumTerm(cur, spec.Den) - sumTerm(s.prev, spec.Den)
+				if dn < 0 {
+					dn = 0
+				}
+				if dd < 0 {
+					dd = 0
+				}
+				if dn+dd > 0 {
+					v = dn / (dn + dd)
+				}
+			}
+		case SeriesQuantile:
+			if s.prev != nil {
+				v = s.quantile(spec, cur)
+			}
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // keep the JSON window encodable
+		}
+		s.vals[si][idx].Store(math.Float64bits(v))
+	}
+	s.ts[idx].Store(unixMS)
+	s.prev, s.prevMS = cur, unixMS
+	s.total.Store(i + 1)
+}
+
+// sumTerm sums the current value of every series the term selects.
+// Histogram _bucket and _sum series never contribute — on histogram
+// families the term measures _count (observation totals).
+func sumTerm(samples map[string]float64, t Term) float64 {
+	sum := 0.0
+	for series, v := range samples {
+		if bucketOrSum(series) || !t.matches(series) {
+			continue
+		}
+		sum += v
+	}
+	return sum
+}
+
+func bucketOrSum(series string) bool {
+	name := series
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum")
+}
+
+// quantile estimates spec.Q from the bucket-count deltas of the
+// matched histogram family between prev and cur, summed across the
+// family's labeled children (both are cumulative in le, so the sums
+// stay cumulative). Returns the upper bound of the bucket containing
+// the target rank — the same estimator metrics.Histogram.Quantile
+// uses, but over one inter-scrape window.
+func (s *Sampler) quantile(spec *SeriesSpec, cur map[string]float64) float64 {
+	s.scratch = s.scratch[:0]
+	for series, v := range cur {
+		if !strings.HasPrefix(series, spec.Num.Family) || !isBucket(series, spec.Num.Family) {
+			continue
+		}
+		if spec.Num.Match != "" && !strings.Contains(series, spec.Num.Match) {
+			continue
+		}
+		le, ok := bucketUpper(series)
+		if !ok {
+			continue
+		}
+		d := v - s.prev[series] // absent from prev: counts from zero
+		if d < 0 {
+			d = 0 // reset-clamped, like Delta
+		}
+		merged := false
+		for bi := range s.scratch {
+			if s.scratch[bi].le == le {
+				s.scratch[bi].d += d
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			s.scratch = append(s.scratch, bucketDelta{le: le, d: d})
+		}
+	}
+	if len(s.scratch) == 0 {
+		return 0
+	}
+	slices.SortFunc(s.scratch, func(a, b bucketDelta) int {
+		switch {
+		case a.le < b.le:
+			return -1
+		case a.le > b.le:
+			return 1
+		}
+		return 0
+	})
+	total := s.scratch[len(s.scratch)-1].d // +Inf bucket holds every observation
+	if total <= 0 {
+		return 0
+	}
+	target := spec.Q * total
+	for bi := range s.scratch {
+		b := &s.scratch[bi]
+		if b.d >= target {
+			if math.IsInf(b.le, 1) {
+				// Only the overflow bucket qualifies: fall back to the
+				// largest finite bound so the curve stays plottable.
+				if bi > 0 {
+					return s.scratch[bi-1].le
+				}
+				return 0
+			}
+			return b.le
+		}
+	}
+	return s.scratch[len(s.scratch)-1].le
+}
+
+// isBucket reports whether series is family's _bucket sample.
+func isBucket(series, family string) bool {
+	rest := series[len(family):]
+	return strings.HasPrefix(rest, "_bucket")
+}
+
+// bucketUpper extracts the le="..." upper bound from a bucket series.
+func bucketUpper(series string) (float64, bool) {
+	i := strings.Index(series, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := series[i+4:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// TimelineSeries is one named, kind-tagged curve of a window, aligned
+// point-for-point with the window's timestamps.
+type TimelineSeries struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Points []float64 `json:"points"`
+}
+
+// TimelineWindow is the sampler's queryable state: the retained
+// timestamps plus every configured series as an aligned step curve.
+type TimelineWindow struct {
+	// EveryMS is the nominal sampling period.
+	EveryMS int64 `json:"every_ms,omitempty"`
+	// TUnixMS holds the sample timestamps, oldest first.
+	TUnixMS []int64          `json:"t_unix_ms"`
+	Series  []TimelineSeries `json:"series"`
+	// ScrapeErrors counts samples dropped because Scrape failed.
+	ScrapeErrors uint64 `json:"scrape_errors,omitempty"`
+}
+
+// Find returns the named series, or nil.
+func (w *TimelineWindow) Find(name string) *TimelineSeries {
+	for i := range w.Series {
+		if w.Series[i].Name == name {
+			return &w.Series[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the retained window out of the rings. Lock-free:
+// safe against a concurrent sampling tick, which can at worst trim
+// the oldest points out of the copy.
+func (s *Sampler) Snapshot() TimelineWindow {
+	w := TimelineWindow{EveryMS: s.every.Milliseconds(), ScrapeErrors: s.errs.Load()}
+	hi := s.total.Load()
+	window := uint64(len(s.ts))
+	n := hi
+	if n > window {
+		n = window
+	}
+	lo := hi - n
+	w.TUnixMS = make([]int64, n)
+	w.Series = make([]TimelineSeries, len(s.cfg.Specs))
+	for si := range s.cfg.Specs {
+		w.Series[si] = TimelineSeries{
+			Name:   s.cfg.Specs[si].Name,
+			Kind:   s.cfg.Specs[si].Kind.String(),
+			Points: make([]float64, n),
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		idx := int((lo + k) % window)
+		w.TUnixMS[k] = s.ts[idx].Load()
+		for si := range s.vals {
+			w.Series[si].Points[k] = math.Float64frombits(s.vals[si][idx].Load())
+		}
+	}
+	// A tick that landed mid-copy may have overwritten the oldest
+	// cells we read; drop any point older than the new floor.
+	if newHi := s.total.Load(); newHi > window && newHi-window > lo {
+		drop := newHi - window - lo
+		if drop > n {
+			drop = n
+		}
+		w.TUnixMS = w.TUnixMS[drop:]
+		for si := range w.Series {
+			w.Series[si].Points = w.Series[si].Points[drop:]
+		}
+	}
+	return w
+}

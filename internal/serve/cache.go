@@ -147,10 +147,11 @@ func (c *routeCache) put(k cacheKey, res core.Result) {
 	sh.mu.Unlock()
 }
 
-// purgeDeployment drops every entry of the named deployment (any epoch).
-// Epoch keying already makes stale entries unreachable; the purge frees
-// their capacity eagerly.
-func (c *routeCache) purgeDeployment(dep string) {
+// purgeDeployment drops every entry of the named deployment (any epoch),
+// returning how many it removed. Epoch keying already makes stale
+// entries unreachable; the purge frees their capacity eagerly.
+func (c *routeCache) purgeDeployment(dep string) int64 {
+	var n int64
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for el := sh.ll.Front(); el != nil; {
@@ -160,11 +161,13 @@ func (c *routeCache) purgeDeployment(dep string) {
 				sh.ll.Remove(el)
 				delete(sh.m, e.key)
 				sh.purged++
+				n++
 			}
 			el = next
 		}
 		sh.mu.Unlock()
 	}
+	return n
 }
 
 // stats sums the shard-local counters into one snapshot. A scrape-path

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/straightpath/wasn/internal/obs"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// getJSON fetches path and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestJournalRecordsTopologyChanges(t *testing.T) {
+	s, name := newTestService(t, Config{})
+	pair := alivePairs(t, s, name, 1)[0]
+
+	// The lazy build on first use journals a build event.
+	if _, _, err := s.Route(name, "SLGF2", pair[0], pair[1]); err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events(0, 0)
+	if len(evs) != 1 || evs[0].Kind != obs.EventBuild {
+		t.Fatalf("after build journal = %+v; want one build event", evs)
+	}
+	if evs[0].Deployment != name || evs[0].Nodes != testSpec.N || evs[0].DurationUS <= 0 {
+		t.Fatalf("build event = %+v", evs[0])
+	}
+
+	// A tagged fail journals the request ID, batch size, dirty count,
+	// epoch bump, purge count, and per-substrate repair spans.
+	if err := s.FailTagged(name, []topo.NodeID{pair[0]}, "req-123"); err != nil {
+		t.Fatal(err)
+	}
+	evs = s.Events(0, 0)
+	if len(evs) != 2 || evs[1].Kind != obs.EventFail {
+		t.Fatalf("after fail journal = %+v; want build then fail", evs)
+	}
+	ev := evs[1]
+	if ev.RequestID != "req-123" || ev.Nodes != 1 || ev.Dirty == 0 || ev.Epoch != 1 {
+		t.Fatalf("fail event = %+v", ev)
+	}
+	if ev.Purged == 0 {
+		t.Fatalf("fail event purged = 0; the cached route should have been purged (%+v)", ev)
+	}
+	if ev.Rebuild || ev.DurationUS < ev.SafetyUS {
+		t.Fatalf("fail event spans look wrong: %+v", ev)
+	}
+
+	// Revive and move record their own kinds.
+	if err := s.ReviveTagged(name, []topo.NodeID{pair[0]}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MoveTagged(name, []topo.Move{{Node: pair[0], X: 50, Y: 50}}, "req-456"); err != nil {
+		t.Fatal(err)
+	}
+	evs = s.Events(0, 0)
+	if len(evs) != 4 || evs[2].Kind != obs.EventRevive || evs[3].Kind != obs.EventMove {
+		t.Fatalf("journal kinds = %+v", evs)
+	}
+	if evs[3].RequestID != "req-456" {
+		t.Fatalf("move event = %+v", evs[3])
+	}
+}
+
+func TestJournalRebuildEvent(t *testing.T) {
+	s, name := newTestService(t, Config{FullRebuildOnFail: true})
+	pair := alivePairs(t, s, name, 1)[0]
+	if err := s.Fail(name, []topo.NodeID{pair[0]}); err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events(0, 0)
+	last := evs[len(evs)-1]
+	if last.Kind != obs.EventFail || !last.Rebuild {
+		t.Fatalf("rebuild-mode fail event = %+v", last)
+	}
+	if last.SafetyUS != 0 || last.BoundUS != 0 || last.PlanarUS != 0 {
+		t.Fatalf("rebuild event carries repair spans: %+v", last)
+	}
+}
+
+func TestHTTPEventsEndpoint(t *testing.T) {
+	s, name := newTestService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	pair := alivePairs(t, s, name, 1)[0]
+
+	// /fail with a client-supplied X-Request-Id lands it in the journal.
+	body := fmt.Sprintf(`{"deployment":%q,"nodes":[%d]}`, name, pair[0])
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/fail", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "client-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fail status = %d", resp.StatusCode)
+	}
+
+	var er eventsResponse
+	if code := getJSON(t, srv, "/events", &er); code != http.StatusOK {
+		t.Fatalf("/events status = %d", code)
+	}
+	if len(er.Events) != 2 || er.Total != 2 {
+		t.Fatalf("/events = %+v", er)
+	}
+	if er.Events[1].Kind != obs.EventFail || er.Events[1].RequestID != "client-7" {
+		t.Fatalf("fail event over HTTP = %+v", er.Events[1])
+	}
+
+	// Kind and deployment filters.
+	var fr eventsResponse
+	getJSON(t, srv, "/events?kind=fail", &fr)
+	if len(fr.Events) != 1 || fr.Events[0].Kind != obs.EventFail {
+		t.Fatalf("/events?kind=fail = %+v", fr.Events)
+	}
+	getJSON(t, srv, "/events?deployment=nope", &fr)
+	if len(fr.Events) != 0 {
+		t.Fatalf("/events?deployment=nope = %+v", fr.Events)
+	}
+	// Incremental poll: after=Total sees nothing new.
+	getJSON(t, srv, fmt.Sprintf("/events?after=%d", er.Total), &fr)
+	if len(fr.Events) != 0 {
+		t.Fatalf("/events?after=%d = %+v", er.Total, fr.Events)
+	}
+	// Bad parameters are 400s.
+	for _, q := range []string{"?kind=bogus", "?after=x", "?max=0"} {
+		if code := getJSON(t, srv, "/events"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("/events%s status = %d; want 400", q, code)
+		}
+	}
+}
+
+func TestHTTPTimelineEndpoint(t *testing.T) {
+	// A huge period keeps the background ticker quiet; the test drives
+	// samples explicitly so the window contents are deterministic.
+	s, name := newTestService(t, Config{SampleEveryMS: 3_600_000})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	pair := alivePairs(t, s, name, 1)[0]
+
+	var tr timelineResponse
+	if code := getJSON(t, srv, "/timeline", &tr); code != http.StatusOK {
+		t.Fatalf("/timeline status = %d", code)
+	}
+	base := len(tr.Timeline.TUnixMS)
+
+	if _, _, err := s.Route(name, "SLGF2", pair[0], pair[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.SampleNow()
+	s.SampleNow()
+
+	if code := getJSON(t, srv, "/timeline", &tr); code != http.StatusOK {
+		t.Fatalf("/timeline status = %d", code)
+	}
+	win := tr.Timeline
+	if len(win.TUnixMS) != base+2 {
+		t.Fatalf("timeline has %d samples; want %d", len(win.TUnixMS), base+2)
+	}
+	if win.EveryMS != 3_600_000 {
+		t.Fatalf("timeline every_ms = %d", win.EveryMS)
+	}
+	for _, want := range []string{"routes_per_s", "delivered_share", "repair_safety_p99_us"} {
+		ts := win.Find(want)
+		if ts == nil {
+			t.Fatalf("timeline lacks series %q (have %d series)", want, len(win.Series))
+		}
+		if len(ts.Points) != len(win.TUnixMS) {
+			t.Fatalf("series %q has %d points for %d timestamps", want, len(ts.Points), len(win.TUnixMS))
+		}
+	}
+
+	// Without a sampler the window is empty, not an error.
+	s2, _ := newTestService(t, Config{})
+	if w := s2.Timeline(); len(w.TUnixMS) != 0 || len(w.Series) != 0 {
+		t.Fatalf("sampler-less timeline = %+v", w)
+	}
+}
+
+func TestHTTPDashEndpoint(t *testing.T) {
+	s, name := newTestService(t, Config{SampleEveryMS: 3_600_000})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	pair := alivePairs(t, s, name, 1)[0]
+	if _, _, err := s.Route(name, "SLGF2", pair[0], pair[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail(name, []topo.NodeID{pair[0]}); err != nil {
+		t.Fatal(err)
+	}
+	s.SampleNow()
+	s.SampleNow()
+
+	resp, err := http.Get(srv.URL + "/debug/dash?refresh=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash status = %d", resp.StatusCode)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(page)
+	for _, want := range []string{"<svg", "Throughput", "Repair p99 by substrate", "fail", "</html>"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("/debug/dash page lacks %q", want)
+		}
+	}
+	if strings.Contains(html, "http-equiv=\"refresh\"") {
+		t.Fatal("refresh=0 still emitted a meta refresh tag")
+	}
+	if code := getJSON(t, srv, "/debug/dash?refresh=x", nil); code != http.StatusBadRequest {
+		t.Fatalf("/debug/dash?refresh=x status = %d; want 400", code)
+	}
+}
+
+// TestFlightRecorderStorm scrapes /timeline, /events, and /debug/dash
+// while routes and fail/revive/move churn run concurrently — the
+// lock-free reader paths must stay race-clean (run with -race) and the
+// pages well-formed throughout.
+func TestFlightRecorderStorm(t *testing.T) {
+	s, name := newTestService(t, Config{SampleEveryMS: 5})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	pairs := alivePairs(t, s, name, 8)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes, routes atomic.Int64
+
+	// Routers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := pairs[(w+i)%len(pairs)]
+				if _, _, err := s.Route(name, "SLGF2", p[0], p[1]); err != nil {
+					t.Errorf("route: %v", err)
+					return
+				}
+				routes.Add(1)
+			}
+		}(w)
+	}
+
+	// Churner: fail/revive one node, move another, round-robin.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := pairs[i%len(pairs)][0]
+			if err := s.FailTagged(name, []topo.NodeID{u}, fmt.Sprintf("storm-%d", i)); err != nil {
+				t.Errorf("fail: %v", err)
+				return
+			}
+			if err := s.Revive(name, []topo.NodeID{u}); err != nil {
+				t.Errorf("revive: %v", err)
+				return
+			}
+			if err := s.Move(name, []topo.Move{{Node: u, X: float64(10 + i%80), Y: 50}}); err != nil {
+				t.Errorf("move: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Scrapers.
+	for _, path := range []string{"/timeline", "/events", "/debug/dash?refresh=0", "/metrics"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d err %v", path, resp.StatusCode, err)
+					return
+				}
+				if len(body) == 0 {
+					t.Errorf("GET %s: empty body", path)
+					return
+				}
+				scrapes.Add(1)
+			}
+		}(path)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if routes.Load() == 0 || scrapes.Load() == 0 {
+		t.Fatalf("storm did no work: routes=%d scrapes=%d", routes.Load(), scrapes.Load())
+	}
+	// The window must be internally consistent after the storm.
+	win := s.Timeline()
+	for _, ts := range win.Series {
+		if len(ts.Points) != len(win.TUnixMS) {
+			t.Fatalf("series %q has %d points for %d timestamps", ts.Name, len(ts.Points), len(win.TUnixMS))
+		}
+	}
+	for i := 1; i < len(win.TUnixMS); i++ {
+		if win.TUnixMS[i] < win.TUnixMS[i-1] {
+			t.Fatalf("timeline timestamps not monotonic at %d: %v", i, win.TUnixMS[i-1:i+1])
+		}
+	}
+	evs := s.Events(0, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("journal seqs not contiguous: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -22,6 +22,9 @@ import (
 //	GET  /stats
 //	GET  /metrics
 //	GET  /traces
+//	GET  /timeline
+//	GET  /events?kind=&deployment=&after=&max=
+//	GET  /debug/dash?refresh=
 //
 // Errors are {"error": "..."} with a 4xx/5xx status. Every endpoint is
 // instrumented: request count, error count, and latency land in the
@@ -37,6 +40,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/traces", s.instrument("/traces", s.handleTraces))
+	mux.HandleFunc("/timeline", s.instrument("/timeline", s.handleTimeline))
+	mux.HandleFunc("/events", s.instrument("/events", s.handleEvents))
+	mux.HandleFunc("/debug/dash", s.instrument("/debug/dash", s.handleDash))
 	return mux
 }
 
@@ -237,7 +243,7 @@ func (s *Service) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.Fail(req.Deployment, req.Nodes); err != nil {
+	if err := s.FailTagged(req.Deployment, req.Nodes, requestIDOf(w, r)); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -254,7 +260,7 @@ func (s *Service) handleRevive(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.Revive(req.Deployment, req.Nodes); err != nil {
+	if err := s.ReviveTagged(req.Deployment, req.Nodes, requestIDOf(w, r)); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -281,7 +287,7 @@ func (s *Service) handleMove(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.Move(req.Deployment, req.Moves); err != nil {
+	if err := s.MoveTagged(req.Deployment, req.Moves, requestIDOf(w, r)); err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}

@@ -33,6 +33,14 @@ type serviceObs struct {
 	buildDur  *obs.HistogramVec
 	repairDur *obs.HistogramVec
 
+	// Per-substrate repair spans from the core fan-out, children
+	// pre-resolved so the family renders (with zero counts) before the
+	// first repair — the -check-metrics contract can require it
+	// unconditionally.
+	repairSafety *obs.Histogram
+	repairBound  *obs.Histogram
+	repairPlanar *obs.Histogram
+
 	// Sampled decision traces.
 	traces    *obs.Counter
 	traceSeq  atomic.Int64
@@ -88,6 +96,13 @@ func newServiceObs(cfg Config) *serviceObs {
 	}
 	so.ring.init(cfg.TraceRingSize)
 
+	repairSub := obs.NewHistogramVec("wasn_repair_substrate_duration_us",
+		"Wall time of each substrate's incremental repair pass inside the concurrent repair fan-out, in microseconds, by substrate (safety|bound|planar).",
+		"substrate")
+	so.repairSafety = repairSub.With("safety")
+	so.repairBound = repairSub.With("bound")
+	so.repairPlanar = repairSub.With("planar")
+
 	routesTotal := obs.NewCounterVec("wasn_routes_computed_total",
 		"Routes computed (cache misses and path/trace requests), by algorithm and outcome.",
 		"algorithm", "outcome")
@@ -113,10 +128,25 @@ func newServiceObs(cfg Config) *serviceObs {
 
 	so.reg.MustRegister(
 		so.requests, so.requestErrors, so.requestDur,
-		so.buildDur, so.repairDur, so.traces, so.stretchDur,
+		so.buildDur, so.repairDur, repairSub, so.traces, so.stretchDur,
 		routesTotal, hops, phaseHops, stretch,
 	)
 	return so
+}
+
+// observeSubstrates folds one repair fan-out's per-substrate spans
+// into the substrate histograms (zero spans mean the substrate was
+// skipped and are not recorded).
+func (so *serviceObs) observeSubstrates(t core.SubstrateTimings) {
+	if t.Safety > 0 {
+		so.repairSafety.Observe(t.Safety.Microseconds())
+	}
+	if t.Bound > 0 {
+		so.repairBound.Observe(t.Bound.Microseconds())
+	}
+	if t.Planar > 0 {
+		so.repairPlanar.Observe(t.Planar.Microseconds())
+	}
 }
 
 // recordComputed folds one freshly computed route into the outcome

@@ -70,6 +70,20 @@ type Config struct {
 	// the minimum-hop ideal) for every N-th computed route. Each sample
 	// pays one reference BFS route. 0 disables the measurement.
 	StretchSampleEvery int
+	// SampleEveryMS starts the flight-recorder sampler: every N
+	// milliseconds a background goroutine scrapes the registry and
+	// appends one point to each timeline series (GET /timeline). 0
+	// disables the sampler — the default, so zero-value Services (unit
+	// tests, benchmarks) run no background goroutines; wasnd turns it
+	// on via -sample-every. Stop it with Close.
+	SampleEveryMS int
+	// SampleWindow is the number of timeline samples retained (default
+	// 512). Memory is fixed at construction.
+	SampleWindow int
+	// JournalSize bounds the flight-recorder event journal ring,
+	// rounded up to a power of two (default 1024). The journal is
+	// always on: writes happen only on topology changes and builds.
+	JournalSize int
 }
 
 // ErrBuild marks substrate build failures: a server-side fault, not a
@@ -83,6 +97,11 @@ type Service struct {
 	cache  *routeCache // nil when disabled
 	flight flightGroup
 	so     *serviceObs
+
+	// The flight recorder: a bounded journal of structural events
+	// (always on) plus the optional periodic timeline sampler.
+	journal *obs.Journal
+	sampler *obs.Sampler // nil unless Config.SampleEveryMS > 0
 
 	mu   sync.RWMutex
 	deps map[string]*deployment
@@ -150,7 +169,29 @@ func New(cfg Config) *Service {
 	if s.cfg.Workers <= 0 {
 		s.cfg.Workers = runtime.NumCPU()
 	}
+	s.journal = obs.NewJournal(cfg.JournalSize)
+	if cfg.SampleEveryMS > 0 {
+		s.sampler = obs.NewSampler(obs.SamplerConfig{
+			Scrape: func() (map[string]float64, error) {
+				return obs.ParseText(strings.NewReader(s.so.reg.Text()))
+			},
+			Specs:  defaultSamplerSpecs(),
+			Every:  time.Duration(cfg.SampleEveryMS) * time.Millisecond,
+			Window: cfg.SampleWindow,
+		})
+		s.sampler.Start()
+	}
 	return s
+}
+
+// Close stops the flight-recorder sampling goroutine (a no-op when the
+// sampler is disabled). The service keeps serving; Close only exists
+// so embedders don't leak the ticker goroutine.
+func (s *Service) Close() error {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	return nil
 }
 
 // Registry exposes the service's metric registry so embedders (wasnd)
@@ -279,6 +320,13 @@ func (s *Service) ensureBuilt(d *deployment) error {
 		d.routers = s.buildRouters(dep.Net, d.model, d.bounds, d.planarg)
 		s.builds.Inc()
 		s.so.buildDur.With(d.name).Observe(time.Since(start).Microseconds())
+		s.journal.Record(obs.Event{
+			UnixMS:     time.Now().UnixMilli(),
+			Kind:       obs.EventBuild,
+			Deployment: d.name,
+			Nodes:      d.spec.N,
+			DurationUS: time.Since(start).Microseconds(),
+		})
 		d.ready.Store(true)
 		return nil
 	})
@@ -437,6 +485,14 @@ func isIdealAlgorithm(name string) bool {
 // Config.FullRebuildOnFail oracle path — so every router serves exactly
 // what a fresh Sim would.
 func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
+	return s.FailTagged(deployment, nodes, "")
+}
+
+// FailTagged is Fail carrying the triggering request's ID into the
+// flight-recorder journal entry (empty for untagged callers), so
+// churn events in /events are attributable to the /fail request that
+// caused them.
+func (s *Service) FailTagged(deployment string, nodes []topo.NodeID, requestID string) error {
 	d, err := s.lookup(deployment)
 	if err != nil {
 		return err
@@ -469,7 +525,7 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, false)
 		d.failed[u] = true
 	}
-	s.applyTopologyChange(d, fresh, false)
+	s.applyTopologyChange(d, fresh, false, obs.EventFail, requestID, len(nodes))
 	s.failures.Add(int64(len(fresh)))
 	return nil
 }
@@ -480,6 +536,12 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 // path, see core.RepairSubstrates) and invalidates the deployment's
 // cached routes. Reviving a node that is not dead is a no-op.
 func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
+	return s.ReviveTagged(deployment, nodes, "")
+}
+
+// ReviveTagged is Revive carrying the triggering request's ID into the
+// flight-recorder journal entry (see FailTagged).
+func (s *Service) ReviveTagged(deployment string, nodes []topo.NodeID, requestID string) error {
 	d, err := s.lookup(deployment)
 	if err != nil {
 		return err
@@ -509,7 +571,7 @@ func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
 		net.SetAlive(u, true)
 		delete(d.failed, u)
 	}
-	s.applyTopologyChange(d, fresh, false)
+	s.applyTopologyChange(d, fresh, false, obs.EventRevive, requestID, len(nodes))
 	s.revivals.Add(int64(len(fresh)))
 	return nil
 }
@@ -522,6 +584,12 @@ func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
 // and the deployment's cached routes are invalidated. Moving a dead node
 // is allowed; liveness is orthogonal to position.
 func (s *Service) Move(deployment string, moves []topo.Move) error {
+	return s.MoveTagged(deployment, moves, "")
+}
+
+// MoveTagged is Move carrying the triggering request's ID into the
+// flight-recorder journal entry (see FailTagged).
+func (s *Service) MoveTagged(deployment string, moves []topo.Move, requestID string) error {
 	d, err := s.lookup(deployment)
 	if err != nil {
 		return err
@@ -545,7 +613,7 @@ func (s *Service) Move(deployment string, moves []topo.Move) error {
 	if err != nil {
 		return err
 	}
-	s.applyTopologyChange(d, dirty, true)
+	s.applyTopologyChange(d, dirty, true, obs.EventMove, requestID, len(moves))
 	s.moves.Add(int64(len(moves)))
 	return nil
 }
@@ -553,30 +621,49 @@ func (s *Service) Move(deployment string, moves []topo.Move) error {
 // applyTopologyChange repairs (or, under the FullRebuildOnFail oracle,
 // rebuilds) the substrates after the liveness or positions of changed
 // nodes mutated (SetAlive/SetPositions already applied; moved selects
-// the position-repair path), bumps the deployment epoch, and purges its
-// cached routes. Callers hold the deployment write lock.
-func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID, moved bool) {
+// the position-repair path), bumps the deployment epoch, purges its
+// cached routes, and journals the whole event — kind, batch size,
+// dirty-set size, per-substrate repair spans, the resulting epoch, the
+// purge count, and the triggering request ID. Callers hold the
+// deployment write lock.
+func (s *Service) applyTopologyChange(d *deployment, changed []topo.NodeID, moved bool, kind obs.EventKind, requestID string, batch int) {
 	net := d.dep.Net
+	ev := obs.Event{
+		UnixMS:     time.Now().UnixMilli(),
+		Kind:       kind,
+		Deployment: d.name,
+		RequestID:  requestID,
+		Nodes:      batch,
+		Dirty:      len(changed),
+	}
 	start := time.Now()
 	if s.cfg.FullRebuildOnFail {
 		d.model, d.bounds, d.planarg = core.BuildSubstrates(net, true, true, true, nil)
 		d.routers = s.buildRouters(net, d.model, d.bounds, d.planarg)
 		d.rebuilds.Add(1)
+		ev.Rebuild = true
 		s.so.repairDur.With(d.name, "rebuild").Observe(time.Since(start).Microseconds())
 	} else {
 		// In-place repair: the routers keep their substrate pointers.
+		var spans core.SubstrateTimings
 		if moved {
-			core.RepairSubstratesMoved(d.model, d.bounds, d.planarg, changed)
+			spans = core.RepairSubstratesMoved(d.model, d.bounds, d.planarg, changed)
 		} else {
-			core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
+			spans = core.RepairSubstrates(d.model, d.bounds, d.planarg, changed)
 		}
 		d.repairs.Add(1)
+		s.so.observeSubstrates(spans)
+		ev.SafetyUS = spans.Safety.Microseconds()
+		ev.BoundUS = spans.Bound.Microseconds()
+		ev.PlanarUS = spans.Planar.Microseconds()
 		s.so.repairDur.With(d.name, "repair").Observe(time.Since(start).Microseconds())
 	}
-	d.epoch.Add(1)
+	ev.DurationUS = time.Since(start).Microseconds()
+	ev.Epoch = d.epoch.Add(1)
 	if s.cache != nil {
-		s.cache.purgeDeployment(d.name)
+		ev.Purged = s.cache.purgeDeployment(d.name)
 	}
+	s.journal.Record(ev)
 }
 
 // Failed returns the dead nodes of the named deployment, sorted.

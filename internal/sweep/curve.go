@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/workload"
 )
 
@@ -73,6 +74,15 @@ type CapacityCurve struct {
 	// histogram buckets excluded), nil when the driver has no
 	// exposition to scrape.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// StartUnixMs anchors the sweep in wall time so the flight-recorder
+	// timeline and journal below can be read against it.
+	StartUnixMs int64 `json:"start_unix_ms,omitempty"`
+	// SampledTimeline is the server's flight-recorder sample window
+	// covering the whole ladder (nil without a sampler).
+	SampledTimeline *obs.TimelineWindow `json:"sampled_timeline,omitempty"`
+	// Journal is the server's flight-recorder events raised during the
+	// sweep, oldest first.
+	Journal []obs.Event `json:"journal,omitempty"`
 }
 
 // detect (re)locates the knee and the p99 cliff over the sorted rungs.

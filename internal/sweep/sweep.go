@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/topo"
@@ -233,6 +234,7 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 	// as a whole did to the server (a failed before-scrape disables the
 	// delta rather than failing the sweep).
 	before, beforeErr := drv.ScrapeMetrics()
+	curve.StartUnixMs = time.Now().UnixMilli()
 
 	lo, hi := cfg.MinRateHz, cfg.MaxRateHz
 	if cfg.Axis != AxisRate {
@@ -272,6 +274,18 @@ func Run(drv workload.Driver, cfg *Config, opt Options) (*CapacityCurve, error) 
 	if beforeErr == nil {
 		if after, err := drv.ScrapeMetrics(); err == nil {
 			curve.MetricsDelta = obs.Delta(before, after)
+		}
+	}
+	// The flight-recorder view of the whole ladder; both degrade to
+	// absent on drivers without the surfaces.
+	if win, err := drv.Timeline(); err == nil && len(win.TUnixMS) > 0 {
+		curve.SampledTimeline = &win
+	}
+	if evs, err := drv.Events(0); err == nil {
+		for _, ev := range evs {
+			if ev.UnixMS >= curve.StartUnixMs {
+				curve.Journal = append(curve.Journal, ev)
+			}
 		}
 	}
 	return curve, nil

@@ -166,6 +166,42 @@ func (d *HTTP) ScrapeMetrics() (map[string]float64, error) {
 	return obs.ParseText(resp.Body)
 }
 
+// Timeline implements Driver (GET /timeline). Servers predating the
+// endpoint yield an error; callers embedding the window treat that as
+// "no timeline".
+func (d *HTTP) Timeline() (obs.TimelineWindow, error) {
+	resp, err := d.client.Get(d.base + "/timeline")
+	if err != nil {
+		return obs.TimelineWindow{}, fmt.Errorf("workload: GET /timeline: %w", err)
+	}
+	var body struct {
+		Timeline obs.TimelineWindow `json:"timeline"`
+	}
+	if err := d.decode("/timeline", resp, &body); err != nil {
+		return obs.TimelineWindow{}, err
+	}
+	return body.Timeline, nil
+}
+
+// Events implements Driver (GET /events).
+func (d *HTTP) Events(max int) ([]obs.Event, error) {
+	url := d.base + "/events"
+	if max > 0 {
+		url += fmt.Sprintf("?max=%d", max)
+	}
+	resp, err := d.client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("workload: GET /events: %w", err)
+	}
+	var body struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := d.decode("/events", resp, &body); err != nil {
+		return nil, err
+	}
+	return body.Events, nil
+}
+
 // Close implements Driver.
 func (d *HTTP) Close() error {
 	d.client.CloseIdleConnections()

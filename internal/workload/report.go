@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/straightpath/wasn/internal/metrics"
+	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/topo"
 )
@@ -107,6 +108,16 @@ type Report struct {
 	// histogram buckets excluded), nil when the driver has no
 	// exposition to scrape.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// StartUnixMs anchors the measured window in wall time so the
+	// flight-recorder timeline and journal below — stamped in server
+	// wall time — can be read against AppliedMS offsets.
+	StartUnixMs int64 `json:"start_unix_ms,omitempty"`
+	// SampledTimeline is the server's flight-recorder sample window
+	// (nil when the driver runs without a sampler).
+	SampledTimeline *obs.TimelineWindow `json:"sampled_timeline,omitempty"`
+	// Journal is the server's flight-recorder events raised during the
+	// measured window, oldest first.
+	Journal []obs.Event `json:"journal,omitempty"`
 }
 
 // WriteJSON writes the indented JSON report.
@@ -150,6 +161,14 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "  wasn_routes_total +%.0f", v)
 		}
 		b.WriteString("\n")
+	}
+	if r.SampledTimeline != nil || len(r.Journal) > 0 {
+		samples := 0
+		if r.SampledTimeline != nil {
+			samples = len(r.SampledTimeline.TUnixMS)
+		}
+		fmt.Fprintf(&b, "  flight recorder: %d timeline samples, %d journal events\n",
+			samples, len(r.Journal))
 	}
 	return b.String()
 }
