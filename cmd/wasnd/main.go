@@ -54,24 +54,44 @@
 //	wasnd -sweep .github/perf/sweep-ci.json -baseline .github/perf/baseline-curve.json -normalize
 //	wasnd -load -preset steady -record steady.trace.jsonl
 //	wasnd -replay steady.trace.jsonl -verify
+//
+// Fleet mode shards deployments across replicas (internal/fleet):
+// -router runs the consistent-hash proxy tier, replicas join it with
+// -join and serve the length-prefixed binary batch transport on
+// -binary-port; -snapshot-dir persists a versioned binary snapshot of
+// the registry on every state change and restores it on boot, so a
+// restarted replica answers route-identically. -addr :0 picks a free
+// port and prints it on stdout (and in /readyz) so scripts never race
+// on fixed ports:
+//
+//	wasnd -router -addr :9090
+//	wasnd -addr :0 -join http://localhost:9090 -replica-id r1 -snapshot-dir /var/lib/wasnd/r1 -binary-port 0
+//	wasnd -load -preset churn-storm -driver fleet -target http://localhost:9090
+//	wasnd -check-metrics http://localhost:9090/metrics -fleet
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	rpprof "runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/straightpath/wasn/internal/fleet"
 	"github.com/straightpath/wasn/internal/obs"
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/sweep"
@@ -103,7 +123,14 @@ func run(args []string, out io.Writer) error {
 		cpuProf   = fs.String("cpuprofile", "", "load/sweep/replay: write a CPU profile of the run here")
 		progressF = fs.Bool("progress", false, "load/sweep: stream live progress lines to stderr")
 		checkURL  = fs.String("check-metrics", "", "scrape this /metrics URL, verify the required series exist, and exit (CI gate)")
+		checkFlt  = fs.Bool("fleet", false, "check-metrics: gate the router's wasn_fleet_* series instead of the replica contract")
 		renderIn  = fs.String("render", "", "render this report/curve/BENCH JSON file to an SVG trajectory figure and exit (-out names the SVG; default input with .svg)")
+
+		routerOn  = fs.Bool("router", false, "run the fleet router (consistent-hash proxy tier) instead of a replica")
+		joinURL   = fs.String("join", "", "replica: register with the fleet router at this base URL on startup")
+		replicaID = fs.String("replica-id", "", "replica: fleet identity (default derived from the listen address)")
+		snapDir   = fs.String("snapshot-dir", "", "replica: persist a registry snapshot here on every state change and restore it on boot")
+		binPort   = fs.Int("binary-port", -1, "replica: serve the binary batch transport on this TCP port (0 = OS-chosen; negative disables)")
 
 		load     = fs.Bool("load", false, "run the workload engine instead of serving")
 		preset   = fs.String("preset", "steady", "load: canned scenario (steady, hotspot, convergecast, churn-storm)")
@@ -166,13 +193,23 @@ func run(args []string, out io.Writer) error {
 	if (*verify || *paced) && *replayF == "" {
 		return fmt.Errorf("-verify and -paced apply only to -replay")
 	}
+	if *checkFlt && *checkURL == "" {
+		return fmt.Errorf("-fleet applies only to -check-metrics")
+	}
+	fleetFlags := *routerOn || *joinURL != "" || *replicaID != "" || *snapDir != "" || *binPort >= 0
+	if fleetFlags && (*load || *replayF != "" || *sweepCfg != "" || *checkURL != "" || *renderIn != "") {
+		return fmt.Errorf("-router, -join, -replica-id, -snapshot-dir and -binary-port apply only to server mode")
+	}
+	if *routerOn && (*joinURL != "" || *replicaID != "" || *snapDir != "" || *binPort >= 0) {
+		return fmt.Errorf("-join, -replica-id, -snapshot-dir and -binary-port are replica flags; a -router holds no registry")
+	}
 	var prog io.Writer
 	if *progressF {
 		prog = os.Stderr
 	}
 	switch {
 	case *checkURL != "":
-		return runCheckMetrics(out, *checkURL)
+		return runCheckMetrics(out, *checkURL, *checkFlt)
 	case *renderIn != "":
 		return runRender(out, *renderIn, *outFile)
 	case *sweepCfg != "":
@@ -194,7 +231,11 @@ func run(args []string, out io.Writer) error {
 			return runLoad(out, prog, sc, *driver, *target, *outFile, *record, cfg)
 		})
 	}
-	return serveHTTP(logger, cfg, *addr, *pprofOn)
+	return serveHTTP(out, logger, cfg, serverOpts{
+		addr: *addr, pprof: *pprofOn,
+		router: *routerOn, joinURL: *joinURL, replicaID: *replicaID,
+		snapshotDir: *snapDir, binaryPort: *binPort,
+	})
 }
 
 // newLogger builds the process logger from the -log-level and
@@ -256,10 +297,28 @@ var requiredMetricFamilies = []string{
 	"wasn_traces_recorded_total",
 }
 
+// requiredFleetMetricFamilies is the same contract for the router's
+// exposition (-check-metrics -fleet): the fleet-chaos CI job gates on
+// these after the kill/re-shard, so a rotted control-plane surface
+// fails the build just like a rotted replica one.
+var requiredFleetMetricFamilies = []string{
+	"wasn_fleet_replicas",
+	"wasn_fleet_replicas_alive",
+	"wasn_fleet_replica_up",
+	"wasn_fleet_reshards_total",
+	"wasn_fleet_restores_total",
+	"wasn_fleet_proxied_requests_total",
+}
+
 // runCheckMetrics scrapes one exposition and gates on the required
 // series being present — the mid-run CI probe that fails the build
-// when the observability surface rots.
-func runCheckMetrics(out io.Writer, url string) error {
+// when the observability surface rots. fleetGate switches to the
+// router's wasn_fleet_* contract.
+func runCheckMetrics(out io.Writer, url string, fleetGate bool) error {
+	families := requiredMetricFamilies
+	if fleetGate {
+		families = requiredFleetMetricFamilies
+	}
 	resp, err := http.Get(url)
 	if err != nil {
 		return fmt.Errorf("check-metrics: %w", err)
@@ -272,39 +331,168 @@ func runCheckMetrics(out io.Writer, url string) error {
 	if err != nil {
 		return fmt.Errorf("check-metrics: %s: %w", url, err)
 	}
-	if missing := obs.MissingSeries(samples, requiredMetricFamilies); len(missing) > 0 {
+	if missing := obs.MissingSeries(samples, families); len(missing) > 0 {
 		return fmt.Errorf("check-metrics: %s: missing required series: %v", url, missing)
 	}
 	fmt.Fprintf(out, "metrics ok: %d series scraped, all %d required families present\n",
-		len(samples), len(requiredMetricFamilies))
+		len(samples), len(families))
 	return nil
 }
 
-// serveHTTP runs the server until SIGINT/SIGTERM, then drains in-flight
-// requests via http.Server.Shutdown so HTTP-mode load runs end cleanly.
-// The service handler is wrapped in request-ID logging middleware;
-// -pprof additionally mounts net/http/pprof under /debug/pprof/.
-func serveHTTP(logger *slog.Logger, cfg serve.Config, addr string, withPprof bool) error {
+// serverOpts gathers the server-mode flags: which tier to run (router
+// or replica) and the replica's fleet wiring.
+type serverOpts struct {
+	addr        string
+	pprof       bool
+	router      bool
+	joinURL     string
+	replicaID   string
+	snapshotDir string
+	binaryPort  int
+}
+
+// serveHTTP binds the listener first — -addr :0 is legal, and the
+// resolved address is printed on stdout and served in /readyz so
+// scripts stop racing on fixed ports — then runs the requested tier
+// until SIGINT/SIGTERM drains it.
+func serveHTTP(out io.Writer, logger *slog.Logger, cfg serve.Config, o serverOpts) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hostPort := advertiseAddr(ln.Addr())
+	if o.router {
+		return serveRouter(out, logger, ln, hostPort)
+	}
+	return serveReplica(out, logger, cfg, ln, hostPort, o)
+}
+
+// serveRouter runs the fleet control plane: shard map, health loop,
+// state-transfer pushes and the proxy endpoints (internal/fleet.Router).
+func serveRouter(out io.Writer, logger *slog.Logger, ln net.Listener, hostPort string) error {
+	rt := fleet.NewRouter(fleet.RouterConfig{})
+	defer rt.Close()
+	fmt.Fprintf(out, "wasnd router listening on %s\n", hostPort)
+	logger.Info("wasnd router listening", "addr", hostPort)
+	srv := &http.Server{Handler: requestLog(logger, rt.Handler())}
+	return serveAndDrain(logger, srv, ln, nil)
+}
+
+// serveReplica runs the routing service, optionally with snapshot
+// persistence (-snapshot-dir), the binary batch transport
+// (-binary-port) and fleet membership (-join). The snapshot is
+// restored before the listener serves, so the first request already
+// sees the pre-crash registry.
+func serveReplica(out io.Writer, logger *slog.Logger, cfg serve.Config, ln net.Listener, hostPort string, o serverOpts) error {
+	if o.replicaID == "" {
+		o.replicaID = "wasnd-" + hostPort
+	}
+	cfg.ReplicaID = o.replicaID
+	// The snapshotter is created after the service (its export closure
+	// needs it), but state changes only arrive once the listener serves
+	// requests — by then sn is set.
+	var sn *fleet.Snapshotter
+	cfg.OnStateChange = func() {
+		if sn != nil {
+			sn.Notify()
+		}
+	}
 	svc := serve.New(cfg)
 	defer svc.Close() // stop the flight-recorder sampler goroutine
+	if o.snapshotDir != "" {
+		if err := os.MkdirAll(o.snapshotDir, 0o755); err != nil {
+			return fmt.Errorf("snapshot dir: %w", err)
+		}
+		path := filepath.Join(o.snapshotDir, "wasnd.snap")
+		if snap, err := fleet.ReadSnapshotFile(path); err == nil {
+			if err := svc.RestoreState(snap.States); err != nil {
+				return fmt.Errorf("snapshot restore: %w", err)
+			}
+			logger.Info("snapshot restored", "path", path, "deployments", len(snap.States))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// A corrupt snapshot is a hard error: silently booting empty
+			// would serve wrong routes under the same deployment names.
+			return fmt.Errorf("snapshot load: %w", err)
+		}
+		sn = fleet.NewSnapshotter(fleet.SnapshotterConfig{
+			Path: path,
+			Export: func() fleet.Snapshot {
+				return fleet.Snapshot{TakenUnixMS: uint64(time.Now().UnixMilli()), States: svc.ExportState()}
+			},
+			OnError: func(err error) { logger.Error("snapshot write failed", "err", err) },
+		})
+		defer sn.Close() // final flush: shutdown never loses acked churn
+	}
+	var binAddr string
+	if o.binaryPort >= 0 {
+		bln, err := net.Listen("tcp", fmt.Sprintf(":%d", o.binaryPort))
+		if err != nil {
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		bin := fleet.NewBinaryServer(svc, bln)
+		defer bin.Close()
+		binAddr = advertiseAddr(bln.Addr())
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
-	if withPprof {
+	// Overlay /readyz with the resolved addresses: with -addr :0 this is
+	// where a probe (or the fleet health loop) learns where the replica
+	// actually lives.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"ok": true, "replica_id": o.replicaID, "deployments": len(svc.Deployments()),
+			"addr": hostPort, "binary_addr": binAddr,
+		})
+	})
+	if o.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	srv := &http.Server{Addr: addr, Handler: requestLog(logger, mux)}
+	fmt.Fprintf(out, "wasnd listening on %s", hostPort)
+	if binAddr != "" {
+		fmt.Fprintf(out, " (binary %s)", binAddr)
+	}
+	fmt.Fprintln(out)
+	logger.Info("wasnd listening", "addr", hostPort, "binary", binAddr, "replica", o.replicaID, "pprof", o.pprof)
+	srv := &http.Server{Handler: requestLog(logger, mux)}
+	// Join only after the HTTP server accepts requests: the router
+	// health-probes /readyz and may push /restore immediately.
+	var afterStart func() error
+	if o.joinURL != "" {
+		afterStart = func() error {
+			if err := joinFleet(o.joinURL, fleet.Replica{ID: o.replicaID, Addr: "http://" + hostPort, BinaryAddr: binAddr}); err != nil {
+				return err
+			}
+			logger.Info("joined fleet", "router", o.joinURL, "replica", o.replicaID)
+			return nil
+		}
+	}
+	return serveAndDrain(logger, srv, ln, afterStart)
+}
+
+// serveAndDrain serves ln until SIGINT/SIGTERM, then drains in-flight
+// requests via http.Server.Shutdown so HTTP-mode load runs end
+// cleanly. afterStart (when non-nil) runs once the serve goroutine is
+// up; its error aborts the server.
+func serveAndDrain(logger *slog.Logger, srv *http.Server, ln net.Listener, afterStart func() error) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("wasnd listening", "addr", addr, "pprof", withPprof)
-		errCh <- srv.ListenAndServe()
+		errCh <- srv.Serve(ln)
 	}()
+	if afterStart != nil {
+		if err := afterStart(); err != nil {
+			srv.Close()
+			<-errCh
+			return err
+		}
+	}
 	select {
 	case err := <-errCh:
 		return err
@@ -322,6 +510,54 @@ func serveHTTP(logger *slog.Logger, cfg serve.Config, addr string, withPprof boo
 		logger.Info("wasnd drained cleanly")
 		return nil
 	}
+}
+
+// advertiseAddr rewrites a bound listener address into one other
+// processes can dial: the wildcard hosts a ":0"-style -addr binds to
+// become loopback (the fleet CI job runs everything on one machine;
+// multi-host fleets pass explicit -addr hosts).
+func advertiseAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// joinFleet registers the replica with the router, retrying briefly so
+// a fleet script may start replicas and router concurrently.
+func joinFleet(routerURL string, rep fleet.Replica) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(routerURL, "/") + "/join"
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		// A 4xx is a config error (duplicate ID, bad addr) that retrying
+		// cannot fix.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return fmt.Errorf("join %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		lastErr = fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return fmt.Errorf("join %s: %w", url, lastErr)
 }
 
 // requestLog assigns each request a sequential ID (echoed in the

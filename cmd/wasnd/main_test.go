@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"github.com/straightpath/wasn/internal/serve"
 	"github.com/straightpath/wasn/internal/sweep"
@@ -158,4 +163,215 @@ func TestFlagValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "exclusive") {
 		t.Fatalf("-check-metrics combined with -load accepted: %v", err)
 	}
+	if err := run([]string{"-fleet"}, &out); err == nil || !strings.Contains(err.Error(), "-check-metrics") {
+		t.Fatalf("-fleet without -check-metrics accepted: %v", err)
+	}
+	if err := run([]string{"-load", "-router"}, &out); err == nil || !strings.Contains(err.Error(), "server mode") {
+		t.Fatalf("-router combined with -load accepted: %v", err)
+	}
+	if err := run([]string{"-router", "-join", "http://x"}, &out); err == nil || !strings.Contains(err.Error(), "replica flags") {
+		t.Fatalf("-router combined with -join accepted: %v", err)
+	}
+}
+
+// syncBuffer is a concurrency-safe io.Writer for capturing the stdout
+// of run() invocations living in goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// spawnServer runs the CLI server in a goroutine and returns its base
+// URL (parsed from the stdout "listening on" line — the -addr :0
+// contract) plus the exit channel.
+func spawnServer(t *testing.T, args []string) (string, <-chan error) {
+	t.Helper()
+	out := &syncBuffer{}
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(args, out) }()
+	var addr string
+	waitFor(t, 10*time.Second, "listen line from "+strings.Join(args, " "), func() bool {
+		select {
+		case err := <-errCh:
+			t.Fatalf("server %v exited early: %v\n%s", args, err, out.String())
+		default:
+		}
+		m := listenRE.FindStringSubmatch(out.String())
+		if m == nil {
+			return false
+		}
+		addr = m[1]
+		return true
+	})
+	base := "http://" + addr
+	waitFor(t, 10*time.Second, "readyz on "+base, func() bool {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	return base, errCh
+}
+
+// drain sends the process SIGTERM (every spawned server has its
+// NotifyContext installed once it answers HTTP) and asserts every
+// server exits cleanly.
+func drain(t *testing.T, servers map[string]<-chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range servers {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s exited with error: %v", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not drain after SIGTERM", name)
+		}
+	}
+}
+
+func postCLI(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d: %v", url, resp.StatusCode, v)
+	}
+	return v
+}
+
+func getCLI(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %v", url, resp.StatusCode, v)
+	}
+	return v
+}
+
+// TestFleetServerCLI boots a router and two replicas through the real
+// CLI entry point (ephemeral ports throughout), drives churn through
+// the proxy tier, gates the fleet metrics contract, drains the fleet
+// with SIGTERM, and reboots a replica from its snapshot — asserting
+// the restored registry answers route-identically. This is the
+// in-process twin of the CI fleet-chaos script.
+func TestFleetServerCLI(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	routerURL, routerErr := spawnServer(t, []string{"-router", "-addr", "127.0.0.1:0"})
+	rep1URL, rep1Err := spawnServer(t, []string{"-addr", "127.0.0.1:0", "-join", routerURL,
+		"-replica-id", "r1", "-snapshot-dir", dir1, "-binary-port", "0"})
+	_, rep2Err := spawnServer(t, []string{"-addr", "127.0.0.1:0", "-join", routerURL,
+		"-replica-id", "r2", "-snapshot-dir", dir2})
+
+	// The replica /readyz overlays the resolved addresses.
+	ready := getCLI(t, rep1URL+"/readyz")
+	if ready["addr"] != strings.TrimPrefix(rep1URL, "http://") {
+		t.Fatalf("readyz addr overlay = %v; want %s", ready["addr"], rep1URL)
+	}
+	if ready["binary_addr"] == "" || ready["binary_addr"] == nil {
+		t.Fatalf("readyz missing binary_addr: %v", ready)
+	}
+
+	waitFor(t, 10*time.Second, "both replicas in /stats", func() bool {
+		reps, _ := getCLI(t, routerURL+"/stats")["replicas"].([]any)
+		return len(reps) == 2
+	})
+
+	// Churn through the proxy tier.
+	postCLI(t, routerURL+"/deploy", `{"name":"FA-200-9","model":"fa","n":200,"seed":9,"build":true}`)
+	postCLI(t, routerURL+"/fail", `{"deployment":"FA-200-9","nodes":[3,4]}`)
+	want := postCLI(t, routerURL+"/route", `{"deployment":"FA-200-9","algorithm":"SLGF2","src":0,"dst":150}`)
+
+	// The metrics gate: the router exposition satisfies the fleet
+	// contract, a replica exposition must not.
+	var out bytes.Buffer
+	if err := run([]string{"-check-metrics", routerURL + "/metrics", "-fleet"}, &out); err != nil {
+		t.Fatalf("fleet metrics gate failed on the router: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "metrics ok") {
+		t.Fatalf("no gate confirmation:\n%s", out.String())
+	}
+	if err := run([]string{"-check-metrics", rep1URL + "/metrics", "-fleet"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "missing required series") {
+		t.Fatalf("fleet gate passed a replica exposition: %v", err)
+	}
+
+	// The owner's snapshotter must have persisted the churned registry.
+	owner := getCLI(t, routerURL+"/owner?deployment=FA-200-9")
+	ownerDir := dir1
+	if owner["id"] == "r2" {
+		ownerDir = dir2
+	}
+	snapFile := filepath.Join(ownerDir, "wasnd.snap")
+	waitFor(t, 10*time.Second, "snapshot file "+snapFile, func() bool {
+		st, err := os.Stat(snapFile)
+		return err == nil && st.Size() > 0
+	})
+
+	drain(t, map[string]<-chan error{"router": routerErr, "replica r1": rep1Err, "replica r2": rep2Err})
+
+	// Reboot a replica from the owner's snapshot: the restored registry
+	// must carry the failed set and answer route-identically.
+	rebootURL, rebootErr := spawnServer(t, []string{"-addr", "127.0.0.1:0", "-snapshot-dir", ownerDir})
+	state := getCLI(t, rebootURL+"/state")
+	states, _ := state["states"].([]any)
+	if len(states) != 1 {
+		t.Fatalf("restored replica has %d deployments; want 1 (%v)", len(states), state)
+	}
+	st := states[0].(map[string]any)
+	if st["name"] != "FA-200-9" || len(st["failed"].([]any)) != 2 {
+		t.Fatalf("restored state lost the churn history: %v", st)
+	}
+	got := postCLI(t, rebootURL+"/route", `{"deployment":"FA-200-9","algorithm":"SLGF2","src":0,"dst":150}`)
+	if got["delivered"] != want["delivered"] || fmt.Sprint(got["hops"]) != fmt.Sprint(want["hops"]) {
+		t.Fatalf("restored route diverged: %v != %v", got, want)
+	}
+	drain(t, map[string]<-chan error{"rebooted replica": rebootErr})
 }

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/straightpath/wasn/internal/serve"
+)
+
+// DefaultBinaryTimeout bounds one binary round trip (dial, write, read
+// through the terminator). Big batches on a loaded replica take a
+// while; liveness failures surface as timeouts, not hangs.
+const DefaultBinaryTimeout = 60 * time.Second
+
+// Client is a binary-transport client over one persistent TCP
+// connection. Calls are serialised with a mutex — one request/response
+// exchange in flight per conn; run several Clients for parallelism
+// (the fleet driver keeps one per worker). A Client whose stream broke
+// returns errors from every subsequent call; the owner reconnects by
+// making a new one.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	nextID uint32
+	broken bool
+}
+
+// Dial connects a binary client. timeout bounds the dial and every
+// subsequent round trip (DefaultBinaryTimeout when 0).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultBinaryTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		addr:    addr,
+		timeout: timeout,
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 64<<10),
+		w:       bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Addr returns the dialed address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.conn.Close()
+}
+
+// fail marks the stream unusable and closes it.
+func (c *Client) fail(err error) error {
+	c.broken = true
+	c.conn.Close()
+	return err
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return errConnBroken
+	}
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := writeFrame(c.w, framePing, []byte("hi")); err != nil {
+		return c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.fail(err)
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return c.fail(err)
+	}
+	if typ != framePong || string(payload) != "hi" {
+		return c.fail(fmt.Errorf("fleet: bad pong (type %d)", typ))
+	}
+	return nil
+}
+
+// Batch routes a batch over the binary transport, returning results in
+// request order (the serve.Batch contract). Per-request failures come
+// back in-band in RouteResponse.Err; a returned error means the
+// exchange itself failed and the connection is no longer usable.
+func (c *Client) Batch(reqs []serve.RouteRequest) ([]serve.RouteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, errConnBroken
+	}
+	c.nextID++
+	id := c.nextID
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := writeFrame(c.w, frameBatch, encodeBatchRequest(id, reqs)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+
+	out := make([]serve.RouteResponse, len(reqs))
+	filled := 0
+	for {
+		typ, payload, err := readFrame(c.r)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		switch typ {
+		case frameBatchChunk:
+			cid, start, results, err := decodeBatchChunk(payload)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			if cid != id || start < 0 || start+len(results) > len(out) {
+				return nil, c.fail(fmt.Errorf("fleet: chunk desync (id %d start %d n %d)", cid, start, len(results)))
+			}
+			copy(out[start:], results)
+			filled += len(results)
+		case frameBatchEnd:
+			cid, total, err := decodeBatchEnd(payload)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			if cid != id || total != len(out) || filled != len(out) {
+				return nil, c.fail(fmt.Errorf("fleet: batch desync (id %d total %d filled %d want %d)", cid, total, filled, len(out)))
+			}
+			return out, nil
+		case frameError:
+			_, msg := decodeError(payload)
+			return nil, c.fail(fmt.Errorf("fleet: server error: %s", msg))
+		default:
+			return nil, c.fail(fmt.Errorf("fleet: unexpected frame type %d", typ))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// FuzzSnapshot throws arbitrary bytes at the snapshot decoder. The
+// contract under fuzz: never panic, never over-allocate from
+// attacker-chosen count fields, and for every input it accepts, the
+// decoded snapshot must re-encode to the exact same bytes (the format
+// has one canonical encoding, which is what makes the CRC meaningful).
+func FuzzSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	f.Add(EncodeSnapshot(Snapshot{}))
+	f.Add(EncodeSnapshot(sampleSnapshot()))
+	f.Add(EncodeSnapshot(Snapshot{
+		TakenUnixMS: 7,
+		States: []serve.DeploymentState{{
+			Name:   "",
+			Spec:   serve.Spec{Model: topo.ModelIA, N: 1, Seed: 0},
+			Failed: []topo.NodeID{0},
+			Moved:  []topo.Move{{Node: 0, X: -1.5, Y: 1e300}},
+			Epoch:  1<<64 - 1,
+		}},
+	}))
+	// A body-cut snapshot with a valid CRC: forces the fuzzer past the
+	// checksum into the structural bounds checks.
+	full := EncodeSnapshot(sampleSnapshot())
+	f.Add(withCRC(full[: len(full)-40 : len(full)-40]))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		if got := EncodeSnapshot(s); !bytes.Equal(got, b) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", b, got)
+		}
+	})
+}

@@ -1,0 +1,387 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /join      {"id", "addr", "binary_addr"?}     → shard map
+//	GET  /shardmap                                     → shard map
+//	GET  /owner?deployment=NAME                        → owning replica
+//	GET  /readyz
+//	GET  /stats
+//	GET  /metrics                                      → wasn_fleet_* series
+//	GET  /events?after=&max=                           → control-plane journal
+//	POST /deploy, /route, /batch, /fail, /revive, /move → proxied to the owner
+//
+// The proxy endpoints speak the exact serve JSON API; a fleet looks
+// like one big wasnd to HTTP clients. /batch additionally splits
+// mixed-deployment batches across owners and reassembles the results
+// in request order.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/join", r.handleJoin)
+	mux.HandleFunc("/shardmap", r.handleShardMap)
+	mux.HandleFunc("/owner", r.handleOwner)
+	mux.HandleFunc("/readyz", r.handleReadyz)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/events", r.handleEvents)
+	mux.HandleFunc("/deploy", r.handleDeploy)
+	mux.HandleFunc("/batch", r.handleBatch)
+	mux.HandleFunc("/route", r.proxyByField("deployment", nil))
+	mux.HandleFunc("/fail", r.proxyByField("deployment", r.afterFail))
+	mux.HandleFunc("/revive", r.proxyByField("deployment", r.afterRevive))
+	mux.HandleFunc("/move", r.proxyByField("deployment", r.afterMove))
+	return mux
+}
+
+func routerJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func routerError(w http.ResponseWriter, status int, err error) {
+	routerJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var rep Replica
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+		return
+	}
+	m, err := r.Join(rep)
+	if err != nil {
+		routerError(w, http.StatusBadRequest, err)
+		return
+	}
+	routerJSON(w, http.StatusOK, m)
+}
+
+func (r *Router) handleShardMap(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	routerJSON(w, http.StatusOK, r.Map())
+}
+
+func (r *Router) handleOwner(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	dep := req.URL.Query().Get("deployment")
+	if dep == "" {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("deployment query parameter required"))
+		return
+	}
+	rep, ok := r.Map().Owner(dep)
+	if !ok {
+		routerError(w, http.StatusServiceUnavailable, fmt.Errorf("no alive replicas"))
+		return
+	}
+	routerJSON(w, http.StatusOK, rep)
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	m := r.Map()
+	routerJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "router": true, "version": m.Version, "replicas": len(m.Replicas),
+	})
+}
+
+// fleetStats is the /stats body: the fleet-level picture plus one entry
+// per known replica.
+type fleetStats struct {
+	Version     uint64             `json:"version"`
+	Deployments int                `json:"deployments"`
+	Replicas    []fleetReplicaStat `json:"replicas"`
+}
+
+type fleetReplicaStat struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	Owned int    `json:"owned"`
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	m := r.Map()
+	owned := make(map[string]int)
+	r.mu.RLock()
+	for name := range r.desired {
+		if rep, ok := m.Owner(name); ok {
+			owned[rep.ID]++
+		}
+	}
+	out := fleetStats{Version: m.Version, Deployments: len(r.desired)}
+	for _, mem := range r.members {
+		out.Replicas = append(out.Replicas, fleetReplicaStat{
+			ID: mem.rep.ID, Addr: mem.rep.Addr, Alive: mem.alive, Owned: owned[mem.rep.ID],
+		})
+	}
+	r.mu.RUnlock()
+	sortReplicaStats(out.Replicas)
+	routerJSON(w, http.StatusOK, out)
+}
+
+func sortReplicaStats(s []fleetReplicaStat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.reg.WriteText(w)
+}
+
+func (r *Router) handleEvents(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
+	max, _ := strconv.Atoi(q.Get("max"))
+	routerJSON(w, http.StatusOK, map[string]any{"events": r.journal.Since(after, max)})
+}
+
+// routerDeployRequest mirrors serve's /deploy body (the router must
+// derive the registry name to shard on before forwarding).
+type routerDeployRequest struct {
+	Name     string  `json:"name"`
+	Model    string  `json:"model"`
+	N        int     `json:"n"`
+	Seed     uint64  `json:"seed"`
+	Coverage float64 `json:"coverage"`
+	Build    bool    `json:"build"`
+}
+
+func (r *Router) handleDeploy(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var dr routerDeployRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dr); err != nil {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	model, err := topo.ParseDeployModel(strings.ToLower(dr.Model))
+	if err != nil {
+		routerError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := serve.Spec{Model: model, N: dr.N, Seed: dr.Seed, Coverage: dr.Coverage}
+	name := dr.Name
+	if name == "" {
+		name = spec.DefaultName()
+	}
+	dr.Name = name
+	body, _ := json.Marshal(dr)
+	status, resp, err := r.forward(name, "/deploy", body)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, err)
+		return
+	}
+	if status == http.StatusOK {
+		r.recordDeploy(name, spec)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(resp)
+}
+
+// proxyByField forwards a POST to the owner of the deployment named in
+// the given JSON body field, invoking after(body) on a 200 so the
+// desired-state table tracks what the replica applied.
+func (r *Router) proxyByField(field string, after func([]byte)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 8<<20))
+		if err != nil {
+			routerError(w, http.StatusBadRequest, err)
+			return
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(body, &probe); err != nil {
+			routerError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		var dep string
+		if raw, ok := probe[field]; ok {
+			_ = json.Unmarshal(raw, &dep)
+		}
+		if dep == "" {
+			routerError(w, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
+			return
+		}
+		status, resp, err := r.forward(dep, req.URL.Path, body)
+		if err != nil {
+			routerError(w, http.StatusBadGateway, err)
+			return
+		}
+		if status == http.StatusOK && after != nil {
+			after(body)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(resp)
+	}
+}
+
+type nodesBody struct {
+	Deployment string        `json:"deployment"`
+	Nodes      []topo.NodeID `json:"nodes"`
+}
+
+type movesBody struct {
+	Deployment string      `json:"deployment"`
+	Moves      []topo.Move `json:"moves"`
+}
+
+func (r *Router) afterFail(body []byte) {
+	var b nodesBody
+	if json.Unmarshal(body, &b) == nil {
+		r.recordFail(b.Deployment, b.Nodes)
+	}
+}
+
+func (r *Router) afterRevive(body []byte) {
+	var b nodesBody
+	if json.Unmarshal(body, &b) == nil {
+		r.recordRevive(b.Deployment, b.Nodes)
+	}
+}
+
+func (r *Router) afterMove(body []byte) {
+	var b movesBody
+	if json.Unmarshal(body, &b) == nil {
+		r.recordMove(b.Deployment, b.Moves)
+	}
+}
+
+// forward POSTs body to the owning replica's endpoint and returns the
+// response verbatim.
+func (r *Router) forward(deployment, path string, body []byte) (int, []byte, error) {
+	rep, ok := r.Map().Owner(deployment)
+	if !ok {
+		return 0, nil, fmt.Errorf("fleet: no alive replicas")
+	}
+	r.proxied.Inc()
+	resp, err := r.hc.Post(rep.Addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.proxyErrs.Inc()
+		return 0, nil, fmt.Errorf("fleet: owner %s unreachable: %w", rep.ID, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		r.proxyErrs.Inc()
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+type routerBatchRequest struct {
+	Requests []serve.RouteRequest `json:"requests"`
+}
+
+type routerBatchResponse struct {
+	Results []serve.RouteResponse `json:"results"`
+}
+
+// handleBatch splits a batch across owning replicas and reassembles the
+// results in request order, so mixed-deployment batches work through
+// the proxy exactly as against one process.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		routerError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var br routerBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&br); err != nil {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	m := r.Map()
+	if len(m.Replicas) == 0 {
+		routerError(w, http.StatusServiceUnavailable, fmt.Errorf("no alive replicas"))
+		return
+	}
+	// Group request indices by owning replica.
+	groups := make(map[string][]int)
+	owners := make(map[string]Replica)
+	for i, q := range br.Requests {
+		rep, _ := m.Owner(q.Deployment)
+		groups[rep.ID] = append(groups[rep.ID], i)
+		owners[rep.ID] = rep
+	}
+	results := make([]serve.RouteResponse, len(br.Requests))
+	var wg sync.WaitGroup
+	for id, idxs := range groups {
+		wg.Add(1)
+		go func(rep Replica, idxs []int) {
+			defer wg.Done()
+			sub := make([]serve.RouteRequest, len(idxs))
+			for j, i := range idxs {
+				sub[j] = br.Requests[i]
+			}
+			body, _ := json.Marshal(routerBatchRequest{Requests: sub})
+			r.proxied.Inc()
+			resp, err := r.hc.Post(rep.Addr+"/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				r.proxyErrs.Inc()
+				for _, i := range idxs {
+					results[i] = serve.RouteResponse{Err: fmt.Sprintf("fleet: owner %s unreachable: %v", rep.ID, err)}
+				}
+				return
+			}
+			defer resp.Body.Close()
+			var out routerBatchResponse
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); err != nil ||
+				len(out.Results) != len(idxs) {
+				r.proxyErrs.Inc()
+				for _, i := range idxs {
+					results[i] = serve.RouteResponse{Err: fmt.Sprintf("fleet: bad sub-batch response from %s", rep.ID)}
+				}
+				return
+			}
+			for j, i := range idxs {
+				results[i] = out.Results[j]
+			}
+		}(owners[id], idxs)
+	}
+	wg.Wait()
+	routerJSON(w, http.StatusOK, routerBatchResponse{Results: results})
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per replica when a Map is
+// built with VNodes 0. More vnodes smooth the partition (the ring's
+// load imbalance shrinks roughly with 1/sqrt(vnodes)) at the cost of a
+// larger ring to search; 64 keeps the max/mean deployment load within
+// ~20% for small fleets.
+const DefaultVNodes = 64
+
+// Replica identifies one wasnd process of the fleet and how to reach
+// it: the HTTP/JSON base URL (the compatibility surface) and, when the
+// replica serves the binary batch transport, its TCP address.
+type Replica struct {
+	// ID is the stable replica identity (wasnd -replica-id); hashing is
+	// by ID, so a replica that restarts on a new port keeps its ring
+	// positions.
+	ID string `json:"id"`
+	// Addr is the replica's HTTP base URL, e.g. "http://127.0.0.1:8081".
+	Addr string `json:"addr"`
+	// BinaryAddr is the replica's binary-transport "host:port", empty
+	// when the replica runs without -binary-port.
+	BinaryAddr string `json:"binary_addr,omitempty"`
+}
+
+// Map is the consistent-hash shard map: which replica owns which
+// deployment. It is what /shardmap serves and what fleet clients cache;
+// the ring itself is derived from the public fields, so a Map survives
+// a JSON round trip (call Build after decoding).
+//
+// Ownership is a pure function of (replica IDs, VNodes, deployment
+// name): every router, replica, and client that agrees on the member
+// list agrees on every owner, with no coordination beyond fetching the
+// map. Removing a replica moves only the deployments it owned (they
+// fall to the next point on the ring); surviving assignments are
+// untouched — the property the re-shard protocol leans on.
+type Map struct {
+	// Version increments on every membership change; clients use it to
+	// detect staleness cheaply.
+	Version uint64 `json:"version"`
+	// VNodes is the virtual-node count per replica used to build the
+	// ring (0 means DefaultVNodes).
+	VNodes int `json:"vnodes"`
+	// Replicas is the alive member set, sorted by ID.
+	Replicas []Replica `json:"replicas"`
+
+	// ring is the sorted vnode points; built by Build, not serialized.
+	ring []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into Replicas
+}
+
+// NewMap builds a shard map over the given replicas (copied, then
+// sorted by ID) with its ring ready for Owner lookups.
+func NewMap(version uint64, replicas []Replica, vnodes int) *Map {
+	m := &Map{Version: version, VNodes: vnodes, Replicas: append([]Replica(nil), replicas...)}
+	sort.Slice(m.Replicas, func(i, j int) bool { return m.Replicas[i].ID < m.Replicas[j].ID })
+	m.Build()
+	return m
+}
+
+// Build derives the hash ring from the public fields. It must be called
+// once after decoding a Map from JSON and before concurrent Owner
+// calls; NewMap calls it for you.
+func (m *Map) Build() {
+	vn := m.VNodes
+	if vn <= 0 {
+		vn = DefaultVNodes
+	}
+	m.ring = m.ring[:0]
+	for i, r := range m.Replicas {
+		for v := 0; v < vn; v++ {
+			m.ring = append(m.ring, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", r.ID, v)), idx: i})
+		}
+	}
+	sort.Slice(m.ring, func(a, b int) bool {
+		if m.ring[a].hash != m.ring[b].hash {
+			return m.ring[a].hash < m.ring[b].hash
+		}
+		// Tie-break by replica ID so equal hash points (astronomically
+		// rare, but fuzzable) still order deterministically everywhere.
+		return m.Replicas[m.ring[a].idx].ID < m.Replicas[m.ring[b].idx].ID
+	})
+}
+
+// Owner returns the replica owning the named deployment: the first
+// vnode point at or clockwise of the deployment's hash. ok is false
+// for an empty map.
+func (m *Map) Owner(deployment string) (Replica, bool) {
+	if len(m.ring) == 0 {
+		return Replica{}, false
+	}
+	h := hash64(deployment)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap past the highest point
+	}
+	return m.Replicas[m.ring[i].idx], true
+}
+
+// ReplicaByID returns the member with the given ID.
+func (m *Map) ReplicaByID(id string) (Replica, bool) {
+	for _, r := range m.Replicas {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Replica{}, false
+}
+
+// hash64 is FNV-1a over s with a splitmix64 finalizer — stable across
+// processes and Go versions (which maphash is not; ownership must agree
+// fleet-wide). Raw FNV of short, near-identical strings ("r1#0",
+// "r1#1", ...) clusters badly on the ring; the finalizer's avalanche
+// restores a uniform spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func testReplicas(n int) []Replica {
+	out := make([]Replica, n)
+	for i := range out {
+		out[i] = Replica{ID: fmt.Sprintf("r%d", i), Addr: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndJSONStable(t *testing.T) {
+	m := NewMap(3, testReplicas(3), 0)
+	deps := []string{"FA-500-42", "IA-300-7", "OB-400-9-c25", "FA-300-7"}
+	want := map[string]string{}
+	for _, d := range deps {
+		r, ok := m.Owner(d)
+		if !ok {
+			t.Fatalf("Owner(%q) found no replica", d)
+		}
+		want[d] = r.ID
+	}
+	// The same map after a JSON round trip (the /shardmap wire path)
+	// must yield identical owners.
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Map
+	if err := json.Unmarshal(b, &m2); err != nil {
+		t.Fatal(err)
+	}
+	m2.Build()
+	if m2.Version != 3 {
+		t.Fatalf("version lost in round trip: %d", m2.Version)
+	}
+	for _, d := range deps {
+		r, _ := m2.Owner(d)
+		if r.ID != want[d] {
+			t.Errorf("owner of %q diverged after JSON round trip: %s != %s", d, r.ID, want[d])
+		}
+	}
+}
+
+func TestOwnerEmptyMap(t *testing.T) {
+	m := NewMap(1, nil, 0)
+	if _, ok := m.Owner("FA-500-42"); ok {
+		t.Fatal("empty map claimed an owner")
+	}
+}
+
+func TestVNodeBalance(t *testing.T) {
+	m := NewMap(1, testReplicas(4), 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		r, _ := m.Owner(fmt.Sprintf("FA-%d-%d", 100+i%900, i))
+		counts[r.ID]++
+	}
+	mean := n / 4
+	for id, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("replica %s owns %d of %d deployments (mean %d): ring badly imbalanced", id, c, n, mean)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d of 4 replicas own anything", len(counts))
+	}
+}
+
+// TestMinimalMovementOnRemoval pins the consistent-hashing property the
+// re-shard protocol relies on: removing one replica relocates only the
+// deployments that replica owned — every surviving assignment is
+// untouched, so the router restores state only onto the failed
+// replica's successors.
+func TestMinimalMovementOnRemoval(t *testing.T) {
+	reps := testReplicas(4)
+	before := NewMap(1, reps, 0)
+	after := NewMap(2, reps[:3], 0) // drop r3
+
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		dep := fmt.Sprintf("FA-%d-%d", 100+i%900, i)
+		ob, _ := before.Owner(dep)
+		oa, _ := after.Owner(dep)
+		if ob.ID == "r3" {
+			if oa.ID == "r3" {
+				t.Fatalf("deployment %q still owned by removed replica", dep)
+			}
+			moved++
+			continue
+		}
+		if oa.ID != ob.ID {
+			t.Errorf("deployment %q moved from surviving %s to %s", dep, ob.ID, oa.ID)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestReplicaByID(t *testing.T) {
+	m := NewMap(1, testReplicas(2), 0)
+	if r, ok := m.ReplicaByID("r1"); !ok || r.Addr == "" {
+		t.Fatalf("ReplicaByID(r1) = %+v, %v", r, ok)
+	}
+	if _, ok := m.ReplicaByID("nope"); ok {
+		t.Fatal("found a replica that does not exist")
+	}
+}

@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// Snapshot binary format, version 1. Everything is little-endian:
+//
+//	[8]byte  magic "WASNSNP1"
+//	u16      format version (1)
+//	u64      taken-at timestamp, unix milliseconds
+//	u32      deployment count
+//	per deployment:
+//	  u16 + bytes   name
+//	  u8            model (topo.DeployModel)
+//	  u32           n
+//	  u64           seed
+//	  f64           coverage
+//	  u64           epoch
+//	  u32           failed count, then u32 per node id
+//	  u32           moved count, then (u32 node, f64 x, f64 y) per move
+//	u32      CRC32 (IEEE) of every preceding byte
+//
+// The format is append-only versioned: readers reject unknown versions
+// rather than guessing, and the CRC trailer turns torn or bit-rotted
+// files into clean errors instead of silently wrong registries.
+const (
+	snapshotMagic = "WASNSNP1"
+	// SnapshotVersion is the current encoder's format version.
+	SnapshotVersion = 1
+)
+
+// Snapshot is a point-in-time copy of a replica's registry state: what
+// the snapshotter persists to disk and what the router pushes to a
+// failed replica's successors during a re-shard.
+type Snapshot struct {
+	// TakenUnixMS is when the snapshot was captured (unix milliseconds).
+	TakenUnixMS uint64
+	// States is the per-deployment portable state, sorted by name (the
+	// order serve.ExportState emits).
+	States []serve.DeploymentState
+}
+
+// EncodeSnapshot serialises a snapshot to the version-1 binary format.
+func EncodeSnapshot(s Snapshot) []byte {
+	w := make([]byte, 0, 64+64*len(s.States))
+	w = append(w, snapshotMagic...)
+	w = binary.LittleEndian.AppendUint16(w, SnapshotVersion)
+	w = binary.LittleEndian.AppendUint64(w, s.TakenUnixMS)
+	w = binary.LittleEndian.AppendUint32(w, uint32(len(s.States)))
+	for _, st := range s.States {
+		w = binary.LittleEndian.AppendUint16(w, uint16(len(st.Name)))
+		w = append(w, st.Name...)
+		w = append(w, byte(st.Spec.Model))
+		w = binary.LittleEndian.AppendUint32(w, uint32(st.Spec.N))
+		w = binary.LittleEndian.AppendUint64(w, st.Spec.Seed)
+		w = binary.LittleEndian.AppendUint64(w, math.Float64bits(st.Spec.Coverage))
+		w = binary.LittleEndian.AppendUint64(w, st.Epoch)
+		w = binary.LittleEndian.AppendUint32(w, uint32(len(st.Failed)))
+		for _, u := range st.Failed {
+			w = binary.LittleEndian.AppendUint32(w, uint32(u))
+		}
+		w = binary.LittleEndian.AppendUint32(w, uint32(len(st.Moved)))
+		for _, m := range st.Moved {
+			w = binary.LittleEndian.AppendUint32(w, uint32(m.Node))
+			w = binary.LittleEndian.AppendUint64(w, math.Float64bits(m.X))
+			w = binary.LittleEndian.AppendUint64(w, math.Float64bits(m.Y))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(w, crc32.ChecksumIEEE(w))
+}
+
+// snapReader is a bounds-checked cursor over an encoded snapshot. Every
+// read reports truncation through ok; the decoder turns the first false
+// into an error, so malformed input can never index past the buffer.
+type snapReader struct {
+	b   []byte
+	off int
+}
+
+func (r *snapReader) take(n int) ([]byte, bool) {
+	if n < 0 || len(r.b)-r.off < n {
+		return nil, false
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, true
+}
+
+func (r *snapReader) u8() (byte, bool) {
+	b, ok := r.take(1)
+	if !ok {
+		return 0, false
+	}
+	return b[0], true
+}
+
+func (r *snapReader) u16() (uint16, bool) {
+	b, ok := r.take(2)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(b), true
+}
+
+func (r *snapReader) u32() (uint32, bool) {
+	b, ok := r.take(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b), true
+}
+
+func (r *snapReader) u64() (uint64, bool) {
+	b, ok := r.take(8)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b), true
+}
+
+func (r *snapReader) f64() (float64, bool) {
+	u, ok := r.u64()
+	return math.Float64frombits(u), ok
+}
+
+// errSnapshot wraps decode failures with a stable prefix.
+func errSnapshot(format string, args ...any) error {
+	return fmt.Errorf("fleet: snapshot: "+format, args...)
+}
+
+// DecodeSnapshot parses the version-1 binary format. It is safe on
+// arbitrary input (the fuzzer's contract): truncation, bad magic, an
+// unknown version, a CRC mismatch, and absurd counts all return errors,
+// and allocations are bounded by the input length rather than by
+// attacker-chosen count fields.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(b) < len(snapshotMagic)+2+8+4+4 {
+		return s, errSnapshot("truncated: %d bytes", len(b))
+	}
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return s, errSnapshot("CRC mismatch: %08x != %08x", got, want)
+	}
+	r := &snapReader{b: body}
+	magic, _ := r.take(len(snapshotMagic))
+	if string(magic) != snapshotMagic {
+		return s, errSnapshot("bad magic %q", magic)
+	}
+	ver, _ := r.u16()
+	if ver != SnapshotVersion {
+		return s, errSnapshot("unknown format version %d", ver)
+	}
+	s.TakenUnixMS, _ = r.u64()
+	count, ok := r.u32()
+	if !ok {
+		return s, errSnapshot("truncated header")
+	}
+	// A deployment record is at least 35 bytes; reject counts the buffer
+	// cannot possibly hold before allocating for them.
+	const minRecord = 2 + 1 + 4 + 8 + 8 + 8 + 4 + 4
+	if int64(count)*minRecord > int64(len(body)-r.off) {
+		return s, errSnapshot("deployment count %d exceeds buffer", count)
+	}
+	s.States = make([]serve.DeploymentState, 0, count)
+	for i := uint32(0); i < count; i++ {
+		st, err := decodeDeployment(r, int(i))
+		if err != nil {
+			return Snapshot{}, err
+		}
+		s.States = append(s.States, st)
+	}
+	if r.off != len(body) {
+		return Snapshot{}, errSnapshot("%d trailing bytes after last deployment", len(body)-r.off)
+	}
+	return s, nil
+}
+
+func decodeDeployment(r *snapReader, i int) (serve.DeploymentState, error) {
+	var st serve.DeploymentState
+	nameLen, ok := r.u16()
+	if !ok {
+		return st, errSnapshot("deployment %d: truncated name length", i)
+	}
+	name, ok := r.take(int(nameLen))
+	if !ok {
+		return st, errSnapshot("deployment %d: truncated name", i)
+	}
+	st.Name = string(name)
+	model, ok := r.u8()
+	if !ok {
+		return st, errSnapshot("deployment %q: truncated spec", st.Name)
+	}
+	st.Spec.Model = topo.DeployModel(model)
+	n, ok := r.u32()
+	if !ok {
+		return st, errSnapshot("deployment %q: truncated spec", st.Name)
+	}
+	st.Spec.N = int(n)
+	if st.Spec.Seed, ok = r.u64(); !ok {
+		return st, errSnapshot("deployment %q: truncated spec", st.Name)
+	}
+	if st.Spec.Coverage, ok = r.f64(); !ok {
+		return st, errSnapshot("deployment %q: truncated spec", st.Name)
+	}
+	if st.Epoch, ok = r.u64(); !ok {
+		return st, errSnapshot("deployment %q: truncated epoch", st.Name)
+	}
+	nFailed, ok := r.u32()
+	if !ok || int64(nFailed)*4 > int64(len(r.b)-r.off) {
+		return st, errSnapshot("deployment %q: bad failed count", st.Name)
+	}
+	if nFailed > 0 {
+		st.Failed = make([]topo.NodeID, 0, nFailed)
+		for j := uint32(0); j < nFailed; j++ {
+			u, ok := r.u32()
+			if !ok {
+				return st, errSnapshot("deployment %q: truncated failed set", st.Name)
+			}
+			st.Failed = append(st.Failed, topo.NodeID(u))
+		}
+	}
+	nMoved, ok := r.u32()
+	if !ok || int64(nMoved)*20 > int64(len(r.b)-r.off) {
+		return st, errSnapshot("deployment %q: bad moved count", st.Name)
+	}
+	if nMoved > 0 {
+		st.Moved = make([]topo.Move, 0, nMoved)
+		for j := uint32(0); j < nMoved; j++ {
+			node, ok1 := r.u32()
+			x, ok2 := r.f64()
+			y, ok3 := r.f64()
+			if !ok1 || !ok2 || !ok3 {
+				return st, errSnapshot("deployment %q: truncated move list", st.Name)
+			}
+			st.Moved = append(st.Moved, topo.Move{Node: topo.NodeID(node), X: x, Y: y})
+		}
+	}
+	return st, nil
+}
+
+// WriteSnapshotFile atomically persists a snapshot: encode, write to a
+// temp file in the same directory, fsync, rename. A crash mid-write
+// leaves either the old snapshot or the new one, never a torn file —
+// and the CRC trailer catches anything that slips through anyway.
+func WriteSnapshotFile(path string, s Snapshot) error {
+	data := EncodeSnapshot(s)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".wasn-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads and decodes a snapshot written by
+// WriteSnapshotFile.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return DecodeSnapshot(b)
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSnapshotDebounce batches bursts of registry changes (a churn
+// scenario failing ten nodes fires ten OnStateChange calls) into one
+// disk write.
+const DefaultSnapshotDebounce = 200 * time.Millisecond
+
+// Snapshotter persists registry state to one snapshot file, debounced.
+// Hang Notify off serve's Config.OnStateChange; every burst of changes
+// becomes a single atomic WriteSnapshotFile shortly after the burst
+// ends. Export is called outside any Snapshotter lock, so it is safe
+// for it to take service locks (serve.ExportState does).
+type Snapshotter struct {
+	path     string
+	export   func() Snapshot
+	debounce time.Duration
+	onError  func(error)
+
+	mu     sync.Mutex
+	timer  *time.Timer
+	closed bool
+	wg     sync.WaitGroup
+
+	writes uint64 // guarded by mu; exposed for the fleet gauge
+}
+
+// SnapshotterConfig configures NewSnapshotter.
+type SnapshotterConfig struct {
+	// Path is the snapshot file to maintain.
+	Path string
+	// Export captures the current state; typically it wraps
+	// serve.ExportState plus a timestamp.
+	Export func() Snapshot
+	// Debounce is the quiet period before a write
+	// (DefaultSnapshotDebounce when 0).
+	Debounce time.Duration
+	// OnError observes failed writes (nil means they are dropped;
+	// the next change retries anyway).
+	OnError func(error)
+}
+
+// NewSnapshotter builds a Snapshotter. It writes nothing until the
+// first Notify.
+func NewSnapshotter(cfg SnapshotterConfig) *Snapshotter {
+	d := cfg.Debounce
+	if d <= 0 {
+		d = DefaultSnapshotDebounce
+	}
+	return &Snapshotter{path: cfg.Path, export: cfg.Export, debounce: d, onError: cfg.OnError}
+}
+
+// Notify schedules a snapshot write after the debounce window. Safe for
+// concurrent use and cheap enough for hot mutation paths: it arms or
+// extends a timer, nothing more.
+func (sn *Snapshotter) Notify() {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.closed {
+		return
+	}
+	if sn.timer != nil {
+		sn.timer.Reset(sn.debounce)
+		return
+	}
+	sn.wg.Add(1)
+	sn.timer = time.AfterFunc(sn.debounce, func() {
+		defer sn.wg.Done()
+		sn.mu.Lock()
+		sn.timer = nil
+		closed := sn.closed
+		sn.mu.Unlock()
+		if !closed {
+			sn.flush()
+		}
+	})
+}
+
+// Flush writes a snapshot immediately, regardless of the debounce
+// state. Close calls it; tests and graceful shutdown paths may too.
+func (sn *Snapshotter) Flush() error {
+	return sn.flush()
+}
+
+func (sn *Snapshotter) flush() error {
+	err := WriteSnapshotFile(sn.path, sn.export())
+	if err != nil {
+		if sn.onError != nil {
+			sn.onError(err)
+		}
+		return err
+	}
+	sn.mu.Lock()
+	sn.writes++
+	sn.mu.Unlock()
+	return nil
+}
+
+// Writes reports completed snapshot writes (the wasn_fleet_snapshot
+// series reads it).
+func (sn *Snapshotter) Writes() uint64 {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.writes
+}
+
+// Close stops the timer, waits out any in-flight write, and flushes a
+// final snapshot so shutdown never loses the last debounce window.
+func (sn *Snapshotter) Close() error {
+	sn.mu.Lock()
+	if sn.closed {
+		sn.mu.Unlock()
+		return nil
+	}
+	sn.closed = true
+	if sn.timer != nil && sn.timer.Stop() {
+		sn.wg.Done() // timer drained without firing
+		sn.timer = nil
+	}
+	sn.mu.Unlock()
+	sn.wg.Wait()
+	return sn.flush()
+}

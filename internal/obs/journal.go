@@ -20,9 +20,18 @@ const (
 	EventRevive
 	EventMove
 	EventPurge
+	// Fleet control-plane kinds, appended after the serving-layer kinds
+	// (the enum is wire-visible; existing ordinals must never shift):
+	// replicas joining and leaving the shard map, a re-shard publishing
+	// a new map version, and state restored onto a replica.
+	EventJoin
+	EventLeave
+	EventReshard
+	EventRestore
 )
 
-var eventKindNames = [...]string{"none", "build", "fail", "revive", "move", "purge"}
+var eventKindNames = [...]string{"none", "build", "fail", "revive", "move", "purge",
+	"join", "leave", "reshard", "restore"}
 
 // String names the kind as it appears on the wire ("fail", "build", ...).
 func (k EventKind) String() string {
@@ -69,6 +78,10 @@ type Event struct {
 
 	Kind       EventKind `json:"kind"`
 	Deployment string    `json:"deployment,omitempty"`
+	// Replica attributes fleet control-plane events (join, leave,
+	// reshard, restore) to the replica they concern; empty for
+	// single-process serving-layer events.
+	Replica string `json:"replica,omitempty"`
 	// RequestID attributes the event to the HTTP request that caused
 	// it (the X-Request-Id the middleware assigned), empty for events
 	// raised outside a request.

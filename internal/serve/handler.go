@@ -24,6 +24,8 @@ import (
 //	GET  /traces
 //	GET  /timeline
 //	GET  /events?kind=&deployment=&after=&max=
+//	GET  /state
+//	POST /restore {"states": [DeploymentState, ...]}
 //	GET  /debug/dash?refresh=
 //
 // Errors are {"error": "..."} with a 4xx/5xx status. Every endpoint is
@@ -42,8 +44,60 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/traces", s.instrument("/traces", s.handleTraces))
 	mux.HandleFunc("/timeline", s.instrument("/timeline", s.handleTimeline))
 	mux.HandleFunc("/events", s.instrument("/events", s.handleEvents))
+	mux.HandleFunc("/state", s.instrument("/state", s.handleState))
+	mux.HandleFunc("/restore", s.instrument("/restore", s.handleRestore))
 	mux.HandleFunc("/debug/dash", s.instrument("/debug/dash", s.handleDash))
+	// /readyz is deliberately uninstrumented: fleet health checks hit it
+	// several times a second and would drown the request series.
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
+}
+
+// readyzResponse is the liveness probe body. Port-zero servers (wasnd
+// -addr :0) overlay the resolved listen address at the cmd layer.
+type readyzResponse struct {
+	OK          bool   `json:"ok"`
+	ReplicaID   string `json:"replica_id,omitempty"`
+	Deployments int    `json:"deployments"`
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{
+		OK:          true,
+		ReplicaID:   s.cfg.ReplicaID,
+		Deployments: len(s.Deployments()),
+	})
+}
+
+// stateResponse wraps the exported registry state (GET /state); the
+// same shape is the /restore request body, so state can be piped
+// replica-to-replica verbatim.
+type stateResponse struct {
+	States []DeploymentState `json:"states"`
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, stateResponse{States: s.ExportState()})
+}
+
+func (s *Service) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var req stateResponse
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.RestoreState(req.States); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"restored": len(req.States)})
 }
 
 // statusWriter captures the response status for the error counter.

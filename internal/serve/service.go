@@ -84,6 +84,15 @@ type Config struct {
 	// rounded up to a power of two (default 1024). The journal is
 	// always on: writes happen only on topology changes and builds.
 	JournalSize int
+	// ReplicaID names this process in a sharded fleet (wasnd
+	// -replica-id); surfaced on /readyz and in Stats so shard-aware
+	// tooling can attribute numbers to replicas. Empty outside a fleet.
+	ReplicaID string
+	// OnStateChange, when non-nil, is called after every registry state
+	// change — deploy, fail, revive, move, restore — outside all
+	// service locks. The fleet snapshotter hangs off it to persist the
+	// registry (debounced) to disk.
+	OnStateChange func()
 }
 
 // ErrBuild marks substrate build failures: a server-side fault, not a
@@ -223,6 +232,13 @@ type deployment struct {
 	planarg *planar.Graph
 	routers map[string]core.Router
 	failed  map[topo.NodeID]bool
+	// moved retains the last applied position per ever-moved node —
+	// with Failed, the churn half of the deployment's portable state
+	// (ExportState).
+	moved map[topo.NodeID]topo.Move
+	// restore, when non-nil on an unbuilt deployment, is replayed onto
+	// the pristine network before the substrates build (RestoreState).
+	restore *DeploymentState
 	// repairs and rebuilds count topology mutations served by the
 	// incremental path vs the from-scratch oracle, exported per
 	// deployment in Stats so workload reports need no client-side math.
@@ -236,14 +252,22 @@ type deployment struct {
 // error. The returned string is the effective name. Substrates are not
 // built here — the first route (or an explicit Build) pays that cost.
 func (s *Service) Deploy(name string, spec Spec) (string, error) {
+	name, fresh, err := s.deploy(name, spec)
+	if fresh {
+		s.notifyState()
+	}
+	return name, err
+}
+
+func (s *Service) deploy(name string, spec Spec) (string, bool, error) {
 	if spec.Model != topo.ModelIA && spec.Model != topo.ModelFA && spec.Model != topo.ModelOB {
-		return "", fmt.Errorf("serve: unknown deployment model %v", spec.Model)
+		return "", false, fmt.Errorf("serve: unknown deployment model %v", spec.Model)
 	}
 	if spec.N <= 0 {
-		return "", fmt.Errorf("serve: node count must be positive, got %d", spec.N)
+		return "", false, fmt.Errorf("serve: node count must be positive, got %d", spec.N)
 	}
 	if spec.Coverage < 0 || spec.Coverage >= 1 {
-		return "", fmt.Errorf("serve: obstacle coverage must be in [0,1), got %v", spec.Coverage)
+		return "", false, fmt.Errorf("serve: obstacle coverage must be in [0,1), got %v", spec.Coverage)
 	}
 	if name == "" {
 		name = spec.DefaultName()
@@ -252,12 +276,12 @@ func (s *Service) Deploy(name string, spec Spec) (string, error) {
 	defer s.mu.Unlock()
 	if d, ok := s.deps[name]; ok {
 		if d.spec != spec {
-			return "", fmt.Errorf("serve: deployment %q already registered with spec %+v", name, d.spec)
+			return "", false, fmt.Errorf("serve: deployment %q already registered with spec %+v", name, d.spec)
 		}
-		return name, nil
+		return name, false, nil
 	}
 	s.deps[name] = &deployment{name: name, spec: spec}
-	return name, nil
+	return name, true, nil
 }
 
 // Deployments lists the registered deployment names, sorted.
@@ -313,6 +337,31 @@ func (s *Service) ensureBuilt(d *deployment) error {
 			return fmt.Errorf("serve: building deployment %q: %w: %w", d.name, ErrBuild, err)
 		}
 		d.dep = dep
+		if rs := d.restore; rs != nil {
+			// Restored deployment: replay the snapshot's positions and
+			// dead set onto the pristine network now, so the from-scratch
+			// build below runs over the origin's exact topology. Repair
+			// and rebuild are differentially pinned equal, so the
+			// resulting routes are bit-identical to the origin's.
+			if len(rs.Moved) > 0 {
+				if _, err := dep.Net.SetPositions(rs.Moved); err != nil {
+					return fmt.Errorf("serve: restoring deployment %q: %w: %w", d.name, ErrBuild, err)
+				}
+				d.moved = make(map[topo.NodeID]topo.Move, len(rs.Moved))
+				for _, m := range rs.Moved {
+					d.moved[m.Node] = m
+				}
+			}
+			if len(rs.Failed) > 0 {
+				d.failed = make(map[topo.NodeID]bool, len(rs.Failed))
+				for _, u := range rs.Failed {
+					dep.Net.SetAlive(u, false)
+					d.failed[u] = true
+				}
+			}
+			d.epoch.Store(rs.Epoch)
+			d.restore = nil
+		}
 		// The three substrates — safety model, BOUNDHOLE boundaries,
 		// Gabriel graph — build concurrently (each also internally
 		// parallel over GOMAXPROCS); the router set shares them.
@@ -493,12 +542,20 @@ func (s *Service) Fail(deployment string, nodes []topo.NodeID) error {
 // churn events in /events are attributable to the /fail request that
 // caused them.
 func (s *Service) FailTagged(deployment string, nodes []topo.NodeID, requestID string) error {
+	changed, err := s.failTagged(deployment, nodes, requestID)
+	if changed {
+		s.notifyState()
+	}
+	return err
+}
+
+func (s *Service) failTagged(deployment string, nodes []topo.NodeID, requestID string) (bool, error) {
 	d, err := s.lookup(deployment)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := s.ensureBuilt(d); err != nil {
-		return err
+		return false, err
 	}
 
 	d.mu.Lock()
@@ -508,7 +565,7 @@ func (s *Service) FailTagged(deployment string, nodes []topo.NodeID, requestID s
 	inCall := make(map[topo.NodeID]bool, len(nodes))
 	for _, u := range nodes {
 		if u < 0 || int(u) >= net.N() {
-			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
+			return false, fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
 		}
 		if !d.failed[u] && !inCall[u] {
 			inCall[u] = true
@@ -516,7 +573,7 @@ func (s *Service) FailTagged(deployment string, nodes []topo.NodeID, requestID s
 		}
 	}
 	if len(fresh) == 0 {
-		return nil
+		return false, nil
 	}
 	if d.failed == nil {
 		d.failed = make(map[topo.NodeID]bool)
@@ -527,7 +584,7 @@ func (s *Service) FailTagged(deployment string, nodes []topo.NodeID, requestID s
 	}
 	s.applyTopologyChange(d, fresh, false, obs.EventFail, requestID, len(nodes))
 	s.failures.Add(int64(len(fresh)))
-	return nil
+	return true, nil
 }
 
 // Revive brings previously failed nodes of the named deployment back to
@@ -542,12 +599,20 @@ func (s *Service) Revive(deployment string, nodes []topo.NodeID) error {
 // ReviveTagged is Revive carrying the triggering request's ID into the
 // flight-recorder journal entry (see FailTagged).
 func (s *Service) ReviveTagged(deployment string, nodes []topo.NodeID, requestID string) error {
+	changed, err := s.reviveTagged(deployment, nodes, requestID)
+	if changed {
+		s.notifyState()
+	}
+	return err
+}
+
+func (s *Service) reviveTagged(deployment string, nodes []topo.NodeID, requestID string) (bool, error) {
 	d, err := s.lookup(deployment)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := s.ensureBuilt(d); err != nil {
-		return err
+		return false, err
 	}
 
 	d.mu.Lock()
@@ -557,7 +622,7 @@ func (s *Service) ReviveTagged(deployment string, nodes []topo.NodeID, requestID
 	inCall := make(map[topo.NodeID]bool, len(nodes))
 	for _, u := range nodes {
 		if u < 0 || int(u) >= net.N() {
-			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
+			return false, fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), u)
 		}
 		if d.failed[u] && !inCall[u] {
 			inCall[u] = true
@@ -565,7 +630,7 @@ func (s *Service) ReviveTagged(deployment string, nodes []topo.NodeID, requestID
 		}
 	}
 	if len(fresh) == 0 {
-		return nil
+		return false, nil
 	}
 	for _, u := range fresh {
 		net.SetAlive(u, true)
@@ -573,7 +638,7 @@ func (s *Service) ReviveTagged(deployment string, nodes []topo.NodeID, requestID
 	}
 	s.applyTopologyChange(d, fresh, false, obs.EventRevive, requestID, len(nodes))
 	s.revivals.Add(int64(len(fresh)))
-	return nil
+	return true, nil
 }
 
 // Move relocates nodes of the named deployment under live traffic: the
@@ -590,12 +655,20 @@ func (s *Service) Move(deployment string, moves []topo.Move) error {
 // MoveTagged is Move carrying the triggering request's ID into the
 // flight-recorder journal entry (see FailTagged).
 func (s *Service) MoveTagged(deployment string, moves []topo.Move, requestID string) error {
+	changed, err := s.moveTagged(deployment, moves, requestID)
+	if changed {
+		s.notifyState()
+	}
+	return err
+}
+
+func (s *Service) moveTagged(deployment string, moves []topo.Move, requestID string) (bool, error) {
 	d, err := s.lookup(deployment)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := s.ensureBuilt(d); err != nil {
-		return err
+		return false, err
 	}
 
 	d.mu.Lock()
@@ -603,19 +676,25 @@ func (s *Service) MoveTagged(deployment string, moves []topo.Move, requestID str
 	net := d.dep.Net
 	for _, m := range moves {
 		if m.Node < 0 || int(m.Node) >= net.N() {
-			return fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), m.Node)
+			return false, fmt.Errorf("serve: node out of range [0,%d): %d", net.N(), m.Node)
 		}
 	}
 	if len(moves) == 0 {
-		return nil
+		return false, nil
 	}
 	dirty, err := net.SetPositions(moves)
 	if err != nil {
-		return err
+		return false, err
+	}
+	if d.moved == nil {
+		d.moved = make(map[topo.NodeID]topo.Move, len(moves))
+	}
+	for _, m := range moves {
+		d.moved[m.Node] = m
 	}
 	s.applyTopologyChange(d, dirty, true, obs.EventMove, requestID, len(moves))
 	s.moves.Add(int64(len(moves)))
-	return nil
+	return true, nil
 }
 
 // applyTopologyChange repairs (or, under the FullRebuildOnFail oracle,
@@ -714,18 +793,21 @@ func knownAlgorithm(name string) bool {
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	Deployments    int   `json:"deployments"`
-	Builds         int64 `json:"builds"`
-	Routes         int64 `json:"routes"`
-	Batches        int64 `json:"batches"`
-	FailedNodes    int64 `json:"failed_nodes"`
-	RevivedNodes   int64 `json:"revived_nodes"`
-	MovedNodes     int64 `json:"moved_nodes"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEvictions int64 `json:"cache_evictions"`
-	CachePurged    int64 `json:"cache_purged"`
-	CacheEntries   int   `json:"cache_entries"`
+	// ReplicaID identifies the process in a sharded fleet (empty for a
+	// standalone server), so aggregated fleet stats stay attributable.
+	ReplicaID      string `json:"replica_id,omitempty"`
+	Deployments    int    `json:"deployments"`
+	Builds         int64  `json:"builds"`
+	Routes         int64  `json:"routes"`
+	Batches        int64  `json:"batches"`
+	FailedNodes    int64  `json:"failed_nodes"`
+	RevivedNodes   int64  `json:"revived_nodes"`
+	MovedNodes     int64  `json:"moved_nodes"`
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+	CacheEvictions int64  `json:"cache_evictions"`
+	CachePurged    int64  `json:"cache_purged"`
+	CacheEntries   int    `json:"cache_entries"`
 	// CacheHitRate is hits/(hits+misses), 0 with no lookups yet —
 	// derived server-side so load reports need no client math.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -755,6 +837,7 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.RUnlock()
 	st := Stats{
+		ReplicaID:    s.cfg.ReplicaID,
 		Deployments:  len(deps),
 		Builds:       s.builds.Load(),
 		Routes:       s.routes.Load(),

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// DeploymentState is the portable state of one deployment: everything a
+// fresh replica needs to reconstruct it route-identically. The spec
+// regenerates the pristine topology; Failed and Moved replay the churn
+// it absorbed; Epoch carries the cache-invalidation clock forward so a
+// restored replica's cache keys line up with the origin's.
+//
+// The restore path applies Moved and Failed to the freshly deployed
+// network *before* building substrates, so the restored replica builds
+// from scratch over the exact damaged topology — and the
+// repair-equals-rebuild differential contract (core.RepairSubstrates,
+// core.RepairSubstratesMoved) guarantees those substrates, and hence
+// every route of all seven algorithms, are bit-identical to the
+// origin's incrementally repaired ones.
+type DeploymentState struct {
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+	// Failed is the currently dead node set, sorted.
+	Failed []topo.NodeID `json:"failed,omitempty"`
+	// Moved is the last applied position of every node that ever moved,
+	// sorted by node id. Positions are absolute, so replaying them is
+	// idempotent.
+	Moved []topo.Move `json:"moved,omitempty"`
+	// Epoch is the deployment's topology-mutation count.
+	Epoch uint64 `json:"epoch"`
+}
+
+// ExportState snapshots every registered deployment's portable state,
+// sorted by name — the serve-side half of the fleet snapshot/restore
+// protocol. Deployments still carrying a pending restore (registered
+// via RestoreState but not yet built) export that pending state, so
+// export∘restore is stable even before first use.
+func (s *Service) ExportState() []DeploymentState {
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deps))
+	for _, d := range s.deps {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+
+	out := make([]DeploymentState, 0, len(deps))
+	for _, d := range deps {
+		d.mu.RLock()
+		st := DeploymentState{Name: d.name, Spec: d.spec, Epoch: d.epoch.Load()}
+		if d.restore != nil && !d.ready.Load() {
+			st.Failed = append([]topo.NodeID(nil), d.restore.Failed...)
+			st.Moved = append([]topo.Move(nil), d.restore.Moved...)
+			st.Epoch = d.restore.Epoch
+		} else {
+			for u := range d.failed {
+				st.Failed = append(st.Failed, u)
+			}
+			for _, m := range d.moved {
+				st.Moved = append(st.Moved, m)
+			}
+		}
+		d.mu.RUnlock()
+		sort.Slice(st.Failed, func(i, j int) bool { return st.Failed[i] < st.Failed[j] })
+		sort.Slice(st.Moved, func(i, j int) bool { return st.Moved[i].Node < st.Moved[j].Node })
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreState installs deployment states exported from another replica
+// (or read back from a disk snapshot). For an unknown name the state is
+// registered with the restore pending: the first use deploys the spec,
+// replays Moved and Failed onto the pristine network, then builds the
+// substrates from scratch — route-identical to the origin, with the
+// origin's epoch. For a name already registered with the same spec but
+// not yet built, the pending state is replaced. For a deployment that
+// is already live, the current topology is reconciled to the target
+// (missing failures applied, extra dead nodes revived, positions
+// re-applied); the routes converge to the same topology but the local
+// epoch keeps counting from its own history.
+//
+// A state whose spec conflicts with a live registration is an error;
+// earlier states in the batch stay applied.
+func (s *Service) RestoreState(states []DeploymentState) error {
+	var changed bool
+	defer func() {
+		if changed {
+			s.notifyState()
+		}
+	}()
+	for i := range states {
+		st := states[i]
+		for _, u := range st.Failed {
+			if u < 0 || int(u) >= st.Spec.N {
+				return fmt.Errorf("serve: restore %q: failed node out of range [0,%d): %d", st.Name, st.Spec.N, u)
+			}
+		}
+		for _, m := range st.Moved {
+			if m.Node < 0 || int(m.Node) >= st.Spec.N {
+				return fmt.Errorf("serve: restore %q: moved node out of range [0,%d): %d", st.Name, st.Spec.N, m.Node)
+			}
+		}
+		name, err := s.Deploy(st.Name, st.Spec)
+		if err != nil {
+			return fmt.Errorf("serve: restore: %w", err)
+		}
+		d, err := s.lookup(name)
+		if err != nil {
+			return err
+		}
+		if err := s.restoreInto(d, st); err != nil {
+			return err
+		}
+		changed = true
+	}
+	return nil
+}
+
+// restoreInto applies one state to its registered deployment: pending
+// restore when not yet built, live reconciliation otherwise.
+func (s *Service) restoreInto(d *deployment, st DeploymentState) error {
+	d.mu.Lock()
+	if !d.ready.Load() {
+		pending := st // copy; the caller's slice entries are not retained elsewhere
+		d.restore = &pending
+		d.mu.Unlock()
+		return nil
+	}
+	// Live deployment: compute the liveness diff under the read side,
+	// then reconcile through the normal mutation paths (they repair
+	// substrates and bump the epoch like any churn).
+	targetDead := make(map[topo.NodeID]bool, len(st.Failed))
+	for _, u := range st.Failed {
+		targetDead[u] = true
+	}
+	var toFail, toRevive []topo.NodeID
+	for _, u := range st.Failed {
+		if !d.failed[u] {
+			toFail = append(toFail, u)
+		}
+	}
+	for u := range d.failed {
+		if !targetDead[u] {
+			toRevive = append(toRevive, u)
+		}
+	}
+	sort.Slice(toRevive, func(i, j int) bool { return toRevive[i] < toRevive[j] })
+	d.mu.Unlock()
+
+	if len(st.Moved) > 0 {
+		if err := s.Move(d.name, st.Moved); err != nil {
+			return fmt.Errorf("serve: restore %q: %w", d.name, err)
+		}
+	}
+	if len(toFail) > 0 {
+		if err := s.Fail(d.name, toFail); err != nil {
+			return fmt.Errorf("serve: restore %q: %w", d.name, err)
+		}
+	}
+	if len(toRevive) > 0 {
+		if err := s.Revive(d.name, toRevive); err != nil {
+			return fmt.Errorf("serve: restore %q: %w", d.name, err)
+		}
+	}
+	return nil
+}
+
+// notifyState invokes the Config.OnStateChange hook, if any. Callers
+// must not hold service or deployment locks: the hook is expected to
+// call ExportState.
+func (s *Service) notifyState() {
+	if s.cfg.OnStateChange != nil {
+		s.cfg.OnStateChange()
+	}
+}

@@ -139,8 +139,10 @@ func (d *InProcess) Events(max int) ([]obs.Event, error) {
 func (d *InProcess) Close() error { return d.svc.Close() }
 
 // NewDriver builds the driver a scenario run asks for: "inprocess"
-// (cfg configures the private service) or "http" (target is the wasnd
-// base URL).
+// (cfg configures the private service), "http" (target is the wasnd
+// base URL), or "fleet"/"fleet-http" (target is the fleet router base
+// URL; "fleet" routes over the binary batch transport where replicas
+// expose one, "fleet-http" stays on JSON).
 func NewDriver(kind, target string, cfg serve.Config) (Driver, error) {
 	switch kind {
 	case "", "inprocess":
@@ -150,7 +152,12 @@ func NewDriver(kind, target string, cfg serve.Config) (Driver, error) {
 			return nil, fmt.Errorf("workload: http driver needs a target base URL")
 		}
 		return NewHTTP(target), nil
+	case "fleet", "fleet-http":
+		if target == "" {
+			return nil, fmt.Errorf("workload: fleet driver needs the router base URL")
+		}
+		return NewFleet(target, kind == "fleet")
 	default:
-		return nil, fmt.Errorf("workload: unknown driver %q (want inprocess or http)", kind)
+		return nil, fmt.Errorf("workload: unknown driver %q (want inprocess, http, fleet or fleet-http)", kind)
 	}
 }

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/straightpath/wasn/internal/fleet"
+	"github.com/straightpath/wasn/internal/serve"
+	"github.com/straightpath/wasn/internal/topo"
+)
+
+// fleetHarness runs a router plus replicas (HTTP + binary) in-process.
+type fleetHarness struct {
+	router  *fleet.Router
+	rt      *httptest.Server
+	svcs    []*serve.Service
+	https   []*httptest.Server
+	binarys []*fleet.BinaryServer
+}
+
+func newFleetHarness(t *testing.T, n int, healthEvery time.Duration) *fleetHarness {
+	t.Helper()
+	h := &fleetHarness{
+		router: fleet.NewRouter(fleet.RouterConfig{
+			HealthEvery:   healthEvery,
+			HealthStrikes: 2,
+			HealthTimeout: 300 * time.Millisecond,
+		}),
+	}
+	h.rt = httptest.NewServer(h.router.Handler())
+	t.Cleanup(func() {
+		h.rt.Close()
+		h.router.Close()
+		for i := range h.svcs {
+			h.binarys[i].Close()
+			h.https[i].Close()
+			h.svcs[i].Close()
+		}
+	})
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("r%d", i)
+		svc := serve.New(serve.Config{ReplicaID: id})
+		hs := httptest.NewServer(svc.Handler())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := fleet.NewBinaryServer(svc, ln)
+		h.svcs = append(h.svcs, svc)
+		h.https = append(h.https, hs)
+		h.binarys = append(h.binarys, bs)
+		if _, err := h.router.Join(fleet.Replica{ID: id, Addr: hs.URL, BinaryAddr: bs.Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func (h *fleetHarness) killOwner(t *testing.T, deployment string) int {
+	t.Helper()
+	rep, ok := h.router.Map().Owner(deployment)
+	if !ok {
+		t.Fatalf("no owner for %q", deployment)
+	}
+	var idx int
+	if _, err := fmt.Sscanf(rep.ID, "r%d", &idx); err != nil {
+		t.Fatal(err)
+	}
+	h.binarys[idx].Close()
+	h.https[idx].Close()
+	return idx
+}
+
+// TestFleetDriverBinaryRoutes: the "fleet" driver must route over the
+// binary transport (not HTTP) and agree with the owning replica.
+func TestFleetDriverBinaryRoutes(t *testing.T) {
+	h := newFleetHarness(t, 3, -1)
+	d, err := NewFleet(h.rt.URL, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != "fleet" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+
+	name, err := d.Deploy("", DeploymentSpec{Model: "fa", N: 180, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Fatal("empty deployment name")
+	}
+	out, err := d.Route(name, "SLGF2", 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := h.router.Map().Owner(name)
+	var idx int
+	fmt.Sscanf(rep.ID, "r%d", &idx)
+	want, _, err := h.svcs[idx].Route(name, "SLGF2", 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered != want.Delivered || out.Hops != want.Hops() {
+		t.Fatalf("driver route %+v diverged from direct %+v", out, want)
+	}
+	_, batches, _ := h.binarys[idx].Stats()
+	if batches == 0 {
+		t.Fatal("binary transport unused: routes went over HTTP")
+	}
+
+	// Churn through the driver updates the actual topology.
+	if err := d.Fail(name, []topo.NodeID{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := h.svcs[idx].Failed(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed set = %v", failed)
+	}
+
+	// Permanent errors must fail fast, not retry for the whole window.
+	start := time.Now()
+	if _, err := d.Route(name, "SLGF2", -5, 3); err == nil {
+		t.Fatal("out-of-range src accepted")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("permanent error burned the retry window")
+	}
+
+	// Aggregate surfaces.
+	st, err := d.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes == 0 {
+		t.Fatalf("aggregate stats lost the routes: %+v", st)
+	}
+	vals, err := d.ScrapeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["wasn_routes_total"] == 0 {
+		t.Error("aggregated metrics missing replica series")
+	}
+	found := false
+	for k := range vals {
+		if len(k) >= 10 && k[:10] == "wasn_fleet" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("aggregated metrics missing router wasn_fleet_* series")
+	}
+}
+
+// TestFleetDriverSurvivesOwnerKill is the driver half of the chaos
+// contract: kill the owning replica mid-run and keep routing — the
+// retry-with-remap loop must mask the outage window completely.
+func TestFleetDriverSurvivesOwnerKill(t *testing.T) {
+	h := newFleetHarness(t, 3, 50*time.Millisecond)
+	d, err := NewFleet(h.rt.URL, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	name, err := d.Deploy("", DeploymentSpec{Model: "fa", N: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fail(name, []topo.NodeID{11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Route(name, "SLGF2", 0, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := h.killOwner(t, name)
+
+	// Routes must keep succeeding through the kill: the health loop
+	// marks the owner dead within ~150ms, restores state on a survivor,
+	// and the driver remaps. No request in this loop may error.
+	deadline := time.Now().Add(8 * time.Second)
+	remapped := false
+	for time.Now().Before(deadline) {
+		out, err := d.Route(name, "SLGF2", 0, 130)
+		if err != nil {
+			t.Fatalf("route failed during re-shard: %v", err)
+		}
+		if out.Delivered != want.Delivered || out.Hops != want.Hops {
+			t.Fatalf("route diverged during re-shard: %+v != %+v", out, want)
+		}
+		if rep, ok := h.router.Map().Owner(name); ok && rep.ID != fmt.Sprintf("r%d", killed) {
+			remapped = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !remapped {
+		t.Fatal("ownership never moved off the killed replica")
+	}
+	// After the remap the restored replica must answer identically,
+	// with the churn history intact.
+	out, err := d.Route(name, "SLGF2", 0, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered != want.Delivered || out.Hops != want.Hops {
+		t.Fatalf("post-reshard route diverged: %+v != %+v", out, want)
+	}
+	// The control-plane journal must show the leave/reshard/restore.
+	evs, err := d.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawReshard, sawRestore bool
+	for _, ev := range evs {
+		switch ev.Kind.String() {
+		case "reshard":
+			sawReshard = true
+		case "restore":
+			sawRestore = true
+		}
+	}
+	if !sawReshard || !sawRestore {
+		t.Fatalf("journal missing reshard/restore events: %+v", evs)
+	}
+}
+
+func TestNewDriverFleetKinds(t *testing.T) {
+	h := newFleetHarness(t, 1, -1)
+	for kind, want := range map[string]string{"fleet": "fleet", "fleet-http": "fleet-http"} {
+		d, err := NewDriver(kind, h.rt.URL, serve.Config{})
+		if err != nil {
+			t.Fatalf("NewDriver(%q): %v", kind, err)
+		}
+		if d.Name() != want {
+			t.Errorf("NewDriver(%q).Name() = %q", kind, d.Name())
+		}
+		d.Close()
+	}
+	if _, err := NewDriver("fleet", "", serve.Config{}); err == nil {
+		t.Error("fleet driver without target accepted")
+	}
+}
